@@ -1,0 +1,188 @@
+// §2 crossover reproduction: recursive query classes across paradigms.
+//
+//  * single-source reachability (bound KNOWS*): all engines; the paper's
+//    §2.2 claim is that recursive SQL does well on linear recursion
+//    without aggregation [20].
+//  * shortest-path lengths: graph BFS vs Datalog lattice recursion —
+//    recursive SQL is rejected (§4 backend analysis); the paper's §2.1
+//    cites graph/RDF systems beating relational stores here [32].
+//  * same-generation (non-linear): Datalog engine only, after the
+//    linearization rewrite also on the SQL engine (§5 [42]).
+
+#include <benchmark/benchmark.h>
+
+#include "dlir/parser.h"
+#include "ldbc/ldbc.h"
+#include "opt/passes.h"
+#include "raqlet/compiler.h"
+
+namespace {
+
+struct Workload {
+  raqlet::Compiler compiler;
+  raqlet::Database db;
+  std::unique_ptr<raqlet::engine::GraphStore> store;
+  raqlet::CompiledQuery reach, shortest, three_hops;
+
+  static Workload& Get() {
+    static Workload& w = *new Workload(1.0);
+    return w;
+  }
+
+  /// Smaller instance for the whole-graph quadratic queries
+  /// (same-generation, non-linear TC).
+  static Workload& GetSmall() {
+    static Workload& w = *new Workload(0.1);
+    return w;
+  }
+
+ private:
+  explicit Workload(double sf) {
+    if (!compiler.LoadPgSchema(raqlet::ldbc::SnbSchema()).ok()) std::abort();
+    if (!compiler.CreateEdbs(&db).ok()) std::abort();
+    raqlet::ldbc::GeneratorOptions gen;
+    gen.scale_factor = sf;
+    if (!GenerateSnbData(compiler.dl_schema(), &db, gen).ok()) std::abort();
+
+    raqlet::CompileOptions params;
+    params.parameters["personId"] =
+        raqlet::dlir::Constant::Number(raqlet::ldbc::SamplePersonId(gen));
+    params.opt_level = 1;
+    auto compile = [&](const char* text) {
+      auto unit = compiler.CompileCypher(text, params);
+      if (!unit.ok()) std::abort();
+      return std::move(unit).value();
+    };
+    reach = compile(raqlet::ldbc::ReachabilityQuery());
+    shortest = compile(raqlet::ldbc::ShortestPathQuery());
+    three_hops = compile(raqlet::ldbc::FriendsWithinThreeHops());
+    auto built = compiler.BuildGraphStore(db);
+    if (!built.ok()) std::abort();
+    store = std::make_unique<raqlet::engine::GraphStore>(
+        std::move(built).value());
+  }
+};
+
+const raqlet::CompiledQuery& Query(const std::string& name) {
+  Workload& w = Workload::Get();
+  if (name == "reach") return w.reach;
+  if (name == "shortest") return w.shortest;
+  return w.three_hops;
+}
+
+void BM_OnGraph(benchmark::State& state, const std::string& name) {
+  Workload& w = Workload::Get();
+  const auto& unit = Query(name);
+  for (auto _ : state) {
+    auto result = w.compiler.RunOnGraph(unit.pgir, *w.store, &w.db);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_OnDatalog(benchmark::State& state, const std::string& name) {
+  Workload& w = Workload::Get();
+  const auto& unit = Query(name);
+  for (auto _ : state) {
+    auto result = w.compiler.RunOnDatalog(unit.optimized, &w.db);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_OnSql(benchmark::State& state, const std::string& name) {
+  Workload& w = Workload::Get();
+  const auto& unit = Query(name);
+  for (auto _ : state) {
+    auto result = w.compiler.RunOnSql(unit.optimized, &w.db);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+BENCHMARK_CAPTURE(BM_OnGraph, reachability, "reach")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_OnDatalog, reachability, "reach")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_OnSql, reachability, "reach")->Unit(benchmark::kMillisecond);
+
+BENCHMARK_CAPTURE(BM_OnGraph, shortest_path, "shortest")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_OnDatalog, shortest_path, "shortest")->Unit(benchmark::kMillisecond);
+// SQL shortest path intentionally absent: the §4 backend analysis rejects
+// lattice recursion for WITH RECURSIVE (see ldbc_test
+// ShortestPathSqlRejected).
+
+BENCHMARK_CAPTURE(BM_OnGraph, three_hops, "hops")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_OnDatalog, three_hops, "hops")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_OnSql, three_hops, "hops")->Unit(benchmark::kMillisecond);
+
+// ---- same-generation: non-linear recursion and linearization [42] ----
+
+constexpr char kSameGeneration[] = R"(
+.decl Person_KNOWS_Person(id1: number, id2: number, id: number, creationDate: number)
+.input Person_KNOWS_Person
+.decl hop(x: number, y: number)
+.decl sg(x: number, y: number)
+.output sg
+hop(x, y) :- Person_KNOWS_Person(x, y, _, _).
+sg(x, y) :- hop(z, x), hop(z, y).
+sg(x, y) :- hop(xp, x), sg(xp, yp), hop(yp, y).
+)";
+
+void BM_SameGenerationDatalog(benchmark::State& state) {
+  Workload& w = Workload::GetSmall();
+  auto program = raqlet::dlir::ParseProgram(kSameGeneration);
+  if (!program.ok()) {
+    state.SkipWithError(program.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto result = w.compiler.RunOnDatalog(*program, &w.db);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("same-generation over KNOWS (linear recursion)");
+}
+
+// Non-linear TC is rejected by the SQL backend until linearized (§5).
+constexpr char kNonLinearTc[] = R"(
+.decl Person_KNOWS_Person(id1: number, id2: number, id: number, creationDate: number)
+.input Person_KNOWS_Person
+.decl tc(x: number, y: number)
+.output tc
+tc(x, y) :- Person_KNOWS_Person(x, y, _, _).
+tc(x, y) :- tc(x, z), tc(z, y).
+)";
+
+void BM_NonLinearTcDatalog(benchmark::State& state) {
+  Workload& w = Workload::GetSmall();
+  auto program = raqlet::dlir::ParseProgram(kNonLinearTc);
+  for (auto _ : state) {
+    auto result = w.compiler.RunOnDatalog(*program, &w.db);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("non-linear TC on Datalog engine (SQL would reject)");
+}
+
+void BM_LinearizedTcSql(benchmark::State& state) {
+  Workload& w = Workload::GetSmall();
+  auto program = raqlet::dlir::ParseProgram(kNonLinearTc);
+  auto linear = raqlet::opt::LinearizeRecursion(*program);
+  if (!linear.ok()) {
+    state.SkipWithError(linear.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto result = w.compiler.RunOnSql(*linear, &w.db);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("linearized TC on SQL engine (enabled by the §5 rewrite)");
+}
+
+BENCHMARK(BM_SameGenerationDatalog)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NonLinearTcDatalog)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LinearizedTcSql)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

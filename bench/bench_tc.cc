@@ -1,0 +1,136 @@
+// §2.3 crossover reproduction: transitive closure across paradigms, as a
+// function of graph size. The paper cites Brass & Wenzel [10]: "Soufflé
+// ... has been shown to outperform SQLite, PostgreSQL, and Neo4j for
+// classic recursive queries like transitive closure". Expected shape: the
+// Datalog engine wins, the SQL engine follows, the per-binding graph
+// interpreter trails.
+//
+// Benchmarked on deterministic random graphs (out-degree ~2) at three
+// sizes; the arg is the node count.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "dlir/parser.h"
+#include "raqlet/compiler.h"
+
+namespace {
+
+constexpr char kGraphSchema[] = R"(
+CREATE GRAPH {
+  (nodeType: Node {id INT}),
+  (:nodeType)-[edgeType: connectsTo {id INT}]->(:nodeType)
+}
+)";
+
+constexpr char kTcDatalog[] = R"(
+.decl Node_CONNECTS_TO_Node(id1: number, id2: number, id: number)
+.input Node_CONNECTS_TO_Node
+.decl tc(x: number, y: number)
+.output tc
+tc(x, y) :- Node_CONNECTS_TO_Node(x, y, _).
+tc(x, y) :- tc(x, z), Node_CONNECTS_TO_Node(z, y, _).
+)";
+
+constexpr char kTcCypher[] = R"(
+MATCH (a:Node)-[:CONNECTS_TO*]->(b:Node)
+RETURN DISTINCT a.id AS src, b.id AS dst
+)";
+
+struct Instance {
+  raqlet::Compiler compiler;
+  raqlet::Database db;
+  raqlet::dlir::Program tc_program;
+  raqlet::CompiledQuery cypher_unit;
+  std::unique_ptr<raqlet::engine::GraphStore> store;
+};
+
+Instance& GetInstance(int nodes) {
+  static std::map<int, Instance*>& cache = *new std::map<int, Instance*>();
+  auto it = cache.find(nodes);
+  if (it != cache.end()) return *it->second;
+
+  auto* inst = new Instance();
+  if (!inst->compiler.LoadPgSchema(kGraphSchema).ok()) std::abort();
+  if (!inst->compiler.CreateEdbs(&inst->db).ok()) std::abort();
+  raqlet::Relation* node_rel = *inst->db.GetRelation("Node");
+  raqlet::Relation* edge_rel = *inst->db.GetRelation("Node_CONNECTS_TO_Node");
+  std::mt19937 rng(1234);
+  std::uniform_int_distribution<int> pick(1, nodes);
+  for (int i = 1; i <= nodes; ++i) {
+    node_rel->Insert({raqlet::Value::Number(i)});
+  }
+  int edge_id = 0;
+  for (int i = 1; i <= nodes; ++i) {
+    for (int k = 0; k < 2; ++k) {  // out-degree 2
+      edge_rel->Insert({raqlet::Value::Number(i),
+                        raqlet::Value::Number(pick(rng)),
+                        raqlet::Value::Number(++edge_id)});
+    }
+  }
+  auto program = raqlet::dlir::ParseProgram(kTcDatalog);
+  if (!program.ok()) std::abort();
+  inst->tc_program = std::move(program).value();
+  auto unit = inst->compiler.CompileCypher(kTcCypher, {});
+  if (!unit.ok()) std::abort();
+  inst->cypher_unit = std::move(unit).value();
+  auto store = inst->compiler.BuildGraphStore(inst->db);
+  if (!store.ok()) std::abort();
+  inst->store = std::make_unique<raqlet::engine::GraphStore>(
+      std::move(store).value());
+  cache.emplace(nodes, inst);
+  return *inst;
+}
+
+void BM_TcDatalog(benchmark::State& state) {
+  Instance& inst = GetInstance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    raqlet::engine::DatalogEngine eng;
+    raqlet::Status st = eng.Run(inst.tc_program, &inst.db);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.SetLabel("whole-graph TC, Datalog engine (Soufflé stand-in)");
+}
+
+void BM_TcSql(benchmark::State& state) {
+  Instance& inst = GetInstance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto result = inst.compiler.RunOnSql(inst.tc_program, &inst.db,
+                                         raqlet::engine::SqlMode::kVectorized);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("whole-graph TC, SQL engine WITH RECURSIVE (DuckDB stand-in)");
+}
+
+void BM_TcSqlTuple(benchmark::State& state) {
+  Instance& inst = GetInstance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto result = inst.compiler.RunOnSql(
+        inst.tc_program, &inst.db, raqlet::engine::SqlMode::kTuplePipeline);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("whole-graph TC, SQL engine tuple mode (HyPer stand-in)");
+}
+
+void BM_TcGraph(benchmark::State& state) {
+  Instance& inst = GetInstance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto result =
+        inst.compiler.RunOnGraph(inst.cypher_unit.pgir, *inst.store, &inst.db);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("whole-graph TC, graph engine BFS (Neo4j stand-in)");
+}
+
+BENCHMARK(BM_TcDatalog)->Arg(100)->Arg(300)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TcSql)->Arg(100)->Arg(300)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TcSqlTuple)->Arg(100)->Arg(300)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TcGraph)->Arg(100)->Arg(300)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

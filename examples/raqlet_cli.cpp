@@ -1,0 +1,240 @@
+// raqlet_cli — the compiler as a command-line tool, the way a downstream
+// user would script it.
+//
+//   raqlet_cli --schema schema.pgs --query q.cypher --emit datalog
+//   raqlet_cli --schema schema.pgs --query q.cypher --emit sql
+//   raqlet_cli --schema schema.pgs --query q.cypher --emit pgir|dlir|report
+//   raqlet_cli --schema schema.pgs --query q.cypher --run datalog \
+//              --facts data_dir            # <relation>.facts files (TSV)
+//   raqlet_cli --demo                      # built-in schema + query
+//
+// Options: --frontend cypher|gql|datalog, --opt 0|1|2,
+//          --param name=value (repeatable).
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dlir/explain.h"
+#include "ldbc/ldbc.h"
+#include "raqlet/compiler.h"
+#include "storage/csv.h"
+
+namespace {
+
+struct CliOptions {
+  std::string schema_path;
+  std::string query_path;
+  std::string frontend = "cypher";
+  std::string emit;  // pgir | dlir | optimized | datalog | sql | report
+  std::string run;   // datalog | sql | sql-tuple | graph
+  std::string facts_dir;
+  int opt_level = 1;
+  bool demo = false;
+  std::map<std::string, raqlet::dlir::Constant> parameters;
+};
+
+int Usage() {
+  std::cerr <<
+      "usage: raqlet_cli --schema FILE --query FILE\n"
+      "                  [--frontend cypher|gql|datalog] [--opt 0|1|2]\n"
+      "                  [--emit pgir|dlir|optimized|datalog|sql|report|plan]\n"
+      "                  [--run datalog|sql|sql-tuple|graph] [--facts DIR]\n"
+      "                  [--param name=value]...\n"
+      "       raqlet_cli --demo\n";
+  return 2;
+}
+
+raqlet::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return raqlet::Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+raqlet::dlir::Constant ParseConstant(const std::string& text) {
+  char* end = nullptr;
+  long long num = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() && *end == '\0') {
+    return raqlet::dlir::Constant::Number(num);
+  }
+  return raqlet::dlir::Constant::String(text);
+}
+
+int Fail(const raqlet::Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--schema") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.schema_path = v;
+    } else if (arg == "--query") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.query_path = v;
+    } else if (arg == "--frontend") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.frontend = v;
+    } else if (arg == "--emit") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.emit = v;
+    } else if (arg == "--run") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.run = v;
+    } else if (arg == "--facts") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.facts_dir = v;
+    } else if (arg == "--opt") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.opt_level = std::atoi(v);
+    } else if (arg == "--param") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      std::string pair = v;
+      size_t eq = pair.find('=');
+      if (eq == std::string::npos) return Usage();
+      options.parameters[pair.substr(0, eq)] =
+          ParseConstant(pair.substr(eq + 1));
+    } else if (arg == "--demo") {
+      options.demo = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  raqlet::Compiler compiler;
+  std::string query_text;
+  if (options.demo) {
+    if (auto st = compiler.LoadPgSchema(raqlet::ldbc::SnbSchema()); !st.ok()) {
+      return Fail(st);
+    }
+    query_text = raqlet::ldbc::ShortQuery1();
+    options.parameters["personId"] = raqlet::dlir::Constant::Number(42);
+    if (options.emit.empty() && options.run.empty()) options.emit = "sql";
+  } else {
+    if (options.schema_path.empty() || options.query_path.empty()) {
+      return Usage();
+    }
+    auto schema_text = ReadFile(options.schema_path);
+    if (!schema_text.ok()) return Fail(schema_text.status());
+    if (auto st = compiler.LoadPgSchema(*schema_text); !st.ok()) {
+      return Fail(st);
+    }
+    auto q = ReadFile(options.query_path);
+    if (!q.ok()) return Fail(q.status());
+    query_text = *q;
+  }
+
+  // Compile through the requested frontend.
+  raqlet::CompileOptions copts;
+  copts.opt_level = options.opt_level;
+  copts.parameters = options.parameters;
+
+  raqlet::dlir::Program program;
+  raqlet::CompiledQuery unit;
+  bool have_pgir = false;
+  if (options.frontend == "datalog") {
+    auto parsed = compiler.CompileDatalog(query_text);
+    if (!parsed.ok()) return Fail(parsed.status());
+    auto optimized = compiler.Optimize(*parsed, options.opt_level);
+    if (!optimized.ok()) return Fail(optimized.status());
+    program = std::move(optimized).value();
+  } else {
+    auto compiled = options.frontend == "gql"
+                        ? compiler.CompileGql(query_text, copts)
+                        : compiler.CompileCypher(query_text, copts);
+    if (!compiled.ok()) return Fail(compiled.status());
+    unit = std::move(compiled).value();
+    program = unit.optimized;
+    have_pgir = true;
+    for (const std::string& warning : unit.warnings) {
+      std::cerr << "warning: " << warning << "\n";
+    }
+  }
+
+  if (!options.emit.empty()) {
+    if (options.emit == "pgir" && have_pgir) {
+      std::cout << unit.pgir.ToString();
+    } else if (options.emit == "dlir" && have_pgir) {
+      std::cout << unit.dlir.ToString();
+    } else if (options.emit == "optimized" || options.emit == "dlir") {
+      std::cout << program.ToString();
+    } else if (options.emit == "datalog") {
+      std::cout << compiler.EmitSouffle(program);
+    } else if (options.emit == "sql") {
+      auto sql = compiler.EmitSql(program);
+      if (!sql.ok()) return Fail(sql.status());
+      std::cout << *sql;
+    } else if (options.emit == "report") {
+      std::cout << compiler.Analyze(program).ToString();
+    } else if (options.emit == "plan") {
+      auto plan = raqlet::dlir::ExplainProgram(program);
+      if (!plan.ok()) return Fail(plan.status());
+      std::cout << *plan;
+    } else {
+      return Usage();
+    }
+  }
+
+  if (!options.run.empty()) {
+    raqlet::Database db;
+    if (auto st = compiler.CreateEdbs(&db); !st.ok()) return Fail(st);
+    if (options.demo) {
+      raqlet::ldbc::GeneratorOptions gen;
+      gen.scale_factor = 0.1;
+      if (auto st = GenerateSnbData(compiler.dl_schema(), &db, gen); !st.ok()) {
+        return Fail(st);
+      }
+    } else if (!options.facts_dir.empty()) {
+      for (const auto& decl : compiler.dl_schema().edbs) {
+        auto rel = db.GetRelation(decl.name);
+        if (!rel.ok()) continue;
+        std::string path = options.facts_dir + "/" + decl.name + ".facts";
+        std::ifstream probe(path);
+        if (!probe) continue;  // facts files are optional per relation
+        if (auto st = raqlet::LoadDelimitedFile(&db, *rel, path); !st.ok()) {
+          return Fail(st);
+        }
+      }
+    }
+
+    raqlet::Result<raqlet::engine::ResultTable> result =
+        raqlet::Status::Internal("unset");
+    if (options.run == "datalog") {
+      result = compiler.RunOnDatalog(program, &db);
+    } else if (options.run == "sql") {
+      result = compiler.RunOnSql(program, &db);
+    } else if (options.run == "sql-tuple") {
+      result = compiler.RunOnSql(program, &db,
+                                 raqlet::engine::SqlMode::kTuplePipeline);
+    } else if (options.run == "graph" && have_pgir) {
+      auto store = compiler.BuildGraphStore(db);
+      if (!store.ok()) return Fail(store.status());
+      result = compiler.RunOnGraph(unit.pgir, *store, &db);
+    } else {
+      return Usage();
+    }
+    if (!result.ok()) return Fail(result.status());
+    std::cout << result->ToString(db.symbols());
+  }
+  return 0;
+}

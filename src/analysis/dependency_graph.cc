@@ -1,0 +1,176 @@
+#include "analysis/dependency_graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace raqlet::analysis {
+
+DependencyGraph DependencyGraph::Build(const dlir::Program& program) {
+  DependencyGraph g;
+  for (const dlir::RelationDecl& decl : program.decls) {
+    g.predicates_.insert(decl.name);
+  }
+  for (const dlir::Rule& rule : program.rules) {
+    g.predicates_.insert(rule.head.predicate);
+    for (const dlir::Atom& atom : rule.body) {
+      g.predicates_.insert(atom.predicate);
+      DependencyEdge edge;
+      edge.from = atom.predicate;
+      edge.to = rule.head.predicate;
+      edge.negated = atom.negated;
+      edge.aggregated = rule.agg.has_value();
+      g.edges_.push_back(edge);
+      g.successors_[atom.predicate].insert(rule.head.predicate);
+    }
+  }
+  g.ComputeSccs();
+  return g;
+}
+
+std::set<std::string> DependencyGraph::DependenciesOf(
+    const std::string& to) const {
+  std::set<std::string> out;
+  for (const DependencyEdge& e : edges_) {
+    if (e.to == to) out.insert(e.from);
+  }
+  return out;
+}
+
+bool DependencyGraph::HasEdge(const std::string& from,
+                              const std::string& to) const {
+  auto it = successors_.find(from);
+  return it != successors_.end() && it->second.count(to) > 0;
+}
+
+namespace {
+
+// Iterative Tarjan SCC. Emits SCCs in reverse topological order of the
+// condensation (every SCC before its predecessors along `successors`),
+// which the caller reverses.
+struct TarjanState {
+  const std::map<std::string, std::set<std::string>>& successors;
+  std::map<std::string, int> index;
+  std::map<std::string, int> lowlink;
+  std::set<std::string> on_stack;
+  std::vector<std::string> stack;
+  int next_index = 0;
+  std::vector<std::vector<std::string>> sccs;
+
+  void Run(const std::string& root) {
+    // Explicit DFS stack of (node, iterator position over successors).
+    struct Frame {
+      std::string node;
+      std::vector<std::string> succ;
+      size_t next_succ = 0;
+    };
+    std::vector<Frame> frames;
+
+    auto push_node = [&](const std::string& node) {
+      index[node] = next_index;
+      lowlink[node] = next_index;
+      ++next_index;
+      stack.push_back(node);
+      on_stack.insert(node);
+      Frame f;
+      f.node = node;
+      auto it = successors.find(node);
+      if (it != successors.end()) {
+        f.succ.assign(it->second.begin(), it->second.end());
+      }
+      frames.push_back(std::move(f));
+    };
+
+    push_node(root);
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      if (frame.next_succ < frame.succ.size()) {
+        const std::string& next = frame.succ[frame.next_succ++];
+        if (index.find(next) == index.end()) {
+          push_node(next);
+        } else if (on_stack.count(next) > 0) {
+          lowlink[frame.node] = std::min(lowlink[frame.node], index[next]);
+        }
+        continue;
+      }
+      // All successors done; close the frame.
+      std::string node = frame.node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().node] =
+            std::min(lowlink[frames.back().node], lowlink[node]);
+      }
+      if (lowlink[node] == index[node]) {
+        std::vector<std::string> scc;
+        while (true) {
+          std::string top = stack.back();
+          stack.pop_back();
+          on_stack.erase(top);
+          scc.push_back(top);
+          if (top == node) break;
+        }
+        std::sort(scc.begin(), scc.end());
+        sccs.push_back(std::move(scc));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void DependencyGraph::ComputeSccs() {
+  TarjanState tarjan{successors_, {}, {}, {}, {}, 0, {}};
+  for (const std::string& pred : predicates_) {
+    if (tarjan.index.find(pred) == tarjan.index.end()) tarjan.Run(pred);
+  }
+  // Tarjan emits sinks first along `successors` (which point from body to
+  // head); evaluation must compute bodies first, so keep this order? No:
+  // an SCC is emitted only after all SCCs reachable FROM it are emitted.
+  // Edges go body -> head, so "reachable from" means "computed later".
+  // Hence the emission order lists downstream SCCs first; reverse it so
+  // dependencies (bodies) come first.
+  sccs_ = std::move(tarjan.sccs);
+  std::reverse(sccs_.begin(), sccs_.end());
+
+  scc_of_.clear();
+  recursive_sccs_.clear();
+  for (size_t i = 0; i < sccs_.size(); ++i) {
+    for (const std::string& pred : sccs_[i]) {
+      scc_of_[pred] = static_cast<int>(i);
+    }
+    if (sccs_[i].size() > 1) {
+      recursive_sccs_.insert(static_cast<int>(i));
+    } else if (HasEdge(sccs_[i][0], sccs_[i][0])) {
+      recursive_sccs_.insert(static_cast<int>(i));
+    }
+  }
+}
+
+int DependencyGraph::SccOf(const std::string& predicate) const {
+  auto it = scc_of_.find(predicate);
+  return it == scc_of_.end() ? -1 : it->second;
+}
+
+bool DependencyGraph::IsRecursiveScc(int scc_index) const {
+  return recursive_sccs_.count(scc_index) > 0;
+}
+
+bool DependencyGraph::IsRecursivePredicate(const std::string& predicate) const {
+  int scc = SccOf(predicate);
+  return scc >= 0 && IsRecursiveScc(scc);
+}
+
+std::string DependencyGraph::ToString() const {
+  std::ostringstream os;
+  os << "predicates:";
+  for (const std::string& p : predicates_) os << " " << p;
+  os << "\nsccs (topological):\n";
+  for (size_t i = 0; i < sccs_.size(); ++i) {
+    os << "  [" << i << (IsRecursiveScc(static_cast<int>(i)) ? ", recursive" : "")
+       << "]";
+    for (const std::string& p : sccs_[i]) os << " " << p;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace raqlet::analysis

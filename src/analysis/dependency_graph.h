@@ -1,0 +1,74 @@
+#ifndef RAQLET_ANALYSIS_DEPENDENCY_GRAPH_H_
+#define RAQLET_ANALYSIS_DEPENDENCY_GRAPH_H_
+
+// Predicate dependency graph over a DLIR program: there is an edge
+// B -> H for every rule H(...) :- ... B(...) ... . The edge is marked
+// negated if B occurs under negation and aggregated if the rule computes a
+// head aggregate. SCCs of this graph are the evaluation units of the
+// engine and the subjects of the §4 analyses (linearity, mutual recursion,
+// stratification).
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dlir/program.h"
+
+namespace raqlet::analysis {
+
+struct DependencyEdge {
+  std::string from;  // body predicate
+  std::string to;    // head predicate
+  bool negated = false;
+  bool aggregated = false;
+};
+
+class DependencyGraph {
+ public:
+  /// Builds the graph for `program` (declarations without rules become
+  /// isolated nodes).
+  static DependencyGraph Build(const dlir::Program& program);
+
+  const std::set<std::string>& predicates() const { return predicates_; }
+  const std::vector<DependencyEdge>& edges() const { return edges_; }
+
+  /// Predicates `to` directly depends on (its body predicates).
+  std::set<std::string> DependenciesOf(const std::string& to) const;
+
+  /// True if there is an edge from -> to.
+  bool HasEdge(const std::string& from, const std::string& to) const;
+
+  /// Strongly connected components in topological order: every SCC appears
+  /// after all SCCs it depends on, so this is a valid evaluation order.
+  const std::vector<std::vector<std::string>>& SccsInTopologicalOrder() const {
+    return sccs_;
+  }
+
+  /// Index of the SCC containing `predicate` in SccsInTopologicalOrder().
+  int SccOf(const std::string& predicate) const;
+
+  /// True if the SCC at `scc_index` is recursive: it has more than one
+  /// predicate, or a single predicate with a self-edge.
+  bool IsRecursiveScc(int scc_index) const;
+
+  /// True if `predicate` participates in any recursion.
+  bool IsRecursivePredicate(const std::string& predicate) const;
+
+  std::string ToString() const;
+
+ private:
+  void ComputeSccs();
+
+  std::set<std::string> predicates_;
+  std::vector<DependencyEdge> edges_;
+  std::map<std::string, std::set<std::string>> successors_;  // from -> tos
+  std::vector<std::vector<std::string>> sccs_;
+  std::map<std::string, int> scc_of_;
+  std::set<int> recursive_sccs_;
+};
+
+}  // namespace raqlet::analysis
+
+#endif  // RAQLET_ANALYSIS_DEPENDENCY_GRAPH_H_

@@ -1,0 +1,163 @@
+#include "common/lexer.h"
+
+#include <cctype>
+
+namespace raqlet {
+
+namespace {
+
+class LexerImpl {
+ public:
+  LexerImpl(const std::string& source, const LexerConfig& config)
+      : src_(source), config_(config) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (pos_ >= src_.size()) {
+        out.push_back(Token{Token::kEof, "", line_, col_});
+        return out;
+      }
+      int line = line_;
+      int col = col_;
+      char c = src_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+          config_.extra_ident_chars.find(c) != std::string::npos) {
+        std::string ident;
+        while (pos_ < src_.size() && IsIdentChar(src_[pos_])) {
+          ident.push_back(Take());
+        }
+        out.push_back(Token{Token::kIdent, ident, line, col});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::string num;
+        bool is_float = false;
+        while (pos_ < src_.size() &&
+               (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '.')) {
+          if (src_[pos_] == '.') {
+            // ".." (range punctuation) and trailing dots end the number.
+            if (pos_ + 1 >= src_.size() ||
+                !std::isdigit(static_cast<unsigned char>(src_[pos_ + 1]))) {
+              break;
+            }
+            if (is_float) break;
+            is_float = true;
+          }
+          num.push_back(Take());
+        }
+        out.push_back(Token{is_float ? Token::kFloat : Token::kNumber, num,
+                            line, col});
+        continue;
+      }
+      if (c == '"' || (c == '\'' && config_.single_quote_strings)) {
+        char quote = Take();
+        std::string text;
+        while (pos_ < src_.size() && src_[pos_] != quote) {
+          if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+            Take();
+            char esc = Take();
+            if (esc == 'n') {
+              text.push_back('\n');
+            } else if (esc == 't') {
+              text.push_back('\t');
+            } else {
+              text.push_back(esc);
+            }
+            continue;
+          }
+          text.push_back(Take());
+        }
+        if (pos_ >= src_.size()) {
+          return Status::ParseError("unterminated string at line " +
+                                    std::to_string(line));
+        }
+        Take();
+        out.push_back(Token{Token::kString, text, line, col});
+        continue;
+      }
+      bool matched = false;
+      for (const std::string& punct : config_.multi_char_puncts) {
+        if (src_.compare(pos_, punct.size(), punct) == 0) {
+          for (size_t i = 0; i < punct.size(); ++i) Take();
+          out.push_back(Token{Token::kPunct, punct, line, col});
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      if (config_.single_puncts.find(c) != std::string::npos) {
+        Take();
+        out.push_back(Token{Token::kPunct, std::string(1, c), line, col});
+        continue;
+      }
+      return Status::ParseError("unexpected character '" + std::string(1, c) +
+                                "' at line " + std::to_string(line) + ", col " +
+                                std::to_string(col));
+    }
+  }
+
+ private:
+  bool IsIdentChar(char c) const {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           config_.extra_ident_chars.find(c) != std::string::npos;
+  }
+
+  char Take() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Take();
+      } else if (config_.cpp_comments && c == '/' && pos_ + 1 < src_.size() &&
+                 src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') Take();
+      } else if (config_.cpp_comments && c == '/' && pos_ + 1 < src_.size() &&
+                 src_[pos_ + 1] == '*') {
+        Take();
+        Take();
+        while (pos_ + 1 < src_.size() &&
+               !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+          Take();
+        }
+        if (pos_ + 1 < src_.size()) {
+          Take();
+          Take();
+        }
+      } else if (config_.dash_comments && c == '-' && pos_ + 1 < src_.size() &&
+                 src_[pos_ + 1] == '-') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') Take();
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& src_;
+  const LexerConfig& config_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& source,
+                                    const LexerConfig& config) {
+  LexerImpl impl(source, config);
+  return impl.Run();
+}
+
+}  // namespace raqlet

@@ -1,0 +1,47 @@
+#ifndef RAQLET_COMMON_LEXER_H_
+#define RAQLET_COMMON_LEXER_H_
+
+// Configurable tokenizer shared by the PG-Schema and Cypher frontends.
+// (DLIR has its own embedded lexer tuned to Soufflé's quirks, e.g. `.` as
+// both directive prefix and rule terminator.)
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace raqlet {
+
+struct Token {
+  enum Kind { kIdent, kNumber, kFloat, kString, kPunct, kEof };
+  Kind kind = kEof;
+  std::string text;
+  int line = 1;
+  int col = 1;
+};
+
+struct LexerConfig {
+  /// Multi-character punctuation, matched longest-first in the given
+  /// order (e.g. "->", "<=", "..").
+  std::vector<std::string> multi_char_puncts;
+  /// Accepted single-character punctuation.
+  std::string single_puncts;
+  /// Recognize // line and /* block */ comments.
+  bool cpp_comments = true;
+  /// Recognize -- line comments (SQL/Cypher style). Checked before the
+  /// '-' punctuation.
+  bool dash_comments = false;
+  /// Accept single-quoted strings in addition to double-quoted.
+  bool single_quote_strings = false;
+  /// Characters allowed inside identifiers besides [A-Za-z0-9_].
+  std::string extra_ident_chars;
+};
+
+/// Tokenizes `source`; the final token is always kEof. Errors carry
+/// 1-based line/column positions.
+Result<std::vector<Token>> Tokenize(const std::string& source,
+                                    const LexerConfig& config);
+
+}  // namespace raqlet
+
+#endif  // RAQLET_COMMON_LEXER_H_

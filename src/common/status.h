@@ -1,0 +1,151 @@
+#ifndef RAQLET_COMMON_STATUS_H_
+#define RAQLET_COMMON_STATUS_H_
+
+// Error-handling primitives used across every Raqlet module.
+//
+// Raqlet follows the Arrow/RocksDB idiom of returning Status / Result<T>
+// from all fallible public entry points instead of throwing exceptions.
+// A Status is cheap to copy in the OK case (no allocation) and carries a
+// code + human-readable message otherwise.
+
+#include <cassert>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace raqlet {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kParseError,        // frontend could not parse source text
+  kNotFound,          // missing relation / variable / schema entry
+  kUnsupported,       // feature outside the implemented subset, or a
+                      // backend that rejects a query class (e.g. SQL +
+                      // non-linear recursion)
+  kInternal,          // invariant violation inside Raqlet
+  kAlreadyExists,     // duplicate definition
+};
+
+/// Returns a short stable name for a status code ("ParseError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation that produces no value.
+class Status {
+ public:
+  Status() : rep_(nullptr) {}
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(Rep{code, std::move(message)})) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // shared_ptr keeps Status copyable and 8 bytes in the OK fast path.
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// Either a value of type T or an error Status. Modeled after
+/// arrow::Result. Accessing the value of an errored Result is a
+/// programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : var_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(var_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(var_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(var_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> var_;
+};
+
+// Propagate errors to the caller, Arrow-style.
+#define RAQLET_RETURN_IF_ERROR(expr)             \
+  do {                                           \
+    ::raqlet::Status _raqlet_status = (expr);    \
+    if (!_raqlet_status.ok()) return _raqlet_status; \
+  } while (false)
+
+#define RAQLET_CONCAT_IMPL(a, b) a##b
+#define RAQLET_CONCAT(a, b) RAQLET_CONCAT_IMPL(a, b)
+
+// RAQLET_ASSIGN_OR_RETURN(auto x, ComputeX()): binds the value or returns
+// the error status from the enclosing function.
+#define RAQLET_ASSIGN_OR_RETURN(decl, expr)                        \
+  RAQLET_ASSIGN_OR_RETURN_IMPL(                                    \
+      RAQLET_CONCAT(_raqlet_result_, __LINE__), decl, expr)
+
+#define RAQLET_ASSIGN_OR_RETURN_IMPL(tmp, decl, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  decl = std::move(tmp).value()
+
+}  // namespace raqlet
+
+#endif  // RAQLET_COMMON_STATUS_H_

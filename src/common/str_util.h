@@ -1,0 +1,33 @@
+#ifndef RAQLET_COMMON_STR_UTIL_H_
+#define RAQLET_COMMON_STR_UTIL_H_
+
+// Small string helpers shared by the parsers and unparsers.
+
+#include <string>
+#include <vector>
+
+namespace raqlet {
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Splits `text` on the single character `sep`; keeps empty fields.
+std::vector<std::string> Split(const std::string& text, char sep);
+
+/// ASCII-only case conversions (query keywords are ASCII).
+std::string ToLower(const std::string& text);
+std::string ToUpper(const std::string& text);
+
+/// True if `text` begins with / ends with the given affix.
+bool StartsWith(const std::string& text, const std::string& prefix);
+bool EndsWith(const std::string& text, const std::string& suffix);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(const std::string& text);
+
+/// Indents every line of `text` by `spaces` spaces.
+std::string Indent(const std::string& text, int spaces);
+
+}  // namespace raqlet
+
+#endif  // RAQLET_COMMON_STR_UTIL_H_

@@ -1,0 +1,75 @@
+#include "common/value.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace raqlet {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNumber:
+      return "number";
+    case ValueType::kFloat:
+      return "float";
+    case ValueType::kSymbol:
+      return "symbol";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kNull:
+      return "null";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString(const SymbolTable* symbols) const {
+  switch (kind_) {
+    case ValueType::kNumber:
+      return std::to_string(int_);
+    case ValueType::kFloat: {
+      std::ostringstream os;
+      os << float_;
+      return os.str();
+    }
+    case ValueType::kSymbol:
+      if (symbols != nullptr && AsSymbol() < symbols->size()) {
+        return "\"" + symbols->Resolve(AsSymbol()) + "\"";
+      }
+      return "$" + std::to_string(AsSymbol());
+    case ValueType::kBool:
+      return int_ != 0 ? "true" : "false";
+    case ValueType::kNull:
+      return "null";
+  }
+  return "?";
+}
+
+uint32_t SymbolTable::Intern(const std::string& text) {
+  auto it = index_.find(text);
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(strings_.size());
+  strings_.push_back(text);
+  index_.emplace(text, id);
+  return id;
+}
+
+uint32_t SymbolTable::Lookup(const std::string& text) const {
+  auto it = index_.find(text);
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+const std::string& SymbolTable::Resolve(uint32_t id) const {
+  assert(id < strings_.size());
+  return strings_[id];
+}
+
+std::string TupleToString(const Tuple& t, const SymbolTable* symbols) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].ToString(symbols);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace raqlet

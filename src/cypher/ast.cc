@@ -1,0 +1,234 @@
+#include "cypher/ast.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace raqlet::cypher {
+
+const char* BinOpToString(BinOp op) {
+  switch (op) {
+    case BinOp::kAnd:
+      return "AND";
+    case BinOp::kOr:
+      return "OR";
+    case BinOp::kEq:
+      return "=";
+    case BinOp::kNe:
+      return "<>";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+    case BinOp::kMod:
+      return "%";
+  }
+  return "?";
+}
+
+Expr Expr::Literal(dlir::Constant c) {
+  Expr e;
+  e.kind = ExprKind::kLiteral;
+  e.literal = std::move(c);
+  return e;
+}
+
+Expr Expr::Variable(std::string name) {
+  Expr e;
+  e.kind = ExprKind::kVariable;
+  e.var = std::move(name);
+  return e;
+}
+
+Expr Expr::Property(std::string var, std::string property) {
+  Expr e;
+  e.kind = ExprKind::kProperty;
+  e.var = std::move(var);
+  e.property = std::move(property);
+  return e;
+}
+
+Expr Expr::Parameter(std::string name) {
+  Expr e;
+  e.kind = ExprKind::kParameter;
+  e.parameter = std::move(name);
+  return e;
+}
+
+Expr Expr::Binary(BinOp op, Expr lhs, Expr rhs) {
+  Expr e;
+  e.kind = ExprKind::kBinary;
+  e.bin_op = op;
+  e.children.push_back(std::move(lhs));
+  e.children.push_back(std::move(rhs));
+  return e;
+}
+
+Expr Expr::Unary(UnOp op, Expr operand) {
+  Expr e;
+  e.kind = ExprKind::kUnary;
+  e.un_op = op;
+  e.children.push_back(std::move(operand));
+  return e;
+}
+
+Expr Expr::Call(std::string function, std::vector<Expr> args) {
+  Expr e;
+  e.kind = ExprKind::kCall;
+  e.function = ToLower(function);
+  e.children = std::move(args);
+  return e;
+}
+
+bool Expr::IsAggregateCall() const {
+  if (kind != ExprKind::kCall) return false;
+  return function == "count" || function == "sum" || function == "min" ||
+         function == "max" || function == "avg";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kVariable:
+      return var;
+    case ExprKind::kProperty:
+      return var + "." + property;
+    case ExprKind::kParameter:
+      return "$" + parameter;
+    case ExprKind::kBinary:
+      return "(" + children[0].ToString() + " " + BinOpToString(bin_op) + " " +
+             children[1].ToString() + ")";
+    case ExprKind::kUnary:
+      return un_op == UnOp::kNot ? "NOT " + children[0].ToString()
+                                 : "-" + children[0].ToString();
+    case ExprKind::kCall: {
+      std::vector<std::string> args;
+      if (star_arg) args.push_back("*");
+      for (const Expr& c : children) args.push_back(c.ToString());
+      std::string inner = Join(args, ", ");
+      if (distinct_arg) inner = "DISTINCT " + inner;
+      return function + "(" + inner + ")";
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+std::string PropsToString(
+    const std::vector<std::pair<std::string, Expr>>& props) {
+  if (props.empty()) return "";
+  std::vector<std::string> parts;
+  for (const auto& [name, value] : props) {
+    parts.push_back(name + ": " + value.ToString());
+  }
+  return " {" + Join(parts, ", ") + "}";
+}
+
+std::string NodeToString(const NodePattern& node) {
+  std::string out = "(" + node.var;
+  if (!node.label.empty()) out += ":" + node.label;
+  out += PropsToString(node.properties);
+  out += ")";
+  return out;
+}
+
+std::string EdgeToString(const EdgePattern& edge) {
+  std::string inner = edge.var;
+  if (!edge.type.empty()) inner += ":" + edge.type;
+  if (edge.variable_length) {
+    inner += "*";
+    if (edge.min_hops != 1 || edge.max_hops != EdgePattern::kUnboundedHops) {
+      inner += std::to_string(edge.min_hops) + "..";
+      if (edge.max_hops != EdgePattern::kUnboundedHops) {
+        inner += std::to_string(edge.max_hops);
+      }
+    }
+  }
+  inner += PropsToString(edge.properties);
+  std::string box = inner.empty() ? "" : "[" + inner + "]";
+  switch (edge.direction) {
+    case EdgeDirection::kOutgoing:
+      return "-" + box + "->";
+    case EdgeDirection::kIncoming:
+      return "<-" + box + "-";
+    case EdgeDirection::kUndirected:
+      return "-" + box + "-";
+  }
+  return "-" + box + "-";
+}
+
+std::string PathToString(const PathPattern& path) {
+  std::string out;
+  if (!path.path_var.empty()) out += path.path_var + " = ";
+  if (path.shortest) out += "shortestPath(";
+  out += NodeToString(path.start);
+  for (const auto& [edge, node] : path.steps) {
+    out += EdgeToString(edge) + NodeToString(node);
+  }
+  if (path.shortest) out += ")";
+  return out;
+}
+
+std::string ItemsToString(const std::vector<ReturnItem>& items) {
+  std::vector<std::string> parts;
+  for (const ReturnItem& item : items) {
+    std::string s = item.expr.ToString();
+    if (!item.alias.empty()) s += " AS " + item.alias;
+    parts.push_back(std::move(s));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace
+
+std::string Query::ToString() const {
+  std::ostringstream os;
+  for (const Clause& clause : clauses) {
+    if (const auto* match = std::get_if<MatchClause>(&clause)) {
+      std::vector<std::string> paths;
+      for (const PathPattern& p : match->patterns) {
+        paths.push_back(PathToString(p));
+      }
+      os << "MATCH " << Join(paths, ", ") << "\n";
+      if (match->where.has_value()) {
+        os << "WHERE " << match->where->ToString() << "\n";
+      }
+    } else if (const auto* with = std::get_if<WithClause>(&clause)) {
+      os << "WITH " << (with->distinct ? "DISTINCT " : "")
+         << ItemsToString(with->items) << "\n";
+      if (with->where.has_value()) {
+        os << "WHERE " << with->where->ToString() << "\n";
+      }
+    } else if (const auto* ret = std::get_if<ReturnClause>(&clause)) {
+      os << "RETURN " << (ret->distinct ? "DISTINCT " : "")
+         << ItemsToString(ret->items) << "\n";
+      if (!ret->order_by.empty()) {
+        std::vector<std::string> parts;
+        for (const OrderItem& item : ret->order_by) {
+          parts.push_back(item.expr.ToString() +
+                          (item.ascending ? "" : " DESC"));
+        }
+        os << "ORDER BY " << Join(parts, ", ") << "\n";
+      }
+      if (ret->skip.has_value()) os << "SKIP " << *ret->skip << "\n";
+      if (ret->limit.has_value()) os << "LIMIT " << *ret->limit << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace raqlet::cypher

@@ -1,0 +1,159 @@
+#ifndef RAQLET_CYPHER_AST_H_
+#define RAQLET_CYPHER_AST_H_
+
+// Cypher abstract syntax for the LDBC-read subset Raqlet supports (§3):
+// MATCH (incl. variable-length relationships and shortestPath), WHERE,
+// WITH, RETURN [DISTINCT], ORDER BY / SKIP / LIMIT (parsed, then dropped
+// during lowering with a warning, per the paper's set-semantics
+// normalization), expressions with boolean/comparison/arithmetic
+// operators, property access, parameters ($param) and aggregate calls.
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dlir/program.h"
+
+namespace raqlet::cypher {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class BinOp {
+  kAnd,
+  kOr,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+};
+const char* BinOpToString(BinOp op);
+
+enum class UnOp { kNot, kNeg };
+
+enum class ExprKind {
+  kLiteral,    // 42, "x", true
+  kVariable,   // n
+  kProperty,   // n.firstName
+  kParameter,  // $personId
+  kBinary,
+  kUnary,
+  kCall,       // count(x), count(*), length(p), id(n)
+};
+
+/// Value-semantic expression tree.
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+  dlir::Constant literal;    // kLiteral
+  std::string var;           // kVariable / kProperty (the variable part)
+  std::string property;      // kProperty
+  std::string parameter;     // kParameter (name without '$')
+  BinOp bin_op = BinOp::kAnd;
+  UnOp un_op = UnOp::kNot;
+  std::string function;      // kCall, lowercase
+  bool star_arg = false;     // count(*)
+  bool distinct_arg = false; // count(DISTINCT x)
+  std::vector<Expr> children;
+
+  static Expr Literal(dlir::Constant c);
+  static Expr Number(int64_t v) { return Literal(dlir::Constant::Number(v)); }
+  static Expr Str(std::string v) {
+    return Literal(dlir::Constant::String(std::move(v)));
+  }
+  static Expr Variable(std::string name);
+  static Expr Property(std::string var, std::string property);
+  static Expr Parameter(std::string name);
+  static Expr Binary(BinOp op, Expr lhs, Expr rhs);
+  static Expr Unary(UnOp op, Expr operand);
+  static Expr Call(std::string function, std::vector<Expr> args);
+
+  /// True for aggregate function calls (count/sum/min/max/avg/collect).
+  bool IsAggregateCall() const;
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Patterns
+// ---------------------------------------------------------------------------
+
+enum class EdgeDirection { kOutgoing, kIncoming, kUndirected };
+
+struct NodePattern {
+  std::string var;                  // may be empty (anonymous)
+  std::string label;                // at most one label supported
+  std::vector<std::pair<std::string, Expr>> properties;  // {id: 42}
+};
+
+struct EdgePattern {
+  std::string var;                  // may be empty
+  std::string type;                 // relationship type, may be empty
+  EdgeDirection direction = EdgeDirection::kOutgoing;
+  std::vector<std::pair<std::string, Expr>> properties;
+  bool variable_length = false;
+  int min_hops = 1;
+  int max_hops = 1;                 // kUnboundedHops when open-ended
+  static constexpr int kUnboundedHops = -1;
+};
+
+struct PathPattern {
+  std::string path_var;             // p = ...
+  bool shortest = false;            // shortestPath(...)
+  NodePattern start;
+  std::vector<std::pair<EdgePattern, NodePattern>> steps;
+};
+
+// ---------------------------------------------------------------------------
+// Clauses
+// ---------------------------------------------------------------------------
+
+struct ReturnItem {
+  Expr expr;
+  std::string alias;  // empty = derive from the expression
+};
+
+struct MatchClause {
+  std::vector<PathPattern> patterns;
+  std::optional<Expr> where;
+};
+
+struct WithClause {
+  std::vector<ReturnItem> items;
+  bool distinct = false;
+  std::optional<Expr> where;
+};
+
+struct OrderItem {
+  Expr expr;
+  bool ascending = true;
+};
+
+struct ReturnClause {
+  std::vector<ReturnItem> items;
+  bool distinct = false;
+  std::vector<OrderItem> order_by;  // dropped with a warning when lowering
+  std::optional<int64_t> skip;
+  std::optional<int64_t> limit;
+};
+
+using Clause = std::variant<MatchClause, WithClause, ReturnClause>;
+
+/// A parsed single-query Cypher statement: a clause sequence ending in
+/// RETURN.
+struct Query {
+  std::vector<Clause> clauses;
+  std::string ToString() const;
+};
+
+}  // namespace raqlet::cypher
+
+#endif  // RAQLET_CYPHER_AST_H_

@@ -1,0 +1,483 @@
+#include "cypher/parser.h"
+
+#include <optional>
+
+#include "common/lexer.h"
+#include "common/str_util.h"
+
+namespace raqlet::cypher {
+
+namespace {
+
+bool IsKeyword(const Token& t, const std::string& upper) {
+  return t.kind == Token::kIdent && ToUpper(t.text) == upper;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Parse() {
+    Query query;
+    bool saw_return = false;
+    while (!AtEof()) {
+      if (IsKeyword(Peek(), "MATCH")) {
+        RAQLET_ASSIGN_OR_RETURN(MatchClause match, ParseMatch());
+        query.clauses.push_back(std::move(match));
+      } else if (IsKeyword(Peek(), "WITH")) {
+        RAQLET_ASSIGN_OR_RETURN(WithClause with, ParseWith());
+        query.clauses.push_back(std::move(with));
+      } else if (IsKeyword(Peek(), "RETURN")) {
+        RAQLET_ASSIGN_OR_RETURN(ReturnClause ret, ParseReturn());
+        query.clauses.push_back(std::move(ret));
+        saw_return = true;
+      } else if (IsKeyword(Peek(), "FILTER")) {
+        // GQL's standalone FILTER statement (ISO 39075): conjoin with the
+        // preceding MATCH/WITH clause's predicate.
+        Advance();
+        RAQLET_ASSIGN_OR_RETURN(Expr predicate, ParseExpr());
+        RAQLET_RETURN_IF_ERROR(AttachFilter(&query, std::move(predicate)));
+      } else {
+        return Errorf("expected MATCH, WITH, FILTER or RETURN");
+      }
+    }
+    if (!saw_return) {
+      return Status::ParseError("query must end with a RETURN clause");
+    }
+    if (!std::holds_alternative<ReturnClause>(query.clauses.back())) {
+      return Status::ParseError("RETURN must be the final clause");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool AtEof() const { return Peek().kind == Token::kEof; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekPunct(const std::string& text, int ahead = 0) const {
+    return Peek(ahead).kind == Token::kPunct && Peek(ahead).text == text;
+  }
+  bool MatchPunct(const std::string& text) {
+    if (PeekPunct(text)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectPunct(const std::string& text) {
+    if (MatchPunct(text)) return Status::OK();
+    return Errorf("expected '" + text + "'");
+  }
+  bool MatchKeyword(const std::string& upper) {
+    if (IsKeyword(Peek(), upper)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const std::string& upper) {
+    if (MatchKeyword(upper)) return Status::OK();
+    return Errorf("expected " + upper);
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != Token::kIdent) return Errorf("expected identifier");
+    return Advance().text;
+  }
+  Status Errorf(const std::string& what) const {
+    const Token& t = Peek();
+    return Status::ParseError(what + " at line " + std::to_string(t.line) +
+                              ", col " + std::to_string(t.col) + " (got '" +
+                              (t.kind == Token::kEof ? "<eof>" : t.text) +
+                              "')");
+  }
+
+  static Status AttachFilter(Query* query, Expr predicate) {
+    if (query->clauses.empty()) {
+      return Status::ParseError("FILTER requires a preceding MATCH or WITH");
+    }
+    auto conjoin = [&](std::optional<Expr>* where) {
+      if (where->has_value()) {
+        *where = Expr::Binary(BinOp::kAnd, std::move(**where),
+                              std::move(predicate));
+      } else {
+        *where = std::move(predicate);
+      }
+    };
+    Clause& last = query->clauses.back();
+    if (auto* match = std::get_if<MatchClause>(&last)) {
+      conjoin(&match->where);
+      return Status::OK();
+    }
+    if (auto* with = std::get_if<WithClause>(&last)) {
+      conjoin(&with->where);
+      return Status::OK();
+    }
+    return Status::ParseError("FILTER cannot follow RETURN");
+  }
+
+  // ---- clauses ----
+
+  Result<MatchClause> ParseMatch() {
+    RAQLET_RETURN_IF_ERROR(ExpectKeyword("MATCH"));
+    MatchClause match;
+    while (true) {
+      RAQLET_ASSIGN_OR_RETURN(PathPattern pattern, ParsePathPattern());
+      match.patterns.push_back(std::move(pattern));
+      if (!MatchPunct(",")) break;
+    }
+    if (MatchKeyword("WHERE")) {
+      RAQLET_ASSIGN_OR_RETURN(Expr where, ParseExpr());
+      match.where = std::move(where);
+    }
+    return match;
+  }
+
+  Result<WithClause> ParseWith() {
+    RAQLET_RETURN_IF_ERROR(ExpectKeyword("WITH"));
+    WithClause with;
+    with.distinct = MatchKeyword("DISTINCT");
+    RAQLET_ASSIGN_OR_RETURN(with.items, ParseItems());
+    if (MatchKeyword("WHERE")) {
+      RAQLET_ASSIGN_OR_RETURN(Expr where, ParseExpr());
+      with.where = std::move(where);
+    }
+    return with;
+  }
+
+  Result<ReturnClause> ParseReturn() {
+    RAQLET_RETURN_IF_ERROR(ExpectKeyword("RETURN"));
+    ReturnClause ret;
+    ret.distinct = MatchKeyword("DISTINCT");
+    RAQLET_ASSIGN_OR_RETURN(ret.items, ParseItems());
+    if (MatchKeyword("ORDER")) {
+      RAQLET_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        OrderItem item;
+        RAQLET_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("DESC") || MatchKeyword("DESCENDING")) {
+          item.ascending = false;
+        } else if (MatchKeyword("ASC") || MatchKeyword("ASCENDING")) {
+          item.ascending = true;
+        }
+        ret.order_by.push_back(std::move(item));
+        if (!MatchPunct(",")) break;
+      }
+    }
+    if (MatchKeyword("SKIP")) {
+      if (Peek().kind != Token::kNumber) return Errorf("expected number");
+      ret.skip = std::stoll(Advance().text);
+    }
+    if (MatchKeyword("LIMIT")) {
+      if (Peek().kind != Token::kNumber) return Errorf("expected number");
+      ret.limit = std::stoll(Advance().text);
+    }
+    return ret;
+  }
+
+  Result<std::vector<ReturnItem>> ParseItems() {
+    std::vector<ReturnItem> items;
+    while (true) {
+      ReturnItem item;
+      RAQLET_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("AS")) {
+        RAQLET_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+      }
+      items.push_back(std::move(item));
+      if (!MatchPunct(",")) break;
+    }
+    return items;
+  }
+
+  // ---- patterns ----
+
+  Result<PathPattern> ParsePathPattern() {
+    PathPattern path;
+    // Optional `p = ` prefix.
+    if (Peek().kind == Token::kIdent && PeekPunct("=", 1) &&
+        !IsKeyword(Peek(), "SHORTESTPATH")) {
+      path.path_var = Advance().text;
+      Advance();  // '='
+    }
+    bool wrapped = false;
+    if (IsKeyword(Peek(), "SHORTESTPATH")) {
+      Advance();
+      RAQLET_RETURN_IF_ERROR(ExpectPunct("("));
+      path.shortest = true;
+      wrapped = true;
+    }
+    RAQLET_ASSIGN_OR_RETURN(path.start, ParseNodePattern());
+    while (PeekPunct("-") || PeekPunct("<-")) {
+      RAQLET_ASSIGN_OR_RETURN(EdgePattern edge, ParseEdgePattern());
+      RAQLET_ASSIGN_OR_RETURN(NodePattern node, ParseNodePattern());
+      path.steps.emplace_back(std::move(edge), std::move(node));
+    }
+    if (wrapped) RAQLET_RETURN_IF_ERROR(ExpectPunct(")"));
+    return path;
+  }
+
+  Result<NodePattern> ParseNodePattern() {
+    RAQLET_RETURN_IF_ERROR(ExpectPunct("("));
+    NodePattern node;
+    if (Peek().kind == Token::kIdent && !PeekPunct(":", 1)) {
+      node.var = Advance().text;
+    } else if (Peek().kind == Token::kIdent && PeekPunct(":", 1)) {
+      node.var = Advance().text;
+    }
+    if (MatchPunct(":")) {
+      RAQLET_ASSIGN_OR_RETURN(node.label, ExpectIdent());
+    }
+    if (PeekPunct("{")) {
+      RAQLET_ASSIGN_OR_RETURN(node.properties, ParsePropertyMap());
+    }
+    RAQLET_RETURN_IF_ERROR(ExpectPunct(")"));
+    return node;
+  }
+
+  Result<std::vector<std::pair<std::string, Expr>>> ParsePropertyMap() {
+    RAQLET_RETURN_IF_ERROR(ExpectPunct("{"));
+    std::vector<std::pair<std::string, Expr>> props;
+    if (!PeekPunct("}")) {
+      while (true) {
+        RAQLET_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+        RAQLET_RETURN_IF_ERROR(ExpectPunct(":"));
+        RAQLET_ASSIGN_OR_RETURN(Expr value, ParseExpr());
+        props.emplace_back(std::move(name), std::move(value));
+        if (!MatchPunct(",")) break;
+      }
+    }
+    RAQLET_RETURN_IF_ERROR(ExpectPunct("}"));
+    return props;
+  }
+
+  Result<EdgePattern> ParseEdgePattern() {
+    EdgePattern edge;
+    bool from_left_arrow = false;
+    if (MatchPunct("<-")) {
+      from_left_arrow = true;
+    } else {
+      RAQLET_RETURN_IF_ERROR(ExpectPunct("-"));
+    }
+    if (MatchPunct("[")) {
+      if (Peek().kind == Token::kIdent) {
+        edge.var = Advance().text;
+      }
+      if (MatchPunct(":")) {
+        RAQLET_ASSIGN_OR_RETURN(edge.type, ExpectIdent());
+      }
+      if (MatchPunct("*")) {
+        edge.variable_length = true;
+        edge.min_hops = 1;
+        edge.max_hops = EdgePattern::kUnboundedHops;
+        if (Peek().kind == Token::kNumber) {
+          edge.min_hops = static_cast<int>(std::stoll(Advance().text));
+          edge.max_hops = edge.min_hops;  // `*n` = exactly n
+          if (MatchPunct("..")) {
+            edge.max_hops = EdgePattern::kUnboundedHops;
+            if (Peek().kind == Token::kNumber) {
+              edge.max_hops = static_cast<int>(std::stoll(Advance().text));
+            }
+          }
+        } else if (MatchPunct("..")) {
+          if (Peek().kind == Token::kNumber) {
+            edge.max_hops = static_cast<int>(std::stoll(Advance().text));
+          }
+        }
+      }
+      if (PeekPunct("{")) {
+        RAQLET_ASSIGN_OR_RETURN(edge.properties, ParsePropertyMap());
+      }
+      RAQLET_RETURN_IF_ERROR(ExpectPunct("]"));
+    }
+    bool to_right_arrow = false;
+    if (MatchPunct("->")) {
+      to_right_arrow = true;
+    } else {
+      RAQLET_RETURN_IF_ERROR(ExpectPunct("-"));
+    }
+    if (from_left_arrow && to_right_arrow) {
+      return Errorf("edge cannot point both ways");
+    }
+    if (from_left_arrow) {
+      edge.direction = EdgeDirection::kIncoming;
+    } else if (to_right_arrow) {
+      edge.direction = EdgeDirection::kOutgoing;
+    } else {
+      edge.direction = EdgeDirection::kUndirected;
+    }
+    return edge;
+  }
+
+  // ---- expressions (precedence climbing) ----
+
+  Result<Expr> ParseExpr() { return ParseOr(); }
+
+  Result<Expr> ParseOr() {
+    RAQLET_ASSIGN_OR_RETURN(Expr lhs, ParseAnd());
+    while (MatchKeyword("OR")) {
+      RAQLET_ASSIGN_OR_RETURN(Expr rhs, ParseAnd());
+      lhs = Expr::Binary(BinOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Expr> ParseAnd() {
+    RAQLET_ASSIGN_OR_RETURN(Expr lhs, ParseNot());
+    while (MatchKeyword("AND")) {
+      RAQLET_ASSIGN_OR_RETURN(Expr rhs, ParseNot());
+      lhs = Expr::Binary(BinOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Expr> ParseNot() {
+    if (MatchKeyword("NOT")) {
+      RAQLET_ASSIGN_OR_RETURN(Expr inner, ParseNot());
+      return Expr::Unary(UnOp::kNot, std::move(inner));
+    }
+    return ParseComparison();
+  }
+
+  Result<Expr> ParseComparison() {
+    RAQLET_ASSIGN_OR_RETURN(Expr lhs, ParseAdditive());
+    std::optional<BinOp> op;
+    if (MatchPunct("=")) {
+      op = BinOp::kEq;
+    } else if (MatchPunct("<>")) {
+      op = BinOp::kNe;
+    } else if (MatchPunct("<=")) {
+      op = BinOp::kLe;
+    } else if (MatchPunct(">=")) {
+      op = BinOp::kGe;
+    } else if (MatchPunct("<")) {
+      op = BinOp::kLt;
+    } else if (MatchPunct(">")) {
+      op = BinOp::kGt;
+    }
+    if (!op.has_value()) return lhs;
+    RAQLET_ASSIGN_OR_RETURN(Expr rhs, ParseAdditive());
+    return Expr::Binary(*op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<Expr> ParseAdditive() {
+    RAQLET_ASSIGN_OR_RETURN(Expr lhs, ParseMultiplicative());
+    while (PeekPunct("+") || PeekPunct("-")) {
+      BinOp op = Peek().text == "+" ? BinOp::kAdd : BinOp::kSub;
+      Advance();
+      RAQLET_ASSIGN_OR_RETURN(Expr rhs, ParseMultiplicative());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Expr> ParseMultiplicative() {
+    RAQLET_ASSIGN_OR_RETURN(Expr lhs, ParseUnary());
+    while (PeekPunct("*") || PeekPunct("/") || PeekPunct("%")) {
+      BinOp op = Peek().text == "*"   ? BinOp::kMul
+                 : Peek().text == "/" ? BinOp::kDiv
+                                      : BinOp::kMod;
+      Advance();
+      RAQLET_ASSIGN_OR_RETURN(Expr rhs, ParseUnary());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Expr> ParseUnary() {
+    if (MatchPunct("-")) {
+      RAQLET_ASSIGN_OR_RETURN(Expr inner, ParseUnary());
+      return Expr::Unary(UnOp::kNeg, std::move(inner));
+    }
+    return ParsePrimary();
+  }
+
+  Result<Expr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case Token::kNumber: {
+        Advance();
+        return Expr::Number(std::stoll(t.text));
+      }
+      case Token::kFloat: {
+        Advance();
+        return Expr::Literal(dlir::Constant::Float(std::stod(t.text)));
+      }
+      case Token::kString: {
+        Advance();
+        return Expr::Str(t.text);
+      }
+      case Token::kPunct:
+        if (t.text == "$") {
+          Advance();
+          RAQLET_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+          return Expr::Parameter(std::move(name));
+        }
+        if (t.text == "(") {
+          Advance();
+          RAQLET_ASSIGN_OR_RETURN(Expr inner, ParseExpr());
+          RAQLET_RETURN_IF_ERROR(ExpectPunct(")"));
+          return inner;
+        }
+        break;
+      case Token::kIdent: {
+        std::string upper = ToUpper(t.text);
+        if (upper == "TRUE") {
+          Advance();
+          return Expr::Literal(dlir::Constant::Bool(true));
+        }
+        if (upper == "FALSE") {
+          Advance();
+          return Expr::Literal(dlir::Constant::Bool(false));
+        }
+        if (upper == "NULL") {
+          Advance();
+          return Expr::Literal(dlir::Constant::Null());
+        }
+        std::string name = Advance().text;
+        if (MatchPunct("(")) {  // function call
+          Expr call = Expr::Call(name, {});
+          if (MatchPunct("*")) {
+            call.star_arg = true;
+          } else if (!PeekPunct(")")) {
+            call.distinct_arg = MatchKeyword("DISTINCT");
+            while (true) {
+              RAQLET_ASSIGN_OR_RETURN(Expr arg, ParseExpr());
+              call.children.push_back(std::move(arg));
+              if (!MatchPunct(",")) break;
+            }
+          }
+          RAQLET_RETURN_IF_ERROR(ExpectPunct(")"));
+          return call;
+        }
+        if (MatchPunct(".")) {
+          RAQLET_ASSIGN_OR_RETURN(std::string prop, ExpectIdent());
+          return Expr::Property(std::move(name), std::move(prop));
+        }
+        return Expr::Variable(std::move(name));
+      }
+      case Token::kEof:
+        break;
+    }
+    return Errorf("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(const std::string& source) {
+  LexerConfig config;
+  config.multi_char_puncts = {"<-", "->", "<=", ">=", "<>", ".."};
+  config.single_puncts = "()[]{},.:*=<>+-/%$";
+  config.dash_comments = false;  // '-' is pattern syntax in Cypher
+  RAQLET_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source, config));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace raqlet::cypher

@@ -1,0 +1,20 @@
+#ifndef RAQLET_CYPHER_PARSER_H_
+#define RAQLET_CYPHER_PARSER_H_
+
+// Recursive-descent parser for the Cypher subset described in
+// cypher/ast.h. Keywords are case-insensitive; identifiers are
+// case-sensitive.
+
+#include <string>
+
+#include "common/status.h"
+#include "cypher/ast.h"
+
+namespace raqlet::cypher {
+
+/// Parses a single-query Cypher statement. The query must end in RETURN.
+Result<Query> ParseQuery(const std::string& source);
+
+}  // namespace raqlet::cypher
+
+#endif  // RAQLET_CYPHER_PARSER_H_

@@ -1,0 +1,40 @@
+#ifndef RAQLET_DLIR_EXPLAIN_H_
+#define RAQLET_DLIR_EXPLAIN_H_
+
+// Procedural lowering of DLIR (§5 "Code Generation"): renders the
+// bottom-up evaluation of a program as an explicit loop-nest IR in the
+// spirit of Soufflé's RAM and the functional-collection IRs the paper
+// cites [35, 37] — strata, per-rule join loop nests with index probes,
+// and semi-naive delta loops. This is both an EXPLAIN facility and the
+// textual form a JIT backend would consume.
+//
+//   STRATUM 1 (recursive: tc)
+//     INIT
+//       FOR (x, y) IN edge
+//         INSERT (x, y) INTO tc
+//     LOOP UNTIL FIXPOINT
+//       FOR (x, z) IN DELTA tc
+//         FOR (z, y) IN edge INDEX ON (col0 = z)
+//           INSERT (x, y) INTO tc
+
+#include <string>
+
+#include "common/status.h"
+#include "dlir/program.h"
+
+namespace raqlet::dlir {
+
+struct ExplainOptions {
+  /// Show the semi-naive delta variants (one per recursive body atom);
+  /// when false, recursive rules are shown once with the full relation.
+  bool seminaive = true;
+};
+
+/// Renders the procedural evaluation plan for `program`. Fails if the
+/// program does not validate or is unstratifiable.
+Result<std::string> ExplainProgram(const Program& program,
+                                   const ExplainOptions& options = {});
+
+}  // namespace raqlet::dlir
+
+#endif  // RAQLET_DLIR_EXPLAIN_H_

@@ -1,0 +1,481 @@
+#include "dlir/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace raqlet::dlir {
+
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kFloat,
+  kString,
+  kPunct,  // one of ( ) , . : ! = < > + - * / % @ { } _ and ":-" "!=" "<=" ">="
+  kEof,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  int line = 1;
+  int col = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(source) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (pos_ >= src_.size()) {
+        out.push_back(Token{TokKind::kEof, "", line_, col_});
+        return out;
+      }
+      int line = line_;
+      int col = col_;
+      char c = src_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string ident;
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '_')) {
+          ident.push_back(Take());
+        }
+        if (ident == "_") {
+          out.push_back(Token{TokKind::kPunct, "_", line, col});
+        } else {
+          out.push_back(Token{TokKind::kIdent, ident, line, col});
+        }
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::string num;
+        bool is_float = false;
+        while (pos_ < src_.size() &&
+               (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '.')) {
+          // A '.' only continues the number if a digit follows (else it is
+          // the rule terminator).
+          if (src_[pos_] == '.') {
+            if (pos_ + 1 >= src_.size() ||
+                !std::isdigit(static_cast<unsigned char>(src_[pos_ + 1]))) {
+              break;
+            }
+            is_float = true;
+          }
+          num.push_back(Take());
+        }
+        out.push_back(
+            Token{is_float ? TokKind::kFloat : TokKind::kNumber, num, line, col});
+        continue;
+      }
+      if (c == '"') {
+        Take();
+        std::string text;
+        while (pos_ < src_.size() && src_[pos_] != '"') {
+          if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+            Take();
+            char esc = Take();
+            if (esc == 'n') {
+              text.push_back('\n');
+            } else if (esc == 't') {
+              text.push_back('\t');
+            } else {
+              text.push_back(esc);
+            }
+            continue;
+          }
+          text.push_back(Take());
+        }
+        if (pos_ >= src_.size()) {
+          return Status::ParseError("unterminated string at line " +
+                                    std::to_string(line));
+        }
+        Take();  // closing quote
+        out.push_back(Token{TokKind::kString, text, line, col});
+        continue;
+      }
+      // Multi-char punctuation first.
+      static const char* kTwoChar[] = {":-", "!=", "<=", ">="};
+      bool matched = false;
+      for (const char* two : kTwoChar) {
+        if (src_.compare(pos_, 2, two) == 0) {
+          Take();
+          Take();
+          out.push_back(Token{TokKind::kPunct, two, line, col});
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      static const std::string kSingles = "().,:!=<>+-*/%@{}";
+      if (kSingles.find(c) != std::string::npos) {
+        Take();
+        out.push_back(Token{TokKind::kPunct, std::string(1, c), line, col});
+        continue;
+      }
+      return Status::ParseError("unexpected character '" + std::string(1, c) +
+                                "' at line " + std::to_string(line) +
+                                ", col " + std::to_string(col));
+    }
+  }
+
+ private:
+  char Take() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Take();
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') Take();
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+        Take();
+        Take();
+        while (pos_ + 1 < src_.size() &&
+               !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+          Take();
+        }
+        if (pos_ + 1 < src_.size()) {
+          Take();
+          Take();
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+std::optional<AggFunc> AggFuncFromName(const std::string& name) {
+  if (name == "count") return AggFunc::kCount;
+  if (name == "sum") return AggFunc::kSum;
+  if (name == "min") return AggFunc::kMin;
+  if (name == "max") return AggFunc::kMax;
+  if (name == "avg" || name == "mean") return AggFunc::kAvg;
+  return std::nullopt;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> Parse() {
+    Program program;
+    while (!AtEof()) {
+      if (PeekPunct(".")) {
+        RAQLET_RETURN_IF_ERROR(ParseDirective(&program));
+      } else {
+        RAQLET_ASSIGN_OR_RETURN(Rule rule, ParseRule());
+        program.rules.push_back(std::move(rule));
+      }
+    }
+    return program;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool AtEof() const { return Peek().kind == TokKind::kEof; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekPunct(const std::string& text, int ahead = 0) const {
+    return Peek(ahead).kind == TokKind::kPunct && Peek(ahead).text == text;
+  }
+
+  bool MatchPunct(const std::string& text) {
+    if (PeekPunct(text)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectPunct(const std::string& text) {
+    if (MatchPunct(text)) return Status::OK();
+    return Errorf("expected '" + text + "'");
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokKind::kIdent) return Errorf("expected identifier");
+    return Advance().text;
+  }
+
+  Status Errorf(const std::string& what) const {
+    const Token& t = Peek();
+    return Status::ParseError(what + " at line " + std::to_string(t.line) +
+                              ", col " + std::to_string(t.col) + " (got '" +
+                              (t.kind == TokKind::kEof ? "<eof>" : t.text) +
+                              "')");
+  }
+
+  Status ParseDirective(Program* program) {
+    RAQLET_RETURN_IF_ERROR(ExpectPunct("."));
+    RAQLET_ASSIGN_OR_RETURN(std::string word, ExpectIdent());
+    if (word == "decl") {
+      RelationDecl decl;
+      RAQLET_ASSIGN_OR_RETURN(decl.name, ExpectIdent());
+      RAQLET_RETURN_IF_ERROR(ExpectPunct("("));
+      while (true) {
+        Column col;
+        RAQLET_ASSIGN_OR_RETURN(col.name, ExpectIdent());
+        RAQLET_RETURN_IF_ERROR(ExpectPunct(":"));
+        RAQLET_ASSIGN_OR_RETURN(std::string type_name, ExpectIdent());
+        if (type_name == "number" || type_name == "unsigned") {
+          col.type = ValueType::kNumber;
+        } else if (type_name == "symbol") {
+          col.type = ValueType::kSymbol;
+        } else if (type_name == "float") {
+          col.type = ValueType::kFloat;
+        } else if (type_name == "bool") {
+          col.type = ValueType::kBool;
+        } else {
+          return Errorf("unknown column type '" + type_name + "'");
+        }
+        decl.columns.push_back(std::move(col));
+        if (!MatchPunct(",")) break;
+      }
+      RAQLET_RETURN_IF_ERROR(ExpectPunct(")"));
+      if (MatchPunct("@")) {
+        RAQLET_ASSIGN_OR_RETURN(std::string lattice, ExpectIdent());
+        if (lattice == "min") {
+          decl.lattice = LatticeKind::kMin;
+        } else if (lattice == "max") {
+          decl.lattice = LatticeKind::kMax;
+        } else {
+          return Errorf("unknown lattice '" + lattice + "'");
+        }
+      }
+      program->decls.push_back(std::move(decl));
+      return Status::OK();
+    }
+    if (word == "input" || word == "output") {
+      RAQLET_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+      RelationDecl* decl = program->FindDecl(name);
+      if (decl == nullptr) {
+        return Errorf("." + word + " of undeclared relation '" + name + "'");
+      }
+      if (word == "input") {
+        decl->is_input = true;
+      } else {
+        decl->is_output = true;
+      }
+      return Status::OK();
+    }
+    return Errorf("unknown directive '." + word + "'");
+  }
+
+  Result<Rule> ParseRule() {
+    Rule rule;
+    RAQLET_RETURN_IF_ERROR(ParseHeadAtom(&rule));
+    if (MatchPunct(".")) return rule;  // fact
+    RAQLET_RETURN_IF_ERROR(ExpectPunct(":-"));
+    while (true) {
+      RAQLET_RETURN_IF_ERROR(ParseLiteral(&rule));
+      if (!MatchPunct(",")) break;
+    }
+    RAQLET_RETURN_IF_ERROR(ExpectPunct("."));
+    return rule;
+  }
+
+  // Head atoms may contain aggregate expressions: Head(x, count()).
+  Status ParseHeadAtom(Rule* rule) {
+    RAQLET_ASSIGN_OR_RETURN(rule->head.predicate, ExpectIdent());
+    RAQLET_RETURN_IF_ERROR(ExpectPunct("("));
+    while (true) {
+      // Aggregate? `func ( term? )` where func is an agg name.
+      if (Peek().kind == TokKind::kIdent && PeekPunct("(", 1)) {
+        std::optional<AggFunc> func = AggFuncFromName(Peek().text);
+        if (func.has_value()) {
+          if (rule->agg.has_value()) {
+            return Errorf("multiple aggregates in one head");
+          }
+          Advance();  // func name
+          RAQLET_RETURN_IF_ERROR(ExpectPunct("("));
+          Aggregate agg;
+          agg.func = *func;
+          if (!PeekPunct(")")) {
+            RAQLET_ASSIGN_OR_RETURN(agg.arg, ParseTerm());
+          } else if (*func != AggFunc::kCount) {
+            return Errorf("aggregate " +
+                          std::string(AggFuncToString(*func)) +
+                          " requires an argument");
+          }
+          RAQLET_RETURN_IF_ERROR(ExpectPunct(")"));
+          rule->agg = agg;
+          rule->agg_result_pos = static_cast<int>(rule->head.args.size());
+          // The result slot is a fresh variable named after the function.
+          rule->head.args.push_back(
+              Term::Var("$" + std::string(AggFuncToString(*func))));
+          if (!MatchPunct(",")) break;
+          continue;
+        }
+      }
+      RAQLET_ASSIGN_OR_RETURN(Term term, ParseTerm());
+      rule->head.args.push_back(std::move(term));
+      if (!MatchPunct(",")) break;
+    }
+    return ExpectPunct(")");
+  }
+
+  Status ParseLiteral(Rule* rule) {
+    if (MatchPunct("!")) {
+      RAQLET_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+      atom.negated = true;
+      rule->body.push_back(std::move(atom));
+      return Status::OK();
+    }
+    // An atom starts with IDENT '(' — but so does an arithmetic call; only
+    // atoms are supported at literal position, so IDENT '(' is
+    // unambiguous. Everything else is a constraint.
+    if (Peek().kind == TokKind::kIdent && PeekPunct("(", 1)) {
+      RAQLET_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+      rule->body.push_back(std::move(atom));
+      return Status::OK();
+    }
+    Constraint c;
+    RAQLET_ASSIGN_OR_RETURN(c.lhs, ParseTerm());
+    if (MatchPunct("=")) {
+      c.op = CmpOp::kEq;
+    } else if (MatchPunct("!=")) {
+      c.op = CmpOp::kNe;
+    } else if (MatchPunct("<=")) {
+      c.op = CmpOp::kLe;
+    } else if (MatchPunct(">=")) {
+      c.op = CmpOp::kGe;
+    } else if (MatchPunct("<")) {
+      c.op = CmpOp::kLt;
+    } else if (MatchPunct(">")) {
+      c.op = CmpOp::kGt;
+    } else {
+      return Errorf("expected comparison operator");
+    }
+    RAQLET_ASSIGN_OR_RETURN(c.rhs, ParseTerm());
+    rule->constraints.push_back(std::move(c));
+    return Status::OK();
+  }
+
+  Result<Atom> ParseAtom() {
+    Atom atom;
+    RAQLET_ASSIGN_OR_RETURN(atom.predicate, ExpectIdent());
+    RAQLET_RETURN_IF_ERROR(ExpectPunct("("));
+    if (!PeekPunct(")")) {
+      while (true) {
+        RAQLET_ASSIGN_OR_RETURN(Term term, ParseTerm());
+        atom.args.push_back(std::move(term));
+        if (!MatchPunct(",")) break;
+      }
+    }
+    RAQLET_RETURN_IF_ERROR(ExpectPunct(")"));
+    return atom;
+  }
+
+  Result<Term> ParseTerm() { return ParseAdditive(); }
+
+  Result<Term> ParseAdditive() {
+    RAQLET_ASSIGN_OR_RETURN(Term lhs, ParseMultiplicative());
+    while (PeekPunct("+") || PeekPunct("-")) {
+      ArithOp op = Peek().text == "+" ? ArithOp::kAdd : ArithOp::kSub;
+      Advance();
+      RAQLET_ASSIGN_OR_RETURN(Term rhs, ParseMultiplicative());
+      lhs = Term::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Term> ParseMultiplicative() {
+    RAQLET_ASSIGN_OR_RETURN(Term lhs, ParsePrimary());
+    while (PeekPunct("*") || PeekPunct("/") || PeekPunct("%")) {
+      ArithOp op = Peek().text == "*"   ? ArithOp::kMul
+                   : Peek().text == "/" ? ArithOp::kDiv
+                                        : ArithOp::kMod;
+      Advance();
+      RAQLET_ASSIGN_OR_RETURN(Term rhs, ParsePrimary());
+      lhs = Term::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Term> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokKind::kNumber: {
+        Advance();
+        return Term::Num(std::stoll(t.text));
+      }
+      case TokKind::kFloat: {
+        Advance();
+        return Term::Const(Constant::Float(std::stod(t.text)));
+      }
+      case TokKind::kString: {
+        Advance();
+        return Term::Str(t.text);
+      }
+      case TokKind::kIdent: {
+        std::string name = Advance().text;
+        if (name == "true") return Term::Const(Constant::Bool(true));
+        if (name == "false") return Term::Const(Constant::Bool(false));
+        if (name == "nil") return Term::Const(Constant::Null());
+        return Term::Var(std::move(name));
+      }
+      case TokKind::kPunct:
+        if (t.text == "_") {
+          Advance();
+          return Term::Wildcard();
+        }
+        if (t.text == "(") {
+          Advance();
+          RAQLET_ASSIGN_OR_RETURN(Term inner, ParseTerm());
+          RAQLET_RETURN_IF_ERROR(ExpectPunct(")"));
+          return inner;
+        }
+        if (t.text == "-") {
+          Advance();
+          RAQLET_ASSIGN_OR_RETURN(Term inner, ParsePrimary());
+          return Term::Binary(ArithOp::kSub, Term::Num(0), std::move(inner));
+        }
+        break;
+      case TokKind::kEof:
+        break;
+    }
+    return Errorf("expected term");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(const std::string& source) {
+  Lexer lexer(source);
+  RAQLET_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace raqlet::dlir

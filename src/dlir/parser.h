@@ -1,0 +1,34 @@
+#ifndef RAQLET_DLIR_PARSER_H_
+#define RAQLET_DLIR_PARSER_H_
+
+// Parser for the Soufflé-inspired concrete syntax of DLIR. This doubles as
+// Raqlet's Datalog frontend (Fig. 1: "Soufflé Datalog" parser).
+//
+// Supported grammar (a pragmatic Soufflé subset plus Raqlet extensions):
+//
+//   program    := (directive | rule)*
+//   directive  := ".decl" NAME "(" col ("," col)* ")" lattice?
+//               | ".input" NAME | ".output" NAME
+//   col        := NAME ":" ("number" | "symbol" | "float" | "bool")
+//   lattice    := "@min" | "@max"            // Raqlet lattice extension
+//   rule       := atom ( ":-" literal ("," literal)* )? "."
+//   literal    := "!"? atom | term cmp term
+//   atom       := NAME "(" headterm ("," headterm)* ")"
+//   headterm   := term | aggfunc "(" term? ")"   // aggregates, head only
+//   term       := additive arithmetic over vars, numbers, strings, "_"
+//   cmp        := "=" | "!=" | "<" | "<=" | ">" | ">="
+
+#include <string>
+
+#include "common/status.h"
+#include "dlir/program.h"
+
+namespace raqlet::dlir {
+
+/// Parses `source` into a Program. Error messages carry 1-based line and
+/// column positions.
+Result<Program> ParseProgram(const std::string& source);
+
+}  // namespace raqlet::dlir
+
+#endif  // RAQLET_DLIR_PARSER_H_

@@ -1,0 +1,998 @@
+#include "engine/datalog/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/dependency_graph.h"
+#include "engine/value_ops.h"
+
+namespace raqlet::engine {
+
+namespace {
+
+using dlir::AggFunc;
+using dlir::ArithOp;
+using dlir::Atom;
+using dlir::CmpOp;
+using dlir::Constant;
+using dlir::LatticeKind;
+using dlir::Program;
+using dlir::RelationDecl;
+using dlir::Rule;
+using dlir::Term;
+using dlir::TermKind;
+
+// ---------------------------------------------------------------------------
+// Compiled rule representation: variables become dense integer slots and
+// IR constants become interned runtime Values, so the inner join loops
+// touch no strings.
+// ---------------------------------------------------------------------------
+
+struct CompiledTerm {
+  enum Kind { kConst, kVar, kWildcard, kBinary };
+  Kind kind = kWildcard;
+  Value constant;
+  int var = -1;
+  ArithOp op = ArithOp::kAdd;
+  std::vector<CompiledTerm> children;
+
+  bool IsBoundUnder(const std::vector<bool>& bound) const {
+    switch (kind) {
+      case kConst:
+        return true;
+      case kVar:
+        return bound[static_cast<size_t>(var)];
+      case kWildcard:
+        return false;
+      case kBinary:
+        return children[0].IsBoundUnder(bound) &&
+               children[1].IsBoundUnder(bound);
+    }
+    return false;
+  }
+};
+
+struct CompiledAtom {
+  std::string predicate;
+  const Relation* relation = nullptr;
+  bool negated = false;
+  bool recursive = false;  // predicate in the same SCC as the rule head
+  std::vector<CompiledTerm> args;
+};
+
+struct CompiledConstraint {
+  CmpOp op = CmpOp::kEq;
+  CompiledTerm lhs;
+  CompiledTerm rhs;
+  bool applied = false;  // scratch flag during planning
+};
+
+struct CompiledRule {
+  const Rule* source = nullptr;
+  std::string head_predicate;
+  Relation* head_relation = nullptr;
+  LatticeKind head_lattice = LatticeKind::kNone;
+  std::vector<CompiledTerm> head_args;
+  size_t num_vars = 0;
+  std::vector<CompiledAtom> atoms;  // positive first, then negated
+  std::vector<CompiledConstraint> constraints;
+  // Indices into `atoms` of positive atoms whose predicate is recursive.
+  std::vector<int> recursive_atoms;
+
+  bool has_agg = false;
+  AggFunc agg_func = AggFunc::kCount;
+  CompiledTerm agg_arg;
+  int agg_pos = -1;
+};
+
+// Runtime variable environment.
+struct Env {
+  std::vector<Value> values;
+  std::vector<bool> bound;
+  explicit Env(size_t n) : values(n), bound(n, false) {}
+};
+
+Result<Value> EvalCompiledTerm(const CompiledTerm& term, const Env& env) {
+  switch (term.kind) {
+    case CompiledTerm::kConst:
+      return term.constant;
+    case CompiledTerm::kVar:
+      if (!env.bound[static_cast<size_t>(term.var)]) {
+        return Status::Internal("evaluating unbound variable slot");
+      }
+      return env.values[static_cast<size_t>(term.var)];
+    case CompiledTerm::kWildcard:
+      return Status::Internal("evaluating wildcard term");
+    case CompiledTerm::kBinary: {
+      RAQLET_ASSIGN_OR_RETURN(Value lhs, EvalCompiledTerm(term.children[0], env));
+      RAQLET_ASSIGN_OR_RETURN(Value rhs, EvalCompiledTerm(term.children[1], env));
+      return EvalArith(term.op, lhs, rhs);
+    }
+  }
+  return Status::Internal("unhandled term kind");
+}
+
+// ---------------------------------------------------------------------------
+// Per-variant evaluation plan. A plan is a sequence of steps: join an atom
+// (probing bound columns through a relation index), apply a filtering
+// constraint, or bind a variable from an equality constraint.
+// ---------------------------------------------------------------------------
+
+struct PlanStep {
+  enum Kind { kJoinAtom, kNegCheck, kFilter, kBind };
+  Kind kind = kJoinAtom;
+  int atom_index = -1;        // kJoinAtom / kNegCheck
+  int constraint_index = -1;  // kFilter / kBind
+  int bind_var = -1;          // kBind: variable slot to bind
+  bool bind_from_lhs = false; // kBind: true if lhs is the defined variable
+};
+
+struct VariantPlan {
+  std::vector<PlanStep> steps;
+  int delta_atom = -1;  // index into rule.atoms, or -1 (no delta restriction)
+};
+
+// Builds the join order for one variant. Greedy: repeatedly pick the
+// positive atom with the most statically-bound argument positions
+// (constants + already-bound variables), preferring smaller relations on
+// ties. Constraints are woven in as soon as their variables allow.
+Result<VariantPlan> PlanVariant(const CompiledRule& rule, int delta_atom,
+                                bool reorder) {
+  VariantPlan plan;
+  plan.delta_atom = delta_atom;
+  std::vector<bool> bound(rule.num_vars, false);
+  std::vector<bool> atom_done(rule.atoms.size(), false);
+  std::vector<bool> constraint_done(rule.constraints.size(), false);
+
+  auto mark_atom_vars = [&](const CompiledAtom& atom) {
+    for (const CompiledTerm& arg : atom.args) {
+      if (arg.kind == CompiledTerm::kVar) {
+        bound[static_cast<size_t>(arg.var)] = true;
+      }
+    }
+  };
+
+  // Weave in constraints that became decidable: filters when fully bound,
+  // bindings when an equality has exactly one unbound bare-variable side.
+  auto schedule_constraints = [&]() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t i = 0; i < rule.constraints.size(); ++i) {
+        if (constraint_done[i]) continue;
+        const CompiledConstraint& c = rule.constraints[i];
+        bool lhs_bound = c.lhs.IsBoundUnder(bound);
+        bool rhs_bound = c.rhs.IsBoundUnder(bound);
+        if (lhs_bound && rhs_bound) {
+          PlanStep step;
+          step.kind = PlanStep::kFilter;
+          step.constraint_index = static_cast<int>(i);
+          plan.steps.push_back(step);
+          constraint_done[i] = true;
+          changed = true;
+        } else if (c.op == CmpOp::kEq && rhs_bound &&
+                   c.lhs.kind == CompiledTerm::kVar) {
+          PlanStep step;
+          step.kind = PlanStep::kBind;
+          step.constraint_index = static_cast<int>(i);
+          step.bind_var = c.lhs.var;
+          step.bind_from_lhs = true;
+          plan.steps.push_back(step);
+          bound[static_cast<size_t>(c.lhs.var)] = true;
+          constraint_done[i] = true;
+          changed = true;
+        } else if (c.op == CmpOp::kEq && lhs_bound &&
+                   c.rhs.kind == CompiledTerm::kVar) {
+          PlanStep step;
+          step.kind = PlanStep::kBind;
+          step.constraint_index = static_cast<int>(i);
+          step.bind_var = c.rhs.var;
+          step.bind_from_lhs = false;
+          plan.steps.push_back(step);
+          bound[static_cast<size_t>(c.rhs.var)] = true;
+          constraint_done[i] = true;
+          changed = true;
+        }
+      }
+      // Negated atoms fire as soon as all their variables are bound.
+      for (size_t i = 0; i < rule.atoms.size(); ++i) {
+        if (atom_done[i] || !rule.atoms[i].negated) continue;
+        bool all_bound = true;
+        for (const CompiledTerm& arg : rule.atoms[i].args) {
+          if (arg.kind == CompiledTerm::kWildcard) continue;
+          if (!arg.IsBoundUnder(bound)) {
+            all_bound = false;
+            break;
+          }
+        }
+        if (all_bound) {
+          PlanStep step;
+          step.kind = PlanStep::kNegCheck;
+          step.atom_index = static_cast<int>(i);
+          plan.steps.push_back(step);
+          atom_done[i] = true;
+          changed = true;
+        }
+      }
+    }
+  };
+
+  schedule_constraints();
+
+  // Delta atom always joins first: semi-naive correctness does not require
+  // it, but it makes the delta the outer loop, which is the whole point.
+  if (delta_atom >= 0) {
+    PlanStep step;
+    step.kind = PlanStep::kJoinAtom;
+    step.atom_index = delta_atom;
+    plan.steps.push_back(step);
+    atom_done[static_cast<size_t>(delta_atom)] = true;
+    mark_atom_vars(rule.atoms[static_cast<size_t>(delta_atom)]);
+    schedule_constraints();
+  }
+
+  size_t positive_remaining = 0;
+  for (size_t i = 0; i < rule.atoms.size(); ++i) {
+    if (!atom_done[i] && !rule.atoms[i].negated) ++positive_remaining;
+  }
+
+  while (positive_remaining > 0) {
+    int best = -1;
+    int best_score = -1;
+    size_t best_size = 0;
+    for (size_t i = 0; i < rule.atoms.size(); ++i) {
+      if (atom_done[i] || rule.atoms[i].negated) continue;
+      if (!reorder) {  // keep written order: first not-done atom wins
+        best = static_cast<int>(i);
+        break;
+      }
+      int score = 0;
+      for (const CompiledTerm& arg : rule.atoms[i].args) {
+        if (arg.kind != CompiledTerm::kWildcard && arg.IsBoundUnder(bound)) {
+          ++score;
+        }
+      }
+      size_t size = rule.atoms[i].relation->size();
+      if (score > best_score ||
+          (score == best_score && (best < 0 || size < best_size))) {
+        best = static_cast<int>(i);
+        best_score = score;
+        best_size = size;
+      }
+    }
+    assert(best >= 0);
+    PlanStep step;
+    step.kind = PlanStep::kJoinAtom;
+    step.atom_index = best;
+    plan.steps.push_back(step);
+    atom_done[static_cast<size_t>(best)] = true;
+    mark_atom_vars(rule.atoms[static_cast<size_t>(best)]);
+    --positive_remaining;
+    schedule_constraints();
+  }
+
+  // Anything left is a stratification/safety violation that Validate()
+  // should have caught.
+  for (size_t i = 0; i < rule.constraints.size(); ++i) {
+    if (!constraint_done[i]) {
+      return Status::Internal("constraint never became evaluable in rule: " +
+                              rule.source->ToString());
+    }
+  }
+  for (size_t i = 0; i < rule.atoms.size(); ++i) {
+    if (!atom_done[i]) {
+      return Status::Internal("negated atom never fully bound in rule: " +
+                              rule.source->ToString());
+    }
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation accumulator: per group, aggregates over the set of distinct
+// body-variable bindings (witnesses), which realizes set-semantics
+// aggregation (§3: RETURN DISTINCT-style translation).
+// ---------------------------------------------------------------------------
+
+struct AggState {
+  std::unordered_set<Tuple, TupleHash> witnesses;
+  int64_t count = 0;
+  double sum = 0.0;
+  bool any_float = false;
+  std::optional<Value> min;
+  std::optional<Value> max;
+};
+
+// ---------------------------------------------------------------------------
+// Engine implementation proper.
+// ---------------------------------------------------------------------------
+
+class Evaluation {
+ public:
+  Evaluation(const Program& program, Database* db, const EvalOptions& options,
+             EvalStats* stats)
+      : program_(program), db_(db), options_(options), stats_(stats) {}
+
+  Status Run();
+
+ private:
+  Status PrepareRelations();
+  Status CheckStratification(const analysis::DependencyGraph& graph) const;
+  Result<CompiledRule> CompileRule(const Rule& rule,
+                                   const std::set<std::string>& scc_preds);
+  Status EvaluateScc(const std::vector<std::string>& scc_preds, bool recursive);
+
+  // Evaluates one rule variant, appending derived head tuples to
+  // `staged_`. `delta` names the relation whose rows are restricted to
+  // [delta_begin, delta_end) when joined at the delta atom.
+  Status EvaluateVariant(const CompiledRule& rule, const VariantPlan& plan,
+                         const std::unordered_map<std::string, size_t>& snapshot,
+                         const std::unordered_map<std::string, size_t>& delta_begin);
+
+  Status ExecuteStep(const CompiledRule& rule, const VariantPlan& plan,
+                     size_t step_index, Env* env,
+                     const std::unordered_map<std::string, size_t>& snapshot,
+                     const std::unordered_map<std::string, size_t>& delta_begin);
+
+  Status EmitHead(const CompiledRule& rule, Env* env);
+  Status FinalizeAggregates(const CompiledRule& rule);
+
+  Result<Value> ConstantToValue(const Constant& c) const;
+  Result<CompiledTerm> CompileTerm(const Term& term,
+                                   std::map<std::string, int>* slots,
+                                   std::vector<std::string>* names) const;
+
+  const Program& program_;
+  Database* db_;
+  EvalOptions options_;
+  EvalStats* stats_;
+
+  std::unordered_map<std::string, Relation*> relations_;
+  // Tuples derived during the current round, applied at round end.
+  std::vector<std::pair<Relation*, Tuple>> staged_;
+  // Lattice best-value maps, keyed by relation name; key = tuple prefix.
+  std::unordered_map<std::string, std::unordered_map<Tuple, Value, TupleHash>>
+      lattice_best_;
+  std::unordered_map<std::string, LatticeKind> lattice_kind_;
+  // Aggregation scratch for the rule currently being evaluated.
+  std::map<Tuple, AggState>* current_agg_ = nullptr;
+  const CompiledRule* current_rule_ = nullptr;
+};
+
+Result<Value> Evaluation::ConstantToValue(const Constant& c) const {
+  switch (c.type) {
+    case ValueType::kNumber:
+      return Value::Number(c.num);
+    case ValueType::kFloat:
+      return Value::Float(c.fval);
+    case ValueType::kSymbol:
+      return Value::Symbol(db_->symbols().Intern(c.str));
+    case ValueType::kBool:
+      return Value::Bool(c.bval);
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Status::Internal("unhandled constant type");
+}
+
+Result<CompiledTerm> Evaluation::CompileTerm(
+    const Term& term, std::map<std::string, int>* slots,
+    std::vector<std::string>* names) const {
+  CompiledTerm out;
+  switch (term.kind) {
+    case TermKind::kConstant: {
+      out.kind = CompiledTerm::kConst;
+      RAQLET_ASSIGN_OR_RETURN(out.constant, ConstantToValue(term.constant));
+      return out;
+    }
+    case TermKind::kVariable: {
+      out.kind = CompiledTerm::kVar;
+      auto it = slots->find(term.var);
+      if (it == slots->end()) {
+        int id = static_cast<int>(slots->size());
+        slots->emplace(term.var, id);
+        names->push_back(term.var);
+        out.var = id;
+      } else {
+        out.var = it->second;
+      }
+      return out;
+    }
+    case TermKind::kWildcard:
+      out.kind = CompiledTerm::kWildcard;
+      return out;
+    case TermKind::kBinary: {
+      out.kind = CompiledTerm::kBinary;
+      out.op = term.op;
+      RAQLET_ASSIGN_OR_RETURN(CompiledTerm lhs,
+                              CompileTerm(term.children[0], slots, names));
+      RAQLET_ASSIGN_OR_RETURN(CompiledTerm rhs,
+                              CompileTerm(term.children[1], slots, names));
+      out.children.push_back(std::move(lhs));
+      out.children.push_back(std::move(rhs));
+      return out;
+    }
+  }
+  return Status::Internal("unhandled term kind");
+}
+
+Status Evaluation::PrepareRelations() {
+  for (const RelationDecl& decl : program_.decls) {
+    if (decl.is_input) {
+      RAQLET_ASSIGN_OR_RETURN(Relation * rel, db_->GetRelation(decl.name));
+      if (rel->arity() != decl.arity()) {
+        return Status::InvalidArgument(
+            "input relation '" + decl.name + "' has arity " +
+            std::to_string(rel->arity()) + ", declared " +
+            std::to_string(decl.arity()));
+      }
+      relations_[decl.name] = rel;
+      continue;
+    }
+    if (db_->HasRelation(decl.name)) {
+      if (!options_.overwrite_idb) {
+        return Status::AlreadyExists("IDB relation exists: " + decl.name);
+      }
+      RAQLET_ASSIGN_OR_RETURN(Relation * rel, db_->GetRelation(decl.name));
+      rel->Clear();
+      relations_[decl.name] = rel;
+    } else {
+      RelationSchema schema;
+      schema.name = decl.name;
+      schema.columns = decl.columns;
+      schema.primary_key = decl.primary_key;
+      RAQLET_ASSIGN_OR_RETURN(Relation * rel,
+                              db_->CreateRelation(std::move(schema)));
+      relations_[decl.name] = rel;
+    }
+    if (decl.lattice != LatticeKind::kNone) {
+      lattice_kind_[decl.name] = decl.lattice;
+      lattice_best_[decl.name] = {};
+    }
+  }
+  // Rules must not define input relations.
+  for (const Rule& rule : program_.rules) {
+    const RelationDecl* decl = program_.FindDecl(rule.head.predicate);
+    if (decl != nullptr && decl->is_input) {
+      return Status::InvalidArgument("rule defines input relation '" +
+                                     rule.head.predicate + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status Evaluation::CheckStratification(
+    const analysis::DependencyGraph& graph) const {
+  for (const Rule& rule : program_.rules) {
+    int head_scc = graph.SccOf(rule.head.predicate);
+    for (const Atom& atom : rule.body) {
+      if (atom.negated && graph.SccOf(atom.predicate) == head_scc) {
+        return Status::Unsupported(
+            "program is not stratifiable: negation of '" + atom.predicate +
+            "' inside its own recursive component (rule: " + rule.ToString() +
+            ")");
+      }
+      if (rule.agg.has_value() && graph.SccOf(atom.predicate) == head_scc &&
+          graph.IsRecursiveScc(head_scc)) {
+        return Status::Unsupported(
+            "program is not stratifiable: aggregation over '" +
+            atom.predicate + "' inside its own recursive component (rule: " +
+            rule.ToString() + "); use a lattice relation for monotone "
+            "min/max recursion");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<CompiledRule> Evaluation::CompileRule(
+    const Rule& rule, const std::set<std::string>& scc_preds) {
+  CompiledRule out;
+  out.source = &rule;
+  out.head_predicate = rule.head.predicate;
+  auto rel_it = relations_.find(rule.head.predicate);
+  if (rel_it == relations_.end()) {
+    return Status::NotFound("undeclared head predicate: " + rule.head.predicate);
+  }
+  out.head_relation = rel_it->second;
+  const RelationDecl* head_decl = program_.FindDecl(rule.head.predicate);
+  out.head_lattice =
+      head_decl == nullptr ? LatticeKind::kNone : head_decl->lattice;
+
+  std::map<std::string, int> slots;
+  std::vector<std::string> names;
+
+  // Positive atoms first (join candidates), then negated atoms.
+  for (const Atom& atom : rule.body) {
+    if (atom.negated) continue;
+    CompiledAtom ca;
+    ca.predicate = atom.predicate;
+    auto it = relations_.find(atom.predicate);
+    if (it == relations_.end()) {
+      return Status::NotFound("undeclared predicate: " + atom.predicate);
+    }
+    ca.relation = it->second;
+    ca.recursive = scc_preds.count(atom.predicate) > 0;
+    for (const Term& arg : atom.args) {
+      RAQLET_ASSIGN_OR_RETURN(CompiledTerm t, CompileTerm(arg, &slots, &names));
+      ca.args.push_back(std::move(t));
+    }
+    if (ca.recursive) {
+      out.recursive_atoms.push_back(static_cast<int>(out.atoms.size()));
+    }
+    out.atoms.push_back(std::move(ca));
+  }
+  for (const Atom& atom : rule.body) {
+    if (!atom.negated) continue;
+    CompiledAtom ca;
+    ca.predicate = atom.predicate;
+    auto it = relations_.find(atom.predicate);
+    if (it == relations_.end()) {
+      return Status::NotFound("undeclared predicate: " + atom.predicate);
+    }
+    ca.relation = it->second;
+    ca.negated = true;
+    for (const Term& arg : atom.args) {
+      RAQLET_ASSIGN_OR_RETURN(CompiledTerm t, CompileTerm(arg, &slots, &names));
+      ca.args.push_back(std::move(t));
+    }
+    out.atoms.push_back(std::move(ca));
+  }
+  for (const dlir::Constraint& c : rule.constraints) {
+    CompiledConstraint cc;
+    cc.op = c.op;
+    RAQLET_ASSIGN_OR_RETURN(cc.lhs, CompileTerm(c.lhs, &slots, &names));
+    RAQLET_ASSIGN_OR_RETURN(cc.rhs, CompileTerm(c.rhs, &slots, &names));
+    out.constraints.push_back(std::move(cc));
+  }
+  for (const Term& arg : rule.head.args) {
+    RAQLET_ASSIGN_OR_RETURN(CompiledTerm t, CompileTerm(arg, &slots, &names));
+    out.head_args.push_back(std::move(t));
+  }
+  out.num_vars = slots.size();
+
+  if (rule.agg.has_value()) {
+    out.has_agg = true;
+    out.agg_func = rule.agg->func;
+    out.agg_pos = rule.agg_result_pos;
+    if (rule.agg->func != AggFunc::kCount) {
+      RAQLET_ASSIGN_OR_RETURN(out.agg_arg,
+                              CompileTerm(rule.agg->arg, &slots, &names));
+      out.num_vars = slots.size();
+    }
+  }
+  return out;
+}
+
+Status Evaluation::EmitHead(const CompiledRule& rule, Env* env) {
+  if (rule.has_agg) {
+    // Group key: head args except the aggregate slot.
+    Tuple group;
+    group.reserve(rule.head_args.size());
+    for (size_t i = 0; i < rule.head_args.size(); ++i) {
+      if (static_cast<int>(i) == rule.agg_pos) continue;
+      RAQLET_ASSIGN_OR_RETURN(Value v, EvalCompiledTerm(rule.head_args[i], *env));
+      group.push_back(v);
+    }
+    // Witness: full variable binding (distinct body matches).
+    Tuple witness;
+    witness.reserve(env->values.size());
+    for (size_t i = 0; i < env->values.size(); ++i) {
+      witness.push_back(env->bound[i] ? env->values[i] : Value::Null());
+    }
+    AggState& state = (*current_agg_)[group];
+    if (!state.witnesses.insert(std::move(witness)).second) {
+      return Status::OK();  // duplicate body match under set semantics
+    }
+    Value arg_value = Value::Number(0);
+    if (rule.agg_func != AggFunc::kCount) {
+      RAQLET_ASSIGN_OR_RETURN(arg_value, EvalCompiledTerm(rule.agg_arg, *env));
+    }
+    state.count += 1;
+    if (rule.agg_func == AggFunc::kSum || rule.agg_func == AggFunc::kAvg) {
+      state.any_float |= arg_value.kind() == ValueType::kFloat;
+      state.sum += arg_value.NumericValue();
+    }
+    if (rule.agg_func == AggFunc::kMin) {
+      if (!state.min.has_value() ||
+          CompareValues(arg_value, *state.min, db_->symbols()) < 0) {
+        state.min = arg_value;
+      }
+    }
+    if (rule.agg_func == AggFunc::kMax) {
+      if (!state.max.has_value() ||
+          CompareValues(arg_value, *state.max, db_->symbols()) > 0) {
+        state.max = arg_value;
+      }
+    }
+    return Status::OK();
+  }
+
+  Tuple out;
+  out.reserve(rule.head_args.size());
+  for (const CompiledTerm& arg : rule.head_args) {
+    RAQLET_ASSIGN_OR_RETURN(Value v, EvalCompiledTerm(arg, *env));
+    out.push_back(v);
+  }
+  staged_.emplace_back(rule.head_relation, std::move(out));
+  return Status::OK();
+}
+
+Status Evaluation::FinalizeAggregates(const CompiledRule& rule) {
+  for (const auto& [group, state] : *current_agg_) {
+    Value result;
+    switch (rule.agg_func) {
+      case AggFunc::kCount:
+        result = Value::Number(state.count);
+        break;
+      case AggFunc::kSum:
+        result = state.any_float ? Value::Float(state.sum)
+                                 : Value::Number(static_cast<int64_t>(state.sum));
+        break;
+      case AggFunc::kMin:
+        result = *state.min;
+        break;
+      case AggFunc::kMax:
+        result = *state.max;
+        break;
+      case AggFunc::kAvg:
+        result = Value::Float(state.count == 0
+                                  ? 0.0
+                                  : state.sum / static_cast<double>(state.count));
+        break;
+    }
+    Tuple out;
+    out.reserve(group.size() + 1);
+    size_t gi = 0;
+    for (size_t i = 0; i < rule.head_args.size(); ++i) {
+      if (static_cast<int>(i) == rule.agg_pos) {
+        out.push_back(result);
+      } else {
+        out.push_back(group[gi++]);
+      }
+    }
+    staged_.emplace_back(rule.head_relation, std::move(out));
+  }
+  return Status::OK();
+}
+
+Status Evaluation::ExecuteStep(
+    const CompiledRule& rule, const VariantPlan& plan, size_t step_index,
+    Env* env, const std::unordered_map<std::string, size_t>& snapshot,
+    const std::unordered_map<std::string, size_t>& delta_begin) {
+  if (step_index == plan.steps.size()) return EmitHead(rule, env);
+
+  const PlanStep& step = plan.steps[step_index];
+  switch (step.kind) {
+    case PlanStep::kFilter: {
+      const CompiledConstraint& c =
+          rule.constraints[static_cast<size_t>(step.constraint_index)];
+      RAQLET_ASSIGN_OR_RETURN(Value lhs, EvalCompiledTerm(c.lhs, *env));
+      RAQLET_ASSIGN_OR_RETURN(Value rhs, EvalCompiledTerm(c.rhs, *env));
+      if (!CheckCmp(c.op, lhs, rhs, db_->symbols())) return Status::OK();
+      return ExecuteStep(rule, plan, step_index + 1, env, snapshot, delta_begin);
+    }
+    case PlanStep::kBind: {
+      const CompiledConstraint& c =
+          rule.constraints[static_cast<size_t>(step.constraint_index)];
+      const CompiledTerm& source = step.bind_from_lhs ? c.rhs : c.lhs;
+      RAQLET_ASSIGN_OR_RETURN(Value v, EvalCompiledTerm(source, *env));
+      size_t slot = static_cast<size_t>(step.bind_var);
+      env->values[slot] = v;
+      env->bound[slot] = true;
+      Status s =
+          ExecuteStep(rule, plan, step_index + 1, env, snapshot, delta_begin);
+      env->bound[slot] = false;
+      return s;
+    }
+    case PlanStep::kNegCheck: {
+      const CompiledAtom& atom = rule.atoms[static_cast<size_t>(step.atom_index)];
+      std::vector<int> probe_cols;
+      Tuple probe_key;
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        if (atom.args[i].kind == CompiledTerm::kWildcard) continue;
+        RAQLET_ASSIGN_OR_RETURN(Value v, EvalCompiledTerm(atom.args[i], *env));
+        probe_cols.push_back(static_cast<int>(i));
+        probe_key.push_back(v);
+      }
+      size_t limit = snapshot.count(atom.predicate)
+                         ? snapshot.at(atom.predicate)
+                         : atom.relation->size();
+      bool exists = false;
+      if (probe_cols.empty()) {
+        exists = limit > 0;
+      } else {
+        const Relation::KeyIndex& index = atom.relation->GetIndex(probe_cols);
+        auto it = index.find(probe_key);
+        if (it != index.end()) {
+          for (uint32_t row : it->second) {
+            if (row < limit) {
+              exists = true;
+              break;
+            }
+          }
+        }
+      }
+      if (exists) return Status::OK();  // negation fails: prune this env
+      return ExecuteStep(rule, plan, step_index + 1, env, snapshot, delta_begin);
+    }
+    case PlanStep::kJoinAtom: {
+      const CompiledAtom& atom = rule.atoms[static_cast<size_t>(step.atom_index)];
+      const std::vector<Tuple>& rows = atom.relation->rows();
+      size_t begin = 0;
+      size_t end = snapshot.count(atom.predicate) ? snapshot.at(atom.predicate)
+                                                  : atom.relation->size();
+      if (plan.delta_atom == step.atom_index) {
+        auto it = delta_begin.find(atom.predicate);
+        if (it != delta_begin.end()) begin = it->second;
+      }
+
+      // Probe columns: argument positions already evaluable.
+      std::vector<int> probe_cols;
+      Tuple probe_key;
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        const CompiledTerm& arg = atom.args[i];
+        if (arg.kind == CompiledTerm::kWildcard) continue;
+        if (arg.IsBoundUnder(env->bound)) {
+          RAQLET_ASSIGN_OR_RETURN(Value v, EvalCompiledTerm(arg, *env));
+          probe_cols.push_back(static_cast<int>(i));
+          probe_key.push_back(v);
+        }
+      }
+
+      auto try_row = [&](const Tuple& row) -> Status {
+        if (stats_ != nullptr) ++stats_->tuples_considered;
+        // Unify unbound argument variables against the row; repeated
+        // variables within the atom compare on second occurrence.
+        std::vector<size_t> newly_bound;
+        bool matches = true;
+        for (size_t i = 0; i < atom.args.size() && matches; ++i) {
+          const CompiledTerm& arg = atom.args[i];
+          switch (arg.kind) {
+            case CompiledTerm::kWildcard:
+              break;
+            case CompiledTerm::kConst:
+              matches = arg.constant == row[i];
+              break;
+            case CompiledTerm::kVar: {
+              size_t slot = static_cast<size_t>(arg.var);
+              if (env->bound[slot]) {
+                matches = env->values[slot] == row[i];
+              } else {
+                env->values[slot] = row[i];
+                env->bound[slot] = true;
+                newly_bound.push_back(slot);
+              }
+              break;
+            }
+            case CompiledTerm::kBinary: {
+              RAQLET_ASSIGN_OR_RETURN(Value v, EvalCompiledTerm(arg, *env));
+              matches = v == row[i];
+              break;
+            }
+          }
+        }
+        Status s = Status::OK();
+        if (matches) {
+          s = ExecuteStep(rule, plan, step_index + 1, env, snapshot,
+                          delta_begin);
+        }
+        for (size_t slot : newly_bound) env->bound[slot] = false;
+        return s;
+      };
+
+      if (!probe_cols.empty()) {
+        const Relation::KeyIndex& index = atom.relation->GetIndex(probe_cols);
+        auto it = index.find(probe_key);
+        if (it == index.end()) return Status::OK();
+        for (uint32_t row_idx : it->second) {
+          if (row_idx < begin || row_idx >= end) continue;
+          RAQLET_RETURN_IF_ERROR(try_row(rows[row_idx]));
+        }
+        return Status::OK();
+      }
+      for (size_t row_idx = begin; row_idx < end; ++row_idx) {
+        RAQLET_RETURN_IF_ERROR(try_row(rows[row_idx]));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled plan step");
+}
+
+Status Evaluation::EvaluateVariant(
+    const CompiledRule& rule, const VariantPlan& plan,
+    const std::unordered_map<std::string, size_t>& snapshot,
+    const std::unordered_map<std::string, size_t>& delta_begin) {
+  if (stats_ != nullptr) ++stats_->rule_evaluations;
+  Env env(rule.num_vars);
+  return ExecuteStep(rule, plan, 0, &env, snapshot, delta_begin);
+}
+
+Status Evaluation::EvaluateScc(const std::vector<std::string>& scc_preds,
+                               bool recursive) {
+  std::set<std::string> scc_set(scc_preds.begin(), scc_preds.end());
+
+  // Rules defining a predicate of this SCC.
+  std::vector<CompiledRule> rules;
+  for (const Rule& rule : program_.rules) {
+    if (scc_set.count(rule.head.predicate) == 0) continue;
+    RAQLET_ASSIGN_OR_RETURN(CompiledRule cr, CompileRule(rule, scc_set));
+    rules.push_back(std::move(cr));
+  }
+  if (rules.empty()) return Status::OK();
+
+  // Applies staged tuples; returns per-relation previous sizes so callers
+  // can derive deltas. Handles lattice merge semantics.
+  auto apply_staged = [&]() -> size_t {
+    size_t inserted = 0;
+    for (auto& [rel, tuple] : staged_) {
+      auto lk = lattice_kind_.find(rel->name());
+      if (lk != lattice_kind_.end()) {
+        // Lattice insert: only counts if it improves the best value for
+        // the key prefix.
+        Tuple prefix(tuple.begin(), tuple.end() - 1);
+        Value candidate = tuple.back();
+        auto& best = lattice_best_[rel->name()];
+        auto it = best.find(prefix);
+        bool improves =
+            it == best.end() ||
+            (lk->second == LatticeKind::kMin
+                 ? CompareValues(candidate, it->second, db_->symbols()) < 0
+                 : CompareValues(candidate, it->second, db_->symbols()) > 0);
+        if (!improves) continue;
+        best[prefix] = candidate;
+        if (rel->Insert(std::move(tuple))) ++inserted;
+        continue;
+      }
+      if (rel->Insert(std::move(tuple))) ++inserted;
+    }
+    staged_.clear();
+    if (stats_ != nullptr) stats_->tuples_inserted += inserted;
+    return inserted;
+  };
+
+  auto snapshot_sizes = [&]() {
+    std::unordered_map<std::string, size_t> snapshot;
+    for (const auto& [name, rel] : relations_) snapshot[name] = rel->size();
+    return snapshot;
+  };
+
+  if (!recursive) {
+    auto snapshot = snapshot_sizes();
+    for (const CompiledRule& rule : rules) {
+      if (rule.has_agg) {
+        std::map<Tuple, AggState> agg;
+        current_agg_ = &agg;
+        RAQLET_ASSIGN_OR_RETURN(VariantPlan plan,
+                                PlanVariant(rule, -1, options_.reorder_atoms));
+        RAQLET_RETURN_IF_ERROR(EvaluateVariant(rule, plan, snapshot, {}));
+        RAQLET_RETURN_IF_ERROR(FinalizeAggregates(rule));
+        current_agg_ = nullptr;
+      } else {
+        RAQLET_ASSIGN_OR_RETURN(VariantPlan plan,
+                                PlanVariant(rule, -1, options_.reorder_atoms));
+        RAQLET_RETURN_IF_ERROR(EvaluateVariant(rule, plan, snapshot, {}));
+      }
+    }
+    apply_staged();
+    return Status::OK();
+  }
+
+  // Recursive SCC. Aggregates are rejected by stratification earlier.
+  // Phase 1: exit rules (no recursive body atom).
+  std::unordered_map<std::string, size_t> delta_begin;
+  for (const std::string& pred : scc_preds) {
+    delta_begin[pred] = relations_.at(pred)->size();
+  }
+  {
+    auto snapshot = snapshot_sizes();
+    for (const CompiledRule& rule : rules) {
+      if (!rule.recursive_atoms.empty()) continue;
+      RAQLET_ASSIGN_OR_RETURN(VariantPlan plan,
+                              PlanVariant(rule, -1, options_.reorder_atoms));
+      RAQLET_RETURN_IF_ERROR(EvaluateVariant(rule, plan, snapshot, {}));
+    }
+    apply_staged();
+  }
+
+  // Phase 2: fixpoint. Each round evaluates one variant per recursive
+  // body atom with that atom restricted to the previous round's delta.
+  size_t round = 0;
+  while (true) {
+    bool any_delta = false;
+    for (const std::string& pred : scc_preds) {
+      if (relations_.at(pred)->size() > delta_begin[pred]) {
+        any_delta = true;
+        break;
+      }
+    }
+    if (!any_delta) break;
+    ++round;
+    if (stats_ != nullptr) ++stats_->fixpoint_rounds;
+    if (options_.max_iterations != 0 && round > options_.max_iterations) {
+      return Status::Unsupported(
+          "fixpoint did not converge within " +
+          std::to_string(options_.max_iterations) +
+          " rounds; the termination analysis may flag this query");
+    }
+
+    auto snapshot = snapshot_sizes();
+    for (const CompiledRule& rule : rules) {
+      if (rule.recursive_atoms.empty()) continue;
+      if (options_.seminaive) {
+        for (int delta_atom : rule.recursive_atoms) {
+          RAQLET_ASSIGN_OR_RETURN(
+              VariantPlan plan,
+              PlanVariant(rule, delta_atom, options_.reorder_atoms));
+          RAQLET_RETURN_IF_ERROR(
+              EvaluateVariant(rule, plan, snapshot, delta_begin));
+        }
+      } else {
+        RAQLET_ASSIGN_OR_RETURN(VariantPlan plan,
+                                PlanVariant(rule, -1, options_.reorder_atoms));
+        RAQLET_RETURN_IF_ERROR(EvaluateVariant(rule, plan, snapshot, {}));
+      }
+    }
+    for (const std::string& pred : scc_preds) {
+      delta_begin[pred] = snapshot[pred];
+    }
+    apply_staged();
+  }
+
+  // Compact lattice relations: drop rows superseded by better values.
+  for (const std::string& pred : scc_preds) {
+    auto lk = lattice_kind_.find(pred);
+    if (lk == lattice_kind_.end()) continue;
+    Relation* rel = relations_.at(pred);
+    const auto& best = lattice_best_.at(pred);
+    std::vector<Tuple> compacted;
+    compacted.reserve(best.size());
+    for (const auto& [prefix, value] : best) {
+      Tuple row = prefix;
+      row.push_back(value);
+      compacted.push_back(std::move(row));
+    }
+    rel->ReplaceRows(std::move(compacted));
+  }
+  return Status::OK();
+}
+
+Status Evaluation::Run() {
+  RAQLET_RETURN_IF_ERROR(program_.Validate());
+  RAQLET_RETURN_IF_ERROR(PrepareRelations());
+
+  analysis::DependencyGraph graph = analysis::DependencyGraph::Build(program_);
+  RAQLET_RETURN_IF_ERROR(CheckStratification(graph));
+
+  const auto& sccs = graph.SccsInTopologicalOrder();
+  for (size_t i = 0; i < sccs.size(); ++i) {
+    RAQLET_RETURN_IF_ERROR(
+        EvaluateScc(sccs[i], graph.IsRecursiveScc(static_cast<int>(i))));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EvalStats::ToString() const {
+  std::ostringstream os;
+  os << "rounds=" << fixpoint_rounds << " inserted=" << tuples_inserted
+     << " rule_evals=" << rule_evaluations
+     << " tuples_considered=" << tuples_considered;
+  return os.str();
+}
+
+Status DatalogEngine::Run(const dlir::Program& program, Database* db,
+                          EvalStats* stats) const {
+  Evaluation eval(program, db, options_, stats);
+  return eval.Run();
+}
+
+}  // namespace raqlet::engine

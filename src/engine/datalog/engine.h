@@ -1,0 +1,71 @@
+#ifndef RAQLET_ENGINE_DATALOG_ENGINE_H_
+#define RAQLET_ENGINE_DATALOG_ENGINE_H_
+
+// Bottom-up Datalog engine executing DLIR programs against a Database.
+//
+// This is Raqlet's stand-in for Soufflé (see DESIGN.md §2): stratified
+// semi-naive evaluation over indexed relations.
+//
+//  * Strata are the SCCs of the predicate dependency graph in topological
+//    order; negation and aggregation may not cross into their own SCC
+//    (classic stratification, checked before execution).
+//  * Within a recursive SCC, rules are evaluated semi-naively: one rule
+//    variant per recursive body atom, with that atom restricted to the
+//    previous iteration's delta.
+//  * Join order inside a rule is chosen greedily (most-bound-arguments
+//    first); probes use incrementally-maintained hash indexes.
+//  * Lattice relations (RelationDecl::lattice = min/max on the last
+//    column) merge instead of union: an insert only "counts" if it
+//    improves the best value for the key prefix. This gives terminating
+//    shortest-path recursion on cyclic graphs (Datalog^o-style monotone
+//    aggregation).
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+#include "dlir/program.h"
+#include "storage/database.h"
+
+namespace raqlet::engine {
+
+struct EvalOptions {
+  /// Safety valve on fixpoint rounds per SCC (0 = unlimited).
+  size_t max_iterations = 0;
+  /// Semi-naive (deltas) vs naive (full re-evaluation each round).
+  /// Naive mode exists for the optimizer ablation benchmarks.
+  bool seminaive = true;
+  /// Greedy join ordering inside each rule (most bound arguments first);
+  /// when false, body atoms join in written order.
+  bool reorder_atoms = true;
+  /// If an IDB relation already exists in the database, clear and
+  /// recompute it instead of failing.
+  bool overwrite_idb = true;
+};
+
+struct EvalStats {
+  size_t fixpoint_rounds = 0;    // total semi-naive rounds across SCCs
+  size_t tuples_inserted = 0;    // new tuples across all IDB relations
+  size_t rule_evaluations = 0;   // rule-variant evaluations
+  size_t tuples_considered = 0;  // candidate rows scanned/probed
+
+  std::string ToString() const;
+};
+
+class DatalogEngine {
+ public:
+  explicit DatalogEngine(EvalOptions options = {}) : options_(options) {}
+
+  /// Evaluates `program` against `db`. Input relations must pre-exist in
+  /// `db` with matching arity; IDB relations are created (or cleared) and
+  /// filled. On success, output relations hold the query results.
+  Status Run(const dlir::Program& program, Database* db,
+             EvalStats* stats = nullptr) const;
+
+ private:
+  EvalOptions options_;
+};
+
+}  // namespace raqlet::engine
+
+#endif  // RAQLET_ENGINE_DATALOG_ENGINE_H_

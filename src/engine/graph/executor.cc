@@ -1,0 +1,747 @@
+#include "engine/graph/executor.h"
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace raqlet::engine {
+
+namespace {
+
+using cypher::BinOp;
+using cypher::EdgeDirection;
+using cypher::Expr;
+using cypher::ExprKind;
+using pgir::EdgePat;
+using pgir::Item;
+using pgir::MatchOp;
+using pgir::NodePat;
+using pgir::PgirQuery;
+using pgir::ReturnOp;
+using pgir::WhereOp;
+using pgir::WithOp;
+
+struct ColumnMeta {
+  enum Kind { kNode, kEdge, kValue, kPathLength };
+  Kind kind = kValue;
+  std::string label;       // node label / edge label
+  int row_column = -1;     // kEdge: index of the hidden edge-row column
+};
+
+// The clause-by-clause binding table.
+struct BindingTable {
+  std::vector<std::string> columns;
+  std::map<std::string, size_t> index;
+  std::vector<ColumnMeta> meta;
+  std::vector<Tuple> rows;
+
+  int Find(const std::string& name) const {
+    auto it = index.find(name);
+    return it == index.end() ? -1 : static_cast<int>(it->second);
+  }
+  size_t AddColumn(const std::string& name, ColumnMeta m) {
+    index[name] = columns.size();
+    columns.push_back(name);
+    meta.push_back(m);
+    return columns.size() - 1;
+  }
+};
+
+class Execution {
+ public:
+  Execution(const GraphStore& store, const schema::DlSchema& dl, Database* db,
+            GraphStats* stats)
+      : store_(store), dl_(dl), db_(db), stats_(stats) {}
+
+  Result<ResultTable> Run(const PgirQuery& query) {
+    table_.rows.push_back({});  // one empty binding
+    for (const pgir::Op& op : query.ops) {
+      if (const auto* match = std::get_if<MatchOp>(&op)) {
+        RAQLET_RETURN_IF_ERROR(ExecMatch(*match));
+      } else if (const auto* where = std::get_if<WhereOp>(&op)) {
+        RAQLET_RETURN_IF_ERROR(ExecWhere(*where));
+      } else if (const auto* with = std::get_if<WithOp>(&op)) {
+        RAQLET_RETURN_IF_ERROR(ExecProjection(with->items, with->distinct,
+                                              /*is_return=*/false));
+      } else if (const auto* ret = std::get_if<ReturnOp>(&op)) {
+        RAQLET_RETURN_IF_ERROR(
+            ExecProjection(ret->items, ret->distinct, /*is_return=*/true));
+      }
+    }
+    ResultTable result;
+    result.columns = table_.columns;
+    result.rows = std::move(table_.rows);
+    return result;
+  }
+
+ private:
+  // ---- MATCH ----
+
+  Status CheckNode(const NodePat& node, bool* known) {
+    int col = table_.Find(node.id);
+    *known = col >= 0;
+    if (!*known && node.label.empty()) {
+      return Status::Unsupported("unlabeled node pattern introduces '" +
+                                 node.id + "'");
+    }
+    if (!node.label.empty() && dl_.FindNode(node.label) == nullptr) {
+      return Status::NotFound("no node type with label '" + node.label + "'");
+    }
+    return Status::OK();
+  }
+
+  // Neighbour expansion respecting direction.
+  void ForEachNeighbor(const std::string& edge_label, int64_t node,
+                       EdgeDirection direction, bool reverse,
+                       const std::function<void(const GraphStore::Neighbor&)>&
+                           visit) const {
+    EdgeDirection dir = direction;
+    if (reverse && dir == EdgeDirection::kOutgoing) {
+      dir = EdgeDirection::kIncoming;
+    } else if (reverse && dir == EdgeDirection::kIncoming) {
+      dir = EdgeDirection::kOutgoing;
+    }
+    if (dir == EdgeDirection::kOutgoing || dir == EdgeDirection::kUndirected) {
+      for (const auto& nb : store_.OutNeighbors(edge_label, node)) visit(nb);
+    }
+    if (dir == EdgeDirection::kIncoming || dir == EdgeDirection::kUndirected) {
+      for (const auto& nb : store_.InNeighbors(edge_label, node)) visit(nb);
+    }
+  }
+
+  Status ExecMatch(const MatchOp& match) {
+    for (const EdgePat& edge : match.edges) {
+      if (edge.variable_length || edge.shortest) {
+        RAQLET_RETURN_IF_ERROR(ExpandRecursive(edge));
+      } else {
+        RAQLET_RETURN_IF_ERROR(ExpandSimple(edge));
+      }
+    }
+    for (const NodePat& node : match.nodes) {
+      RAQLET_RETURN_IF_ERROR(ExpandLoneNode(node));
+    }
+    return Status::OK();
+  }
+
+  Status ExpandLoneNode(const NodePat& node) {
+    bool known = false;
+    RAQLET_RETURN_IF_ERROR(CheckNode(node, &known));
+    if (known) {
+      // Label filter on the existing binding.
+      if (node.label.empty()) return Status::OK();
+      size_t col = static_cast<size_t>(table_.Find(node.id));
+      std::vector<Tuple> kept;
+      for (Tuple& row : table_.rows) {
+        if (store_.HasLabel(node.label, row[col].AsNumber())) {
+          kept.push_back(std::move(row));
+        }
+      }
+      table_.rows = std::move(kept);
+      return Status::OK();
+    }
+    size_t col = table_.AddColumn(node.id, {ColumnMeta::kNode, node.label, -1});
+    (void)col;
+    std::vector<Tuple> next;
+    for (const Tuple& row : table_.rows) {
+      for (int64_t id : store_.NodesWithLabel(node.label)) {
+        Tuple extended = row;
+        extended.push_back(Value::Number(id));
+        next.push_back(std::move(extended));
+        if (stats_ != nullptr) ++stats_->rows_expanded;
+      }
+    }
+    table_.rows = std::move(next);
+    return Status::OK();
+  }
+
+  // Resolves endpoint label checks after traversal.
+  bool EndpointOk(const NodePat& node, int64_t id) const {
+    return node.label.empty() || store_.HasLabel(node.label, id);
+  }
+
+  Status ExpandSimple(const EdgePat& edge) {
+    const schema::EdgeRelationInfo* info = dl_.FindEdge(edge.label);
+    if (info == nullptr) {
+      return Status::NotFound("no edge type with label '" + edge.label + "'");
+    }
+    bool src_known = false;
+    bool dst_known = false;
+    RAQLET_RETURN_IF_ERROR(CheckNode(edge.src, &src_known));
+    RAQLET_RETURN_IF_ERROR(CheckNode(edge.dst, &dst_known));
+
+    int src_col = table_.Find(edge.src.id);
+    int dst_col = table_.Find(edge.dst.id);
+
+    // New columns for unbound endpoints and the edge binding.
+    std::vector<std::string> new_cols;
+    if (!src_known) {
+      table_.AddColumn(edge.src.id, {ColumnMeta::kNode, edge.src.label, -1});
+    }
+    if (!dst_known && edge.dst.id != edge.src.id) {
+      table_.AddColumn(edge.dst.id, {ColumnMeta::kNode, edge.dst.label, -1});
+    }
+    bool bind_edge = info->PropertyColumn("id") >= 0 &&
+                     edge.direction != EdgeDirection::kUndirected &&
+                     table_.Find(edge.id) < 0;
+    int edge_row_col = -1;
+    if (bind_edge) {
+      edge_row_col = static_cast<int>(table_.columns.size()) + 1;
+      table_.AddColumn(edge.id,
+                       {ColumnMeta::kEdge, edge.label, edge_row_col});
+      table_.AddColumn("__row_" + edge.id, {ColumnMeta::kValue, "", -1});
+    }
+
+    const std::string upper = schema::ToUpperSnake(edge.label);
+    int id_prop_col = info->PropertyColumn("id");
+    std::vector<Tuple> next;
+    auto emit = [&](const Tuple& base, int64_t src_id, int64_t dst_id,
+                    uint32_t edge_row) {
+      if (!EndpointOk(edge.src, src_id) || !EndpointOk(edge.dst, dst_id)) {
+        return;
+      }
+      Tuple row = base;
+      if (!src_known) row.push_back(Value::Number(src_id));
+      if (!dst_known && edge.dst.id != edge.src.id) {
+        row.push_back(Value::Number(dst_id));
+      } else if (!dst_known && edge.dst.id == edge.src.id &&
+                 src_id != dst_id) {
+        return;  // (a)-[:X]->(a): self loop required
+      }
+      if (dst_known || edge.dst.id == edge.src.id) {
+        // endpoint equality enforced by caller checks below
+      }
+      if (bind_edge) {
+        const Tuple& edge_tuple = *store_.EdgeRow(upper, edge_row).value();
+        row.push_back(edge_tuple[static_cast<size_t>(id_prop_col)]);
+        row.push_back(Value::Number(edge_row));
+      }
+      next.push_back(std::move(row));
+      if (stats_ != nullptr) ++stats_->rows_expanded;
+    };
+
+    for (const Tuple& row : table_.rows) {
+      std::optional<int64_t> src_val;
+      std::optional<int64_t> dst_val;
+      if (src_known) src_val = row[static_cast<size_t>(src_col)].AsNumber();
+      if (dst_known) dst_val = row[static_cast<size_t>(dst_col)].AsNumber();
+
+      // Deduplicate undirected self-loop double visits.
+      std::set<std::pair<int64_t, uint32_t>> seen;
+      auto visit = [&](int64_t from, const GraphStore::Neighbor& nb) {
+        if (!seen.insert({nb.node, nb.edge_row}).second) return;
+        if (dst_val.has_value() && nb.node != *dst_val) return;
+        if (edge.dst.id == edge.src.id && !dst_known && nb.node != from) {
+          return;  // repeated identifier within the pattern
+        }
+        emit(row, from, nb.node, nb.edge_row);
+      };
+
+      if (src_val.has_value()) {
+        ForEachNeighbor(upper, *src_val, edge.direction, /*reverse=*/false,
+                        [&](const GraphStore::Neighbor& nb) {
+                          visit(*src_val, nb);
+                        });
+      } else if (dst_val.has_value()) {
+        // Traverse backwards, binding the source.
+        ForEachNeighbor(upper, *dst_val, edge.direction, /*reverse=*/true,
+                        [&](const GraphStore::Neighbor& nb) {
+                          seen.clear();
+                          if (dst_val.has_value()) {
+                            // nb.node is the source here.
+                            emit(row, nb.node, *dst_val, nb.edge_row);
+                          }
+                        });
+      } else {
+        // Neither endpoint bound: scan source label (or all labeled nodes
+        // of the schema endpoint).
+        std::string scan_label = !edge.src.label.empty()
+                                     ? edge.src.label
+                                     : info->src_label;
+        for (int64_t id : store_.NodesWithLabel(scan_label)) {
+          seen.clear();
+          ForEachNeighbor(upper, id, edge.direction, /*reverse=*/false,
+                          [&](const GraphStore::Neighbor& nb) {
+                            visit(id, nb);
+                          });
+        }
+      }
+    }
+    table_.rows = std::move(next);
+    return Status::OK();
+  }
+
+  // BFS over (node, depth) states, mirroring the DLIR walk semantics.
+  // Returns reachable nodes with qualifying depths in [min_hops, max_hops]
+  // (max < 0 = unbounded), or min distances when `shortest`.
+  std::vector<std::pair<int64_t, int64_t>> Bfs(const std::string& upper,
+                                               int64_t start,
+                                               EdgeDirection direction,
+                                               bool reverse, int min_hops,
+                                               int max_hops,
+                                               bool shortest) const {
+    std::vector<std::pair<int64_t, int64_t>> out;
+    if (shortest || max_hops < 0) {
+      if (!shortest && min_hops > 1) {
+        // Walks of length >= m: exact-depth states up to m, then closure.
+        auto exact = BoundedWalks(upper, start, direction, reverse, min_hops,
+                                  min_hops);
+        std::set<int64_t> frontier;
+        for (const auto& [node, d] : exact) frontier.insert(node);
+        std::set<int64_t> all(frontier);
+        for (int64_t node : frontier) {
+          for (const auto& [n2, d2] :
+               Bfs(upper, node, direction, reverse, 1, -1, false)) {
+            all.insert(n2);
+          }
+        }
+        for (int64_t node : all) out.emplace_back(node, min_hops);
+        return out;
+      }
+      // Min walk-length (>= 1) BFS, seeded from the one-step neighbours so
+      // that cycles back to `start` are found (matching the DLIR
+      // reachability/lattice semantics, where dist(x, x) exists on cycles).
+      std::unordered_map<int64_t, int64_t> dist;
+      std::deque<int64_t> queue;
+      ForEachNeighbor(upper, start, direction, reverse,
+                      [&](const GraphStore::Neighbor& nb) {
+                        if (dist.count(nb.node) > 0) return;
+                        dist[nb.node] = 1;
+                        queue.push_back(nb.node);
+                      });
+      while (!queue.empty()) {
+        int64_t node = queue.front();
+        queue.pop_front();
+        int64_t d = dist[node];
+        ForEachNeighbor(upper, node, direction, reverse,
+                        [&](const GraphStore::Neighbor& nb) {
+                          if (dist.count(nb.node) > 0) return;
+                          dist[nb.node] = d + 1;
+                          queue.push_back(nb.node);
+                        });
+        if (stats_ != nullptr) ++stats_->bfs_visits;
+      }
+      for (const auto& [node, d] : dist) out.emplace_back(node, d);
+      if (min_hops == 0) out.emplace_back(start, 0);
+      return out;
+    }
+    return BoundedWalks(upper, start, direction, reverse, min_hops, max_hops);
+  }
+
+  // Exact (node, depth) walk states for bounded ranges.
+  std::vector<std::pair<int64_t, int64_t>> BoundedWalks(
+      const std::string& upper, int64_t start, EdgeDirection direction,
+      bool reverse, int min_hops, int max_hops) const {
+    std::set<std::pair<int64_t, int64_t>> states;  // (node, depth)
+    std::deque<std::pair<int64_t, int64_t>> queue;
+    queue.emplace_back(start, 0);
+    states.insert({start, 0});
+    std::set<std::pair<int64_t, int64_t>> result;
+    while (!queue.empty()) {
+      auto [node, d] = queue.front();
+      queue.pop_front();
+      if (d >= min_hops && d >= 1) result.insert({node, d});
+      if (min_hops == 0 && d == 0) result.insert({node, 0});
+      if (d == max_hops) continue;
+      ForEachNeighbor(upper, node, direction, reverse,
+                      [&](const GraphStore::Neighbor& nb) {
+                        if (states.insert({nb.node, d + 1}).second) {
+                          queue.emplace_back(nb.node, d + 1);
+                        }
+                      });
+      if (stats_ != nullptr) ++stats_->bfs_visits;
+    }
+    return {result.begin(), result.end()};
+  }
+
+  Status ExpandRecursive(const EdgePat& edge) {
+    const schema::EdgeRelationInfo* info = dl_.FindEdge(edge.label);
+    if (info == nullptr) {
+      return Status::NotFound("no edge type with label '" + edge.label + "'");
+    }
+    const std::string upper = schema::ToUpperSnake(edge.label);
+    bool src_known = false;
+    bool dst_known = false;
+    RAQLET_RETURN_IF_ERROR(CheckNode(edge.src, &src_known));
+    RAQLET_RETURN_IF_ERROR(CheckNode(edge.dst, &dst_known));
+    int src_col = table_.Find(edge.src.id);
+    int dst_col = table_.Find(edge.dst.id);
+
+    if (!src_known) {
+      table_.AddColumn(edge.src.id, {ColumnMeta::kNode, edge.src.label, -1});
+    }
+    if (!dst_known) {
+      table_.AddColumn(edge.dst.id, {ColumnMeta::kNode, edge.dst.label, -1});
+    }
+    bool bind_len = edge.shortest && !edge.path_id.empty();
+    if (bind_len) {
+      table_.AddColumn(edge.path_id + "_len",
+                       {ColumnMeta::kPathLength, "", -1});
+    }
+
+    std::vector<Tuple> next;
+    auto emit = [&](const Tuple& base, int64_t src_id, int64_t dst_id,
+                    int64_t len) {
+      if (!EndpointOk(edge.src, src_id) || !EndpointOk(edge.dst, dst_id)) {
+        return;
+      }
+      Tuple row = base;
+      if (!src_known) row.push_back(Value::Number(src_id));
+      if (!dst_known) row.push_back(Value::Number(dst_id));
+      if (bind_len) row.push_back(Value::Number(len));
+      next.push_back(std::move(row));
+      if (stats_ != nullptr) ++stats_->rows_expanded;
+    };
+
+    for (const Tuple& row : table_.rows) {
+      std::optional<int64_t> src_val;
+      std::optional<int64_t> dst_val;
+      if (src_known) src_val = row[static_cast<size_t>(src_col)].AsNumber();
+      if (dst_known) dst_val = row[static_cast<size_t>(dst_col)].AsNumber();
+
+      auto run_from = [&](int64_t start) {
+        auto reached = Bfs(upper, start, edge.direction, /*reverse=*/false,
+                           edge.min_hops, edge.max_hops, edge.shortest);
+        std::set<std::pair<int64_t, int64_t>> dedup;
+        for (const auto& [node, d] : reached) {
+          if (dst_val.has_value() && node != *dst_val) continue;
+          if (edge.shortest) {
+            emit(row, start, node, d);
+          } else if (dedup.insert({node, 0}).second) {
+            emit(row, start, node, d);  // pair once, any qualifying depth
+          }
+        }
+      };
+
+      if (src_val.has_value()) {
+        run_from(*src_val);
+      } else if (dst_val.has_value()) {
+        // Reverse BFS from the destination.
+        auto reached = Bfs(upper, *dst_val, edge.direction, /*reverse=*/true,
+                           edge.min_hops, edge.max_hops, edge.shortest);
+        std::set<int64_t> dedup;
+        for (const auto& [node, d] : reached) {
+          if (edge.shortest) {
+            emit(row, node, *dst_val, d);
+          } else if (dedup.insert(node).second) {
+            emit(row, node, *dst_val, d);
+          }
+        }
+      } else {
+        std::string scan_label = !edge.src.label.empty()
+                                     ? edge.src.label
+                                     : info->src_label;
+        for (int64_t start : store_.NodesWithLabel(scan_label)) {
+          run_from(start);
+        }
+      }
+    }
+    table_.rows = std::move(next);
+    return Status::OK();
+  }
+
+  // ---- expressions ----
+
+  Result<Value> Eval(const Expr& expr, const Tuple& row) const {
+    switch (expr.kind) {
+      case ExprKind::kLiteral:
+        return ConstantToValue(expr.literal, &db_->symbols());
+      case ExprKind::kVariable: {
+        int col = table_.Find(expr.var);
+        if (col < 0) {
+          return Status::NotFound("unknown identifier '" + expr.var + "'");
+        }
+        return row[static_cast<size_t>(col)];
+      }
+      case ExprKind::kProperty: {
+        int col = table_.Find(expr.var);
+        if (col < 0) {
+          return Status::NotFound("unknown identifier '" + expr.var + "'");
+        }
+        const ColumnMeta& meta = table_.meta[static_cast<size_t>(col)];
+        if (meta.kind == ColumnMeta::kNode) {
+          if (expr.property == "id") return row[static_cast<size_t>(col)];
+          return store_.NodeProperty(meta.label,
+                                     row[static_cast<size_t>(col)].AsNumber(),
+                                     expr.property);
+        }
+        if (meta.kind == ColumnMeta::kEdge) {
+          if (expr.property == "id") return row[static_cast<size_t>(col)];
+          uint32_t edge_row = static_cast<uint32_t>(
+              row[static_cast<size_t>(meta.row_column)].AsNumber());
+          return store_.EdgeProperty(meta.label, edge_row, expr.property);
+        }
+        return Status::Unsupported("property access on value identifier '" +
+                                   expr.var + "'");
+      }
+      case ExprKind::kParameter:
+        return Status::Internal("unresolved parameter");
+      case ExprKind::kBinary: {
+        switch (expr.bin_op) {
+          case BinOp::kAnd:
+          case BinOp::kOr: {
+            RAQLET_ASSIGN_OR_RETURN(Value lhs, Eval(expr.children[0], row));
+            RAQLET_ASSIGN_OR_RETURN(Value rhs, Eval(expr.children[1], row));
+            bool l = lhs.AsBool();
+            bool r = rhs.AsBool();
+            return Value::Bool(expr.bin_op == BinOp::kAnd ? (l && r)
+                                                          : (l || r));
+          }
+          case BinOp::kEq:
+          case BinOp::kNe:
+          case BinOp::kLt:
+          case BinOp::kLe:
+          case BinOp::kGt:
+          case BinOp::kGe: {
+            RAQLET_ASSIGN_OR_RETURN(Value lhs, Eval(expr.children[0], row));
+            RAQLET_ASSIGN_OR_RETURN(Value rhs, Eval(expr.children[1], row));
+            dlir::CmpOp op;
+            switch (expr.bin_op) {
+              case BinOp::kEq:
+                op = dlir::CmpOp::kEq;
+                break;
+              case BinOp::kNe:
+                op = dlir::CmpOp::kNe;
+                break;
+              case BinOp::kLt:
+                op = dlir::CmpOp::kLt;
+                break;
+              case BinOp::kLe:
+                op = dlir::CmpOp::kLe;
+                break;
+              case BinOp::kGt:
+                op = dlir::CmpOp::kGt;
+                break;
+              default:
+                op = dlir::CmpOp::kGe;
+                break;
+            }
+            return Value::Bool(CheckCmp(op, lhs, rhs, db_->symbols()));
+          }
+          default: {
+            RAQLET_ASSIGN_OR_RETURN(Value lhs, Eval(expr.children[0], row));
+            RAQLET_ASSIGN_OR_RETURN(Value rhs, Eval(expr.children[1], row));
+            dlir::ArithOp op;
+            switch (expr.bin_op) {
+              case BinOp::kAdd:
+                op = dlir::ArithOp::kAdd;
+                break;
+              case BinOp::kSub:
+                op = dlir::ArithOp::kSub;
+                break;
+              case BinOp::kMul:
+                op = dlir::ArithOp::kMul;
+                break;
+              case BinOp::kDiv:
+                op = dlir::ArithOp::kDiv;
+                break;
+              default:
+                op = dlir::ArithOp::kMod;
+                break;
+            }
+            return EvalArith(op, lhs, rhs);
+          }
+        }
+      }
+      case ExprKind::kUnary: {
+        RAQLET_ASSIGN_OR_RETURN(Value inner, Eval(expr.children[0], row));
+        if (expr.un_op == cypher::UnOp::kNot) {
+          return Value::Bool(!inner.AsBool());
+        }
+        return EvalArith(dlir::ArithOp::kSub, Value::Number(0), inner);
+      }
+      case ExprKind::kCall: {
+        if (expr.function == "id" && expr.children.size() == 1) {
+          return Eval(expr.children[0], row);
+        }
+        if (expr.function == "length" && expr.children.size() == 1 &&
+            expr.children[0].kind == ExprKind::kVariable) {
+          int col = table_.Find(expr.children[0].var + "_len");
+          if (col >= 0) return row[static_cast<size_t>(col)];
+          return Status::Unsupported("length() of a non-shortest-path "
+                                     "variable");
+        }
+        return Status::Unsupported("function '" + expr.function + "'");
+      }
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  Status ExecWhere(const WhereOp& where) {
+    std::vector<Tuple> kept;
+    for (Tuple& row : table_.rows) {
+      RAQLET_ASSIGN_OR_RETURN(Value v, Eval(where.predicate, row));
+      if (v.AsBool()) kept.push_back(std::move(row));
+    }
+    table_.rows = std::move(kept);
+    return Status::OK();
+  }
+
+  // ---- WITH / RETURN ----
+
+  Status ExecProjection(const std::vector<Item>& items, bool distinct,
+                        bool is_return) {
+    int agg_pos = -1;
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (items[i].expr.IsAggregateCall()) {
+        if (agg_pos >= 0) {
+          return Status::Unsupported("at most one aggregate per projection");
+        }
+        agg_pos = static_cast<int>(i);
+      }
+    }
+
+    BindingTable next;
+    for (const Item& item : items) {
+      ColumnMeta meta{ColumnMeta::kValue, "", -1};
+      if (item.expr.kind == ExprKind::kVariable) {
+        int col = table_.Find(item.expr.var);
+        if (col >= 0) meta = table_.meta[static_cast<size_t>(col)];
+      }
+      next.AddColumn(item.alias, meta);
+    }
+    // Preserve hidden edge-row columns for identifiers that survive.
+    std::map<size_t, size_t> row_col_remap;
+    for (size_t i = 0; i < items.size(); ++i) {
+      const ColumnMeta& meta = next.meta[i];
+      if (meta.kind == ColumnMeta::kEdge && meta.row_column >= 0) {
+        size_t hidden =
+            next.AddColumn("__row_" + items[i].alias,
+                           {ColumnMeta::kValue, "", -1});
+        row_col_remap[i] = hidden;
+        next.meta[i].row_column = static_cast<int>(hidden);
+      }
+    }
+
+    if (agg_pos < 0) {
+      std::unordered_set<Tuple, TupleHash> dedup;
+      for (const Tuple& row : table_.rows) {
+        Tuple out;
+        for (size_t i = 0; i < items.size(); ++i) {
+          RAQLET_ASSIGN_OR_RETURN(Value v, Eval(items[i].expr, row));
+          out.push_back(v);
+        }
+        for (const auto& [item_idx, hidden_idx] : row_col_remap) {
+          int old_col = table_.Find(items[item_idx].expr.var);
+          const ColumnMeta& old_meta =
+              table_.meta[static_cast<size_t>(old_col)];
+          out.push_back(row[static_cast<size_t>(old_meta.row_column)]);
+        }
+        if (distinct && !dedup.insert(out).second) continue;
+        next.rows.push_back(std::move(out));
+      }
+      // Hidden columns are internal: drop them for RETURN.
+      if (is_return) DropHiddenColumns(&next);
+      table_ = std::move(next);
+      return Status::OK();
+    }
+
+    // Aggregation (bag semantics over the binding table, Cypher-style).
+    const Expr& agg_call = items[static_cast<size_t>(agg_pos)].expr;
+    struct AggState {
+      int64_t count = 0;
+      double sum = 0.0;
+      bool any_float = false;
+      std::optional<Value> min;
+      std::optional<Value> max;
+      std::unordered_set<Tuple, TupleHash> distinct_args;
+    };
+    std::map<Tuple, AggState> groups;
+    for (const Tuple& row : table_.rows) {
+      Tuple key;
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (static_cast<int>(i) == agg_pos) continue;
+        RAQLET_ASSIGN_OR_RETURN(Value v, Eval(items[i].expr, row));
+        key.push_back(v);
+      }
+      AggState& state = groups[key];
+      Value arg = Value::Number(0);
+      if (!agg_call.children.empty()) {
+        RAQLET_ASSIGN_OR_RETURN(arg, Eval(agg_call.children[0], row));
+      }
+      if (agg_call.distinct_arg &&
+          !state.distinct_args.insert(Tuple{arg}).second) {
+        continue;
+      }
+      state.count += 1;
+      state.any_float |= arg.kind() == ValueType::kFloat;
+      state.sum += arg.NumericValue();
+      if (!state.min.has_value() ||
+          CompareValues(arg, *state.min, db_->symbols()) < 0) {
+        state.min = arg;
+      }
+      if (!state.max.has_value() ||
+          CompareValues(arg, *state.max, db_->symbols()) > 0) {
+        state.max = arg;
+      }
+    }
+    for (const auto& [key, state] : groups) {
+      Value result;
+      if (agg_call.function == "count") {
+        result = Value::Number(state.count);
+      } else if (agg_call.function == "sum") {
+        result = state.any_float
+                     ? Value::Float(state.sum)
+                     : Value::Number(static_cast<int64_t>(state.sum));
+      } else if (agg_call.function == "min") {
+        result = state.min.value_or(Value::Null());
+      } else if (agg_call.function == "max") {
+        result = state.max.value_or(Value::Null());
+      } else {  // avg
+        result = Value::Float(state.count == 0
+                                  ? 0.0
+                                  : state.sum /
+                                        static_cast<double>(state.count));
+      }
+      Tuple out;
+      size_t ki = 0;
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (static_cast<int>(i) == agg_pos) {
+          out.push_back(result);
+        } else {
+          out.push_back(key[ki++]);
+        }
+      }
+      next.rows.push_back(std::move(out));
+    }
+    if (is_return) DropHiddenColumns(&next);
+    table_ = std::move(next);
+    return Status::OK();
+  }
+
+  void DropHiddenColumns(BindingTable* table) const {
+    std::vector<size_t> keep;
+    for (size_t i = 0; i < table->columns.size(); ++i) {
+      if (table->columns[i].rfind("__row_", 0) != 0) keep.push_back(i);
+    }
+    if (keep.size() == table->columns.size()) return;
+    BindingTable trimmed;
+    for (size_t i : keep) {
+      trimmed.AddColumn(table->columns[i], table->meta[i]);
+    }
+    for (const Tuple& row : table->rows) {
+      Tuple out;
+      for (size_t i : keep) out.push_back(row[i]);
+      trimmed.rows.push_back(std::move(out));
+    }
+    *table = std::move(trimmed);
+  }
+
+  const GraphStore& store_;
+  const schema::DlSchema& dl_;
+  Database* db_;
+  GraphStats* stats_;
+  BindingTable table_;
+};
+
+}  // namespace
+
+Result<ResultTable> GraphEngine::Run(const pgir::PgirQuery& query,
+                                     GraphStats* stats) const {
+  Execution exec(*store_, *dl_, db_, stats);
+  return exec.Run(query);
+}
+
+}  // namespace raqlet::engine

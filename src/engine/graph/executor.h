@@ -1,0 +1,46 @@
+#ifndef RAQLET_ENGINE_GRAPH_EXECUTOR_H_
+#define RAQLET_ENGINE_GRAPH_EXECUTOR_H_
+
+// Graph engine: interprets PGIR directly over the adjacency-list
+// GraphStore, Neo4j-style — a binding table grows clause by clause, edge
+// patterns expand per-binding via pointer traversal, variable-length and
+// shortest paths run BFS. This is the Table 1 "Neo4j" stand-in
+// (DESIGN.md §2): per-binding interpreted expansion, no set-oriented join
+// planning.
+//
+// Semantics note: intermediate clauses follow Cypher's bag semantics;
+// RETURN DISTINCT deduplicates. The translated queries use DISTINCT (§3),
+// making results comparable across engines.
+
+#include "common/status.h"
+#include "engine/graph/graph_store.h"
+#include "engine/value_ops.h"
+#include "pgir/pgir.h"
+
+namespace raqlet::engine {
+
+struct GraphStats {
+  size_t rows_expanded = 0;  // binding-table rows produced by MATCH steps
+  size_t bfs_visits = 0;     // (node, depth) states visited by BFS
+};
+
+class GraphEngine {
+ public:
+  /// `store`, `dl` and `db` must outlive the engine. The database is
+  /// non-const only to intern string literals from the query.
+  GraphEngine(const GraphStore* store, const schema::DlSchema* dl,
+              Database* db)
+      : store_(store), dl_(dl), db_(db) {}
+
+  Result<ResultTable> Run(const pgir::PgirQuery& query,
+                          GraphStats* stats = nullptr) const;
+
+ private:
+  const GraphStore* store_;
+  const schema::DlSchema* dl_;
+  Database* db_;
+};
+
+}  // namespace raqlet::engine
+
+#endif  // RAQLET_ENGINE_GRAPH_EXECUTOR_H_

@@ -1,0 +1,545 @@
+#include "engine/sql/executor.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+namespace raqlet::engine {
+
+namespace {
+
+using sqir::Cte;
+using sqir::Expr;
+using sqir::NotExists;
+using sqir::Predicate;
+using sqir::Select;
+using sqir::SelectItem;
+using sqir::SqirProgram;
+using sqir::TableRef;
+
+// Resolves a table name to a relation (CTE store first, then base tables).
+using TableResolver =
+    std::function<Result<const Relation*>(const std::string&)>;
+
+void CollectAliases(const Expr& e, std::set<std::string>* aliases) {
+  if (e.kind == Expr::kColumn) aliases->insert(e.table);
+  for (const Expr& child : e.children) CollectAliases(child, aliases);
+}
+
+// One join step of the (shared) plan: scan or probe `table_index`, then
+// apply `filters`.
+struct ProbeSpec {
+  int column = 0;
+  const Expr* key_expr = nullptr;  // evaluated against earlier tables
+};
+
+struct StepPlan {
+  size_t table_index = 0;
+  std::vector<ProbeSpec> probes;
+  std::vector<const Predicate*> filters;
+};
+
+// Evaluates one SELECT block against resolved tables.
+class SelectEvaluator {
+ public:
+  SelectEvaluator(const Select& select, const TableResolver& resolver,
+                  Database* db, SqlMode mode, SqlStats* stats)
+      : select_(select), resolver_(resolver), db_(db), mode_(mode),
+        stats_(stats) {}
+
+  // Appends result tuples to `out` (deduplicated by the relation).
+  Status Evaluate(Relation* out) {
+    RAQLET_RETURN_IF_ERROR(Bind());
+    RAQLET_RETURN_IF_ERROR(Plan());
+    if (!select_.group_by.empty() || HasAggregate()) {
+      return EvaluateWithAggregation(out);
+    }
+    RowBinding binding(tables_.size(), nullptr);
+    if (mode_ == SqlMode::kTuplePipeline) {
+      return Descend(0, &binding, [&](const RowBinding& row) -> Status {
+        RAQLET_ASSIGN_OR_RETURN(Tuple tuple, Project(row));
+        out->Insert(std::move(tuple));
+        return Status::OK();
+      });
+    }
+    // Vectorized: breadth-first batch extension.
+    std::vector<RowBinding> batch = {binding};
+    for (const StepPlan& step : plan_) {
+      std::vector<RowBinding> next;
+      for (RowBinding& row : batch) {
+        RAQLET_RETURN_IF_ERROR(ExtendOne(step, &row, [&](const RowBinding& r) {
+          next.push_back(r);
+          return Status::OK();
+        }));
+      }
+      batch = std::move(next);
+    }
+    for (const RowBinding& row : batch) {
+      RAQLET_ASSIGN_OR_RETURN(bool keep, PassesNotExists(row));
+      if (!keep) continue;
+      RAQLET_ASSIGN_OR_RETURN(Tuple tuple, Project(row));
+      out->Insert(std::move(tuple));
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct BoundTable {
+    std::string alias;
+    const Relation* relation = nullptr;
+  };
+  using RowBinding = std::vector<const Tuple*>;
+
+  bool HasAggregate() const {
+    for (const SelectItem& item : select_.items) {
+      if (item.expr.kind == Expr::kAgg) return true;
+    }
+    return false;
+  }
+
+  Status Bind() {
+    for (const TableRef& ref : select_.from) {
+      RAQLET_ASSIGN_OR_RETURN(const Relation* rel, resolver_(ref.table));
+      tables_.push_back(BoundTable{ref.alias, rel});
+      alias_index_[ref.alias] = tables_.size() - 1;
+    }
+    return Status::OK();
+  }
+
+  int ColumnIndex(size_t table_index, const std::string& column) const {
+    return tables_[table_index].relation->schema().ColumnIndex(column);
+  }
+
+  // Builds the per-step probe/filter plan. Join order is chosen greedily:
+  // the next table is the one with the most equality predicates usable as
+  // index probes given the tables already joined (ties: smaller relation)
+  // — this avoids the cross products a literal FROM-order join would
+  // build for star-shaped rule bodies.
+  Status Plan() {
+    std::vector<bool> used(select_.where.size(), false);
+    std::vector<bool> placed(tables_.size(), false);
+    std::set<std::string> bound;
+
+    auto probe_score = [&](size_t candidate) {
+      const std::string& alias = tables_[candidate].alias;
+      int score = 0;
+      for (size_t p = 0; p < select_.where.size(); ++p) {
+        if (used[p]) continue;
+        const Predicate& pred = select_.where[p];
+        if (pred.op != dlir::CmpOp::kEq) continue;
+        auto counts = [&](const Expr& col_side, const Expr& key_side) {
+          if (col_side.kind != Expr::kColumn || col_side.table != alias) {
+            return false;
+          }
+          std::set<std::string> key_aliases;
+          CollectAliases(key_side, &key_aliases);
+          for (const std::string& a : key_aliases) {
+            if (bound.count(a) == 0) return false;
+          }
+          return true;
+        };
+        if (counts(pred.lhs, pred.rhs) || counts(pred.rhs, pred.lhs)) ++score;
+      }
+      return score;
+    };
+
+    for (size_t n = 0; n < tables_.size(); ++n) {
+      size_t i = 0;
+      int best_score = -1;
+      size_t best_size = 0;
+      for (size_t candidate = 0; candidate < tables_.size(); ++candidate) {
+        if (placed[candidate]) continue;
+        int score = probe_score(candidate);
+        size_t size = tables_[candidate].relation->size();
+        if (score > best_score ||
+            (score == best_score && size < best_size)) {
+          i = candidate;
+          best_score = score;
+          best_size = size;
+        }
+      }
+      placed[i] = true;
+
+      StepPlan step;
+      step.table_index = i;
+      const std::string& alias = tables_[i].alias;
+      // Probes: eq predicates with a bare column of this table on one side
+      // and the other side computable from earlier tables/constants.
+      for (size_t p = 0; p < select_.where.size(); ++p) {
+        if (used[p]) continue;
+        const Predicate& pred = select_.where[p];
+        if (pred.op != dlir::CmpOp::kEq) continue;
+        auto try_probe = [&](const Expr& col_side, const Expr& key_side) {
+          if (col_side.kind != Expr::kColumn || col_side.table != alias) {
+            return false;
+          }
+          std::set<std::string> key_aliases;
+          CollectAliases(key_side, &key_aliases);
+          for (const std::string& a : key_aliases) {
+            if (bound.count(a) == 0) return false;
+          }
+          int col = ColumnIndex(i, col_side.column);
+          if (col < 0) return false;
+          step.probes.push_back(ProbeSpec{col, &key_side});
+          return true;
+        };
+        if (try_probe(pred.lhs, pred.rhs) || try_probe(pred.rhs, pred.lhs)) {
+          used[p] = true;
+        }
+      }
+      bound.insert(alias);
+      // Filters: everything now fully bound.
+      for (size_t p = 0; p < select_.where.size(); ++p) {
+        if (used[p]) continue;
+        std::set<std::string> aliases;
+        CollectAliases(select_.where[p].lhs, &aliases);
+        CollectAliases(select_.where[p].rhs, &aliases);
+        bool ready = true;
+        for (const std::string& a : aliases) {
+          if (bound.count(a) == 0) ready = false;
+        }
+        if (ready) {
+          step.filters.push_back(&select_.where[p]);
+          used[p] = true;
+        }
+      }
+      plan_.push_back(std::move(step));
+    }
+    for (size_t p = 0; p < select_.where.size(); ++p) {
+      if (!used[p]) {
+        return Status::Internal("predicate references unknown alias: " +
+                                select_.where[p].ToString());
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<Value> EvalExpr(const Expr& e, const RowBinding& row) const {
+    switch (e.kind) {
+      case Expr::kColumn: {
+        auto it = alias_index_.find(e.table);
+        if (it == alias_index_.end() || row[it->second] == nullptr) {
+          return Status::Internal("unbound alias " + e.table);
+        }
+        int col = ColumnIndex(it->second, e.column);
+        if (col < 0) {
+          return Status::NotFound("no column " + e.column + " in " + e.table);
+        }
+        return (*row[it->second])[static_cast<size_t>(col)];
+      }
+      case Expr::kConst:
+        return ConstantToValue(e.constant, &db_->symbols());
+      case Expr::kArith: {
+        RAQLET_ASSIGN_OR_RETURN(Value lhs, EvalExpr(e.children[0], row));
+        RAQLET_ASSIGN_OR_RETURN(Value rhs, EvalExpr(e.children[1], row));
+        return EvalArith(e.op, lhs, rhs);
+      }
+      case Expr::kAgg:
+        return Status::Internal("aggregate outside aggregation context");
+    }
+    return Status::Internal("unhandled expr kind");
+  }
+
+  // Extends `row` with every matching row of one step, invoking `sink`.
+  // (The binding slot is restored afterwards.)
+  template <typename Sink>
+  Status ExtendOne(const StepPlan& step, RowBinding* row, Sink sink) {
+    const Relation* rel = tables_[step.table_index].relation;
+
+    auto try_row = [&](const Tuple& candidate) -> Status {
+      if (stats_ != nullptr) ++stats_->rows_scanned;
+      (*row)[step.table_index] = &candidate;
+      for (const Predicate* pred : step.filters) {
+        RAQLET_ASSIGN_OR_RETURN(Value lhs, EvalExpr(pred->lhs, *row));
+        RAQLET_ASSIGN_OR_RETURN(Value rhs, EvalExpr(pred->rhs, *row));
+        if (!CheckCmp(pred->op, lhs, rhs, db_->symbols())) {
+          (*row)[step.table_index] = nullptr;
+          return Status::OK();
+        }
+      }
+      Status s = sink(*row);
+      (*row)[step.table_index] = nullptr;
+      return s;
+    };
+
+    if (!step.probes.empty()) {
+      std::vector<int> cols;
+      Tuple key;
+      for (const ProbeSpec& probe : step.probes) {
+        cols.push_back(probe.column);
+        RAQLET_ASSIGN_OR_RETURN(Value v, EvalExpr(*probe.key_expr, *row));
+        key.push_back(v);
+      }
+      const Relation::KeyIndex& index = rel->GetIndex(cols);
+      auto it = index.find(key);
+      if (it == index.end()) return Status::OK();
+      for (uint32_t row_idx : it->second) {
+        RAQLET_RETURN_IF_ERROR(try_row(rel->rows()[row_idx]));
+      }
+      return Status::OK();
+    }
+    for (const Tuple& candidate : rel->rows()) {
+      RAQLET_RETURN_IF_ERROR(try_row(candidate));
+    }
+    return Status::OK();
+  }
+
+  template <typename Sink>
+  Status Descend(size_t step_index, RowBinding* row, Sink sink) {
+    if (step_index == plan_.size()) {
+      RAQLET_ASSIGN_OR_RETURN(bool keep, PassesNotExists(*row));
+      if (!keep) return Status::OK();
+      return sink(*row);
+    }
+    return ExtendOne(plan_[step_index], row, [&](const RowBinding& r) {
+      RowBinding copy = r;
+      return Descend(step_index + 1, &copy, sink);
+    });
+  }
+
+  Result<bool> PassesNotExists(const RowBinding& row) const {
+    for (const NotExists& ne : select_.not_exists) {
+      RAQLET_ASSIGN_OR_RETURN(const Relation* rel, resolver_(ne.table));
+      std::vector<int> cols;
+      Tuple key;
+      for (const auto& [column, expr] : ne.equalities) {
+        int col = rel->schema().ColumnIndex(column);
+        if (col < 0) {
+          return Status::NotFound("no column " + column + " in " + ne.table);
+        }
+        cols.push_back(col);
+        RAQLET_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, row));
+        key.push_back(v);
+      }
+      bool exists;
+      if (cols.empty()) {
+        exists = !rel->empty();
+      } else {
+        const Relation::KeyIndex& index = rel->GetIndex(cols);
+        exists = index.find(key) != index.end();
+      }
+      if (exists) return false;
+    }
+    return true;
+  }
+
+  Result<Tuple> Project(const RowBinding& row) const {
+    Tuple out;
+    out.reserve(select_.items.size());
+    for (const SelectItem& item : select_.items) {
+      RAQLET_ASSIGN_OR_RETURN(Value v, EvalExpr(item.expr, row));
+      out.push_back(v);
+    }
+    return out;
+  }
+
+  Status EvaluateWithAggregation(Relation* out) {
+    struct AggState {
+      int64_t count = 0;
+      double sum = 0.0;
+      bool any_float = false;
+      std::optional<Value> min;
+      std::optional<Value> max;
+    };
+    // Group key -> state, in first-seen order for determinism.
+    std::map<Tuple, AggState> groups;
+
+    int agg_pos = -1;
+    for (size_t i = 0; i < select_.items.size(); ++i) {
+      if (select_.items[i].expr.kind == Expr::kAgg) {
+        agg_pos = static_cast<int>(i);
+      }
+    }
+    if (agg_pos < 0) {
+      return Status::Internal("aggregation context without aggregate item");
+    }
+    const Expr& agg_expr = select_.items[static_cast<size_t>(agg_pos)].expr;
+
+    auto accumulate = [&](const RowBinding& row) -> Status {
+      Tuple key;
+      for (size_t i = 0; i < select_.items.size(); ++i) {
+        if (static_cast<int>(i) == agg_pos) continue;
+        RAQLET_ASSIGN_OR_RETURN(Value v, EvalExpr(select_.items[i].expr, row));
+        key.push_back(v);
+      }
+      AggState& state = groups[key];
+      state.count += 1;
+      if (!agg_expr.children.empty()) {
+        RAQLET_ASSIGN_OR_RETURN(Value v, EvalExpr(agg_expr.children[0], row));
+        state.any_float |= v.kind() == ValueType::kFloat;
+        state.sum += v.NumericValue();
+        if (!state.min.has_value() ||
+            CompareValues(v, *state.min, db_->symbols()) < 0) {
+          state.min = v;
+        }
+        if (!state.max.has_value() ||
+            CompareValues(v, *state.max, db_->symbols()) > 0) {
+          state.max = v;
+        }
+      }
+      return Status::OK();
+    };
+
+    RowBinding binding(tables_.size(), nullptr);
+    RAQLET_RETURN_IF_ERROR(Descend(0, &binding, accumulate));
+
+    for (const auto& [key, state] : groups) {
+      Value result;
+      switch (agg_expr.agg) {
+        case dlir::AggFunc::kCount:
+          result = Value::Number(state.count);
+          break;
+        case dlir::AggFunc::kSum:
+          result = state.any_float
+                       ? Value::Float(state.sum)
+                       : Value::Number(static_cast<int64_t>(state.sum));
+          break;
+        case dlir::AggFunc::kMin:
+          if (!state.min.has_value()) continue;
+          result = *state.min;
+          break;
+        case dlir::AggFunc::kMax:
+          if (!state.max.has_value()) continue;
+          result = *state.max;
+          break;
+        case dlir::AggFunc::kAvg:
+          result = Value::Float(
+              state.count == 0 ? 0.0
+                               : state.sum / static_cast<double>(state.count));
+          break;
+      }
+      Tuple tuple;
+      size_t ki = 0;
+      for (size_t i = 0; i < select_.items.size(); ++i) {
+        if (static_cast<int>(i) == agg_pos) {
+          tuple.push_back(result);
+        } else {
+          tuple.push_back(key[ki++]);
+        }
+      }
+      out->Insert(std::move(tuple));
+    }
+    return Status::OK();
+  }
+
+  const Select& select_;
+  const TableResolver& resolver_;
+  Database* db_;
+  SqlMode mode_;
+  SqlStats* stats_;
+
+  std::vector<BoundTable> tables_;
+  std::map<std::string, size_t> alias_index_;
+  std::vector<StepPlan> plan_;
+};
+
+RelationSchema CteSchema(const Cte& cte) {
+  RelationSchema schema;
+  schema.name = cte.name;
+  for (const std::string& col : cte.columns) {
+    schema.columns.push_back(Column{col, ValueType::kNumber});
+  }
+  return schema;
+}
+
+}  // namespace
+
+Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
+                                   SqlStats* stats) const {
+  std::map<std::string, std::unique_ptr<Relation>> cte_store;
+
+  TableResolver resolver =
+      [&](const std::string& name) -> Result<const Relation*> {
+    auto it = cte_store.find(name);
+    if (it != cte_store.end()) return it->second.get();
+    RAQLET_ASSIGN_OR_RETURN(const Relation* rel, db->GetRelation(name));
+    return rel;
+  };
+
+  for (const Cte& cte : program.ctes) {
+    auto rel = std::make_unique<Relation>(CteSchema(cte));
+
+    // Partition branches: a branch is recursive iff it references the CTE
+    // itself in its FROM list.
+    std::vector<const Select*> base;
+    std::vector<const Select*> recursive;
+    for (const Select& branch : cte.branches) {
+      bool self_ref = false;
+      for (const TableRef& ref : branch.from) {
+        if (ref.table == cte.name) self_ref = true;
+      }
+      (self_ref ? recursive : base).push_back(&branch);
+    }
+    if (!recursive.empty() && !cte.recursive) {
+      return Status::InvalidArgument("CTE '" + cte.name +
+                                     "' is self-referencing but not marked "
+                                     "recursive");
+    }
+
+    for (const Select* branch : base) {
+      SelectEvaluator eval(*branch, resolver, db, options_.mode, stats);
+      RAQLET_RETURN_IF_ERROR(eval.Evaluate(rel.get()));
+    }
+
+    if (!recursive.empty()) {
+      // SQL:1999 working-table iteration.
+      RelationSchema working_schema = CteSchema(cte);
+      auto working = std::make_unique<Relation>(working_schema);
+      for (const Tuple& row : rel->rows()) working->Insert(row);
+
+      size_t iterations = 0;
+      while (!working->empty()) {
+        ++iterations;
+        if (stats != nullptr) ++stats->recursive_iterations;
+        if (options_.max_recursive_iterations != 0 &&
+            iterations > options_.max_recursive_iterations) {
+          return Status::Unsupported(
+              "recursive CTE '" + cte.name + "' exceeded " +
+              std::to_string(options_.max_recursive_iterations) +
+              " iterations");
+        }
+        TableResolver rec_resolver =
+            [&](const std::string& name) -> Result<const Relation*> {
+          if (name == cte.name) return working.get();
+          return resolver(name);
+        };
+        Relation produced(working_schema);
+        for (const Select* branch : recursive) {
+          SelectEvaluator eval(*branch, rec_resolver, db, options_.mode,
+                               stats);
+          RAQLET_RETURN_IF_ERROR(eval.Evaluate(&produced));
+        }
+        auto next_working = std::make_unique<Relation>(working_schema);
+        for (const Tuple& row : produced.rows()) {
+          if (rel->Insert(row)) next_working->Insert(row);
+        }
+        working = std::move(next_working);
+      }
+    }
+
+    if (stats != nullptr) stats->rows_materialized += rel->size();
+    cte_store.emplace(cte.name, std::move(rel));
+  }
+
+  // Final select.
+  RelationSchema out_schema;
+  out_schema.name = "__result__";
+  for (const sqir::SelectItem& item : program.final_select.items) {
+    out_schema.columns.push_back(Column{item.alias, ValueType::kNumber});
+  }
+  Relation out_rel(out_schema);
+  SelectEvaluator eval(program.final_select, resolver, db, options_.mode,
+                       stats);
+  RAQLET_RETURN_IF_ERROR(eval.Evaluate(&out_rel));
+
+  ResultTable result;
+  for (const sqir::SelectItem& item : program.final_select.items) {
+    result.columns.push_back(item.alias);
+  }
+  result.rows = out_rel.rows();
+  return result;
+}
+
+}  // namespace raqlet::engine

@@ -1,0 +1,58 @@
+#ifndef RAQLET_ENGINE_SQL_EXECUTOR_H_
+#define RAQLET_ENGINE_SQL_EXECUTOR_H_
+
+// SQL/CTE executor for SQIR programs — Raqlet's stand-in for the
+// relational engines of Table 1 (DESIGN.md §2).
+//
+// CTEs materialize in dependency order. WITH RECURSIVE follows SQL:1999
+// semantics: the recursive term sees the *working table* (rows added in
+// the previous iteration), results union (distinct) into the total until
+// the working table empties.
+//
+// Two execution modes exercise genuinely different join code paths:
+//  * kVectorized (DuckDB stand-in): breadth-first — each join step
+//    extends a materialized batch of intermediate bindings.
+//  * kTuplePipeline (HyPer stand-in): depth-first — a binding flows
+//    through the whole join pipeline before the next one starts.
+// Both probe hash indexes for equality predicates.
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+#include "engine/value_ops.h"
+#include "sqir/sqir.h"
+#include "storage/database.h"
+
+namespace raqlet::engine {
+
+enum class SqlMode { kVectorized, kTuplePipeline };
+
+struct SqlOptions {
+  SqlMode mode = SqlMode::kVectorized;
+  /// Safety valve for runaway recursive CTEs (0 = unlimited).
+  size_t max_recursive_iterations = 0;
+};
+
+struct SqlStats {
+  size_t recursive_iterations = 0;
+  size_t rows_materialized = 0;  // CTE rows produced (after dedup)
+  size_t rows_scanned = 0;
+};
+
+class SqlEngine {
+ public:
+  explicit SqlEngine(SqlOptions options = {}) : options_(options) {}
+
+  /// Executes `program` against `db`. The database is non-const only to
+  /// intern string literals appearing in the query.
+  Result<ResultTable> Run(const sqir::SqirProgram& program, Database* db,
+                          SqlStats* stats = nullptr) const;
+
+ private:
+  SqlOptions options_;
+};
+
+}  // namespace raqlet::engine
+
+#endif  // RAQLET_ENGINE_SQL_EXECUTOR_H_

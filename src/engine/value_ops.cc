@@ -1,0 +1,125 @@
+#include "engine/value_ops.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace raqlet::engine {
+
+int CompareValues(const Value& a, const Value& b, const SymbolTable& symbols) {
+  auto numericish = [](ValueType t) {
+    return t == ValueType::kNumber || t == ValueType::kFloat ||
+           t == ValueType::kBool;
+  };
+  if (a.kind() == ValueType::kSymbol && b.kind() == ValueType::kSymbol) {
+    int c = symbols.Resolve(a.AsSymbol()).compare(symbols.Resolve(b.AsSymbol()));
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (numericish(a.kind()) && numericish(b.kind())) {
+    if (a.kind() == ValueType::kNumber && b.kind() == ValueType::kNumber) {
+      int64_t x = a.AsNumber();
+      int64_t y = b.AsNumber();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    double x = a.NumericValue();
+    double y = b.NumericValue();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.kind() != b.kind()) {
+    return static_cast<int>(a.kind()) < static_cast<int>(b.kind()) ? -1 : 1;
+  }
+  if (a == b) return 0;
+  return a < b ? -1 : 1;
+}
+
+bool CheckCmp(dlir::CmpOp op, const Value& lhs, const Value& rhs,
+              const SymbolTable& symbols) {
+  if (op == dlir::CmpOp::kEq) return lhs == rhs;
+  if (op == dlir::CmpOp::kNe) return lhs != rhs;
+  int c = CompareValues(lhs, rhs, symbols);
+  switch (op) {
+    case dlir::CmpOp::kLt:
+      return c < 0;
+    case dlir::CmpOp::kLe:
+      return c <= 0;
+    case dlir::CmpOp::kGt:
+      return c > 0;
+    case dlir::CmpOp::kGe:
+      return c >= 0;
+    default:
+      return false;
+  }
+}
+
+Result<Value> EvalArith(dlir::ArithOp op, const Value& lhs, const Value& rhs) {
+  bool as_float =
+      lhs.kind() == ValueType::kFloat || rhs.kind() == ValueType::kFloat;
+  if (as_float) {
+    double x = lhs.NumericValue();
+    double y = rhs.NumericValue();
+    switch (op) {
+      case dlir::ArithOp::kAdd:
+        return Value::Float(x + y);
+      case dlir::ArithOp::kSub:
+        return Value::Float(x - y);
+      case dlir::ArithOp::kMul:
+        return Value::Float(x * y);
+      case dlir::ArithOp::kDiv:
+        if (y == 0.0) return Status::InvalidArgument("division by zero");
+        return Value::Float(x / y);
+      case dlir::ArithOp::kMod:
+        return Status::InvalidArgument("float modulo unsupported");
+    }
+  }
+  int64_t x = lhs.AsNumber();
+  int64_t y = rhs.AsNumber();
+  switch (op) {
+    case dlir::ArithOp::kAdd:
+      return Value::Number(x + y);
+    case dlir::ArithOp::kSub:
+      return Value::Number(x - y);
+    case dlir::ArithOp::kMul:
+      return Value::Number(x * y);
+    case dlir::ArithOp::kDiv:
+      if (y == 0) return Status::InvalidArgument("division by zero");
+      return Value::Number(x / y);
+    case dlir::ArithOp::kMod:
+      if (y == 0) return Status::InvalidArgument("modulo by zero");
+      return Value::Number(x % y);
+  }
+  return Status::Internal("unhandled arithmetic op");
+}
+
+Value ConstantToValue(const dlir::Constant& c, SymbolTable* symbols) {
+  switch (c.type) {
+    case ValueType::kNumber:
+      return Value::Number(c.num);
+    case ValueType::kFloat:
+      return Value::Float(c.fval);
+    case ValueType::kSymbol:
+      return Value::Symbol(symbols->Intern(c.str));
+    case ValueType::kBool:
+      return Value::Bool(c.bval);
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+std::set<std::string> ResultTable::ToStringSet(
+    const SymbolTable& symbols) const {
+  std::set<std::string> out;
+  for (const Tuple& row : rows) out.insert(TupleToString(row, &symbols));
+  return out;
+}
+
+std::string ResultTable::ToString(const SymbolTable& symbols) const {
+  std::ostringstream os;
+  os << Join(columns, ", ") << "\n";
+  for (const Tuple& row : rows) {
+    os << TupleToString(row, &symbols) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace raqlet::engine

@@ -1,0 +1,14 @@
+#include "gql/parser.h"
+
+#include "cypher/parser.h"
+
+namespace raqlet::gql {
+
+Result<cypher::Query> ParseQuery(const std::string& source) {
+  // The shared grammar already accepts the GQL core (including standalone
+  // FILTER). Dedicated GQL-only surface (LET, FOR, session statements)
+  // would hook in here.
+  return cypher::ParseQuery(source);
+}
+
+}  // namespace raqlet::gql

@@ -1,0 +1,32 @@
+#ifndef RAQLET_GQL_PARSER_H_
+#define RAQLET_GQL_PARSER_H_
+
+// GQL frontend (ISO/IEC 39075:2024 core, Fig. 1's planned "GQL" parser).
+//
+// GQL's graph pattern language was standardized to align with Cypher's
+// (both derive from GPC [16]); Raqlet therefore shares one pattern and
+// expression grammar between the two frontends. The GQL-specific surface
+// supported here:
+//
+//   * standalone `FILTER <predicate>` statements, which conjoin with the
+//     preceding MATCH/WITH;
+//   * the common core statements MATCH / WITH (GQL: also spelled via
+//     RETURN-in-the-middle, which Raqlet models as WITH) / RETURN
+//     [DISTINCT], variable-length paths and shortest paths.
+//
+// The result is the same cypher::Query AST, so the whole PGIR/DLIR
+// pipeline downstream is shared — exactly the paper's point.
+
+#include <string>
+
+#include "common/status.h"
+#include "cypher/ast.h"
+
+namespace raqlet::gql {
+
+/// Parses a GQL query into the shared pattern-query AST.
+Result<cypher::Query> ParseQuery(const std::string& source);
+
+}  // namespace raqlet::gql
+
+#endif  // RAQLET_GQL_PARSER_H_

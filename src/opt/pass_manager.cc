@@ -1,0 +1,74 @@
+#include "opt/pass_manager.h"
+
+#include "opt/magic_sets.h"
+#include "opt/passes.h"
+
+namespace raqlet::opt {
+
+const std::vector<PassInfo>& AllPasses() {
+  static const std::vector<PassInfo>& passes = *new std::vector<PassInfo>{
+      {"inline", "inline single-rule non-recursive IDBs", InlineRules},
+      {"pushdown", "propagate constant equalities into atoms",
+       PushdownConstants},
+      {"self-join-elim", "merge key-equal self-joins (PG-Schema keys)",
+       EliminateKeySelfJoins},
+      {"dedup-atoms", "drop duplicate body atoms", RemoveDuplicateAtoms},
+      {"dre", "dead rule elimination", EliminateDeadRules},
+      {"magic-sets", "magic-set transformation for bound queries",
+       ApplyMagicSets},
+      {"linearize", "linearize TC-shaped non-linear recursion",
+       LinearizeRecursion},
+  };
+  return passes;
+}
+
+Result<PassInfo> FindPass(const std::string& name) {
+  for (const PassInfo& pass : AllPasses()) {
+    if (pass.name == name) return pass;
+  }
+  return Status::NotFound("unknown optimization pass: " + name);
+}
+
+Status PassManager::Add(const std::string& name) {
+  RAQLET_ASSIGN_OR_RETURN(PassInfo pass, FindPass(name));
+  pipeline_.push_back(std::move(pass));
+  return Status::OK();
+}
+
+void PassManager::AddFn(std::string name, PassFn fn) {
+  pipeline_.push_back(PassInfo{std::move(name), "", std::move(fn)});
+}
+
+Result<dlir::Program> PassManager::Run(const dlir::Program& program) const {
+  dlir::Program current = program;
+  for (const PassInfo& pass : pipeline_) {
+    RAQLET_ASSIGN_OR_RETURN(current, pass.fn(current));
+  }
+  return current;
+}
+
+std::vector<std::string> PassManager::PassNames() const {
+  std::vector<std::string> names;
+  names.reserve(pipeline_.size());
+  for (const PassInfo& pass : pipeline_) names.push_back(pass.name);
+  return names;
+}
+
+PassManager PassManager::Standard() {
+  PassManager pm;
+  for (const char* name :
+       {"inline", "pushdown", "self-join-elim", "dedup-atoms", "dre"}) {
+    (void)pm.Add(name);
+  }
+  return pm;
+}
+
+PassManager PassManager::Aggressive() {
+  PassManager pm = Standard();
+  for (const char* name : {"magic-sets", "dre", "linearize"}) {
+    (void)pm.Add(name);
+  }
+  return pm;
+}
+
+}  // namespace raqlet::opt

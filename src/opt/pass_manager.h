@@ -1,0 +1,59 @@
+#ifndef RAQLET_OPT_PASS_MANAGER_H_
+#define RAQLET_OPT_PASS_MANAGER_H_
+
+// Named pass registry and pipelines. Unlike monolithic industrial
+// optimizers, passes can be freely added/removed per target backend
+// (§5, "Extensibility and Portability").
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dlir/program.h"
+
+namespace raqlet::opt {
+
+using PassFn = std::function<Result<dlir::Program>(const dlir::Program&)>;
+
+struct PassInfo {
+  std::string name;
+  std::string description;
+  PassFn fn;
+};
+
+/// All registered passes, in a sensible default order.
+const std::vector<PassInfo>& AllPasses();
+
+/// Looks up one pass by name ("inline", "dre", "pushdown", "dedup-atoms",
+/// "self-join-elim", "magic-sets", "linearize").
+Result<PassInfo> FindPass(const std::string& name);
+
+class PassManager {
+ public:
+  PassManager() = default;
+
+  /// Appends a registered pass by name; fails on unknown names.
+  Status Add(const std::string& name);
+  void AddFn(std::string name, PassFn fn);
+
+  /// Runs the pipeline left to right.
+  Result<dlir::Program> Run(const dlir::Program& program) const;
+
+  std::vector<std::string> PassNames() const;
+
+  /// The paper's "fully optimized" pipeline (Table 1 ✓ rows):
+  /// inline -> pushdown -> self-join-elim -> dedup-atoms -> dre.
+  static PassManager Standard();
+
+  /// Standard plus recursion-aware rewrites (magic sets, linearization) —
+  /// used when targeting backends that benefit from or require them.
+  static PassManager Aggressive();
+
+ private:
+  std::vector<PassInfo> pipeline_;
+};
+
+}  // namespace raqlet::opt
+
+#endif  // RAQLET_OPT_PASS_MANAGER_H_

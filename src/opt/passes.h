@@ -1,0 +1,49 @@
+#ifndef RAQLET_OPT_PASSES_H_
+#define RAQLET_OPT_PASSES_H_
+
+// The §5 DLIR-level optimization passes. Every pass is a pure
+// Program -> Program rewrite; semantic preservation is differential-tested
+// against the unoptimized program on the Datalog engine.
+
+#include "common/status.h"
+#include "dlir/program.h"
+
+namespace raqlet::opt {
+
+/// Inlining (§5, Fig. 4a): replaces positive occurrences of single-rule,
+/// non-recursive, aggregate-free IDB predicates by their definitions,
+/// renaming variables apart. Does not inline into aggregate rules (that
+/// would change witness multiplicity) or into negated atoms. Duplicate
+/// body atoms created by inlining are removed.
+Result<dlir::Program> InlineRules(const dlir::Program& program);
+
+/// Dead rule elimination (§5, Fig. 4b): drops rules and declarations not
+/// reachable (backwards) from any output relation. No-op on programs with
+/// no declared outputs.
+Result<dlir::Program> EliminateDeadRules(const dlir::Program& program);
+
+/// Selection/constant pushdown: propagates `v = <const>` constraints into
+/// atom arguments (turning scans into index probes), folds constant
+/// arithmetic, decides constant comparisons, and drops rules whose
+/// constraints are statically false.
+Result<dlir::Program> PushdownConstants(const dlir::Program& program);
+
+/// Removes exact duplicate positive atoms inside each rule body
+/// (eliminates the trivial self-joins that inlining exposes, Fig. 4a).
+Result<dlir::Program> RemoveDuplicateAtoms(const dlir::Program& program);
+
+/// Semantic join elimination (§5): merges two positive atoms over the same
+/// relation when their primary-key arguments coincide, using the key
+/// knowledge carried over from PG-Schema (node EDBs are keyed on id).
+Result<dlir::Program> EliminateKeySelfJoins(const dlir::Program& program);
+
+/// Linearization [42]: rewrites the non-linear composition rule
+/// `T(a, c) :- T(a, b), T(b, c).` into one linear rule per exit rule of T
+/// (`T(a, c) :- T(a, b), <exit body>(b, c).`), which preserves the
+/// fixpoint for transitive-closure-shaped recursion. Applies only when
+/// the shape matches exactly; otherwise the program is unchanged.
+Result<dlir::Program> LinearizeRecursion(const dlir::Program& program);
+
+}  // namespace raqlet::opt
+
+#endif  // RAQLET_OPT_PASSES_H_

@@ -1,0 +1,95 @@
+#include "pgir/cypher_printer.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace raqlet::pgir {
+
+namespace {
+
+using cypher::EdgeDirection;
+
+std::string NodeText(const NodePat& node) {
+  std::string out = "(" + node.id;
+  if (!node.label.empty()) out += ":" + node.label;
+  return out + ")";
+}
+
+std::string EdgeText(const EdgePat& edge) {
+  std::string inner;
+  // Compiler-generated edge ids (x1, x2, ...) are kept: re-parsing simply
+  // binds them again.
+  inner += edge.id;
+  if (!edge.label.empty()) inner += ":" + edge.label;
+  if (edge.variable_length) {
+    inner += "*";
+    bool unbounded = edge.max_hops == cypher::EdgePattern::kUnboundedHops;
+    if (!(edge.min_hops == 1 && unbounded)) {
+      inner += std::to_string(edge.min_hops) + "..";
+      if (!unbounded) inner += std::to_string(edge.max_hops);
+    }
+  }
+  std::string box = "[" + inner + "]";
+  switch (edge.direction) {
+    case EdgeDirection::kOutgoing:
+      return "-" + box + "->";
+    case EdgeDirection::kIncoming:
+      return "<-" + box + "-";
+    case EdgeDirection::kUndirected:
+      return "-" + box + "-";
+  }
+  return "-" + box + "-";
+}
+
+std::string PatternText(const EdgePat& edge) {
+  std::string out;
+  if (edge.shortest) {
+    std::string path = edge.path_id.empty() ? "" : edge.path_id + " = ";
+    return path + "shortestPath(" + NodeText(edge.src) + EdgeText(edge) +
+           NodeText(edge.dst) + ")";
+  }
+  return NodeText(edge.src) + EdgeText(edge) + NodeText(edge.dst);
+}
+
+std::string ItemsText(const std::vector<Item>& items) {
+  std::vector<std::string> parts;
+  for (const Item& item : items) {
+    parts.push_back(item.expr.ToString() + " AS " + item.alias);
+  }
+  return Join(parts, ", ");
+}
+
+std::string Render(const PgirQuery& query, bool gql_dialect) {
+  std::ostringstream os;
+  for (const Op& op : query.ops) {
+    if (const auto* match = std::get_if<MatchOp>(&op)) {
+      std::vector<std::string> patterns;
+      for (const EdgePat& e : match->edges) patterns.push_back(PatternText(e));
+      for (const NodePat& n : match->nodes) patterns.push_back(NodeText(n));
+      os << "MATCH " << Join(patterns, ", ") << "\n";
+    } else if (const auto* where = std::get_if<WhereOp>(&op)) {
+      os << (gql_dialect ? "FILTER " : "WHERE ")
+         << where->predicate.ToString() << "\n";
+    } else if (const auto* with = std::get_if<WithOp>(&op)) {
+      os << "WITH " << (with->distinct ? "DISTINCT " : "")
+         << ItemsText(with->items) << "\n";
+    } else if (const auto* ret = std::get_if<ReturnOp>(&op)) {
+      os << "RETURN " << (ret->distinct ? "DISTINCT " : "")
+         << ItemsText(ret->items) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string ToCypher(const PgirQuery& query) {
+  return Render(query, /*gql_dialect=*/false);
+}
+
+std::string ToGql(const PgirQuery& query) {
+  return Render(query, /*gql_dialect=*/true);
+}
+
+}  // namespace raqlet::pgir

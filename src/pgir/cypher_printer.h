@@ -1,0 +1,26 @@
+#ifndef RAQLET_PGIR_CYPHER_PRINTER_H_
+#define RAQLET_PGIR_CYPHER_PRINTER_H_
+
+// PGIR -> Cypher / GQL unparsers (the right-hand "Unparsers" column of
+// Fig. 1). Since PGIR is normalized Cypher, unparsing is a direct
+// pretty-print; the GQL dialect differs only in emitting standalone
+// FILTER statements instead of attached WHERE clauses.
+//
+// Round-trip property (tested): parse(ToCypher(q)) lowers to a PGIR that
+// translates to the same DLIR program as q.
+
+#include <string>
+
+#include "pgir/pgir.h"
+
+namespace raqlet::pgir {
+
+/// Renders the query as executable Cypher.
+std::string ToCypher(const PgirQuery& query);
+
+/// Renders the query in GQL's dialect (FILTER statements).
+std::string ToGql(const PgirQuery& query);
+
+}  // namespace raqlet::pgir
+
+#endif  // RAQLET_PGIR_CYPHER_PRINTER_H_

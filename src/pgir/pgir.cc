@@ -1,0 +1,281 @@
+#include "pgir/pgir.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace raqlet::pgir {
+
+namespace {
+
+using cypher::BinOp;
+using cypher::EdgeDirection;
+using cypher::Expr;
+using cypher::ExprKind;
+
+}  // namespace
+
+std::string NodePat::ToString() const {
+  return "(" + id + (label.empty() ? "" : ":" + label) + ")";
+}
+
+std::string EdgePat::ToString() const {
+  std::string inner = id;
+  if (!label.empty()) inner += ":" + label;
+  if (variable_length) {
+    inner += "*" + std::to_string(min_hops) + "..";
+    if (max_hops != cypher::EdgePattern::kUnboundedHops) {
+      inner += std::to_string(max_hops);
+    }
+  }
+  if (shortest) inner += " shortest";
+  std::string arrow;
+  switch (direction) {
+    case EdgeDirection::kOutgoing:
+      arrow = "-[" + inner + "]->";
+      break;
+    case EdgeDirection::kIncoming:
+      arrow = "<-[" + inner + "]-";
+      break;
+    case EdgeDirection::kUndirected:
+      arrow = "-[" + inner + "]-";
+      break;
+  }
+  return src.ToString() + arrow + dst.ToString();
+}
+
+std::string PgirQuery::ToString() const {
+  std::ostringstream os;
+  for (const Op& op : ops) {
+    if (const auto* match = std::get_if<MatchOp>(&op)) {
+      os << "MATCH";
+      for (const EdgePat& e : match->edges) os << "\n  " << e.ToString();
+      for (const NodePat& n : match->nodes) os << "\n  " << n.ToString();
+      os << "\n";
+    } else if (const auto* where = std::get_if<WhereOp>(&op)) {
+      os << "WHERE\n  " << where->predicate.ToString() << "\n";
+    } else if (const auto* with = std::get_if<WithOp>(&op)) {
+      os << "WITH" << (with->distinct ? " DISTINCT" : "");
+      for (const Item& item : with->items) {
+        os << "\n  " << item.expr.ToString() << " AS " << item.alias;
+      }
+      os << "\n";
+    } else if (const auto* ret = std::get_if<ReturnOp>(&op)) {
+      os << "RETURN" << (ret->distinct ? " DISTINCT" : "");
+      for (const Item& item : ret->items) {
+        os << "\n  " << item.expr.ToString() << " AS " << item.alias;
+      }
+      os << "\n";
+    }
+  }
+  for (const std::string& w : warnings) os << "// warning: " << w << "\n";
+  return os.str();
+}
+
+namespace {
+
+class Lowerer {
+ public:
+  explicit Lowerer(const LowerOptions& options) : options_(options) {}
+
+  Result<PgirQuery> Run(const cypher::Query& query) {
+    for (const cypher::Clause& clause : query.clauses) {
+      if (const auto* match = std::get_if<cypher::MatchClause>(&clause)) {
+        RAQLET_RETURN_IF_ERROR(LowerMatch(*match));
+      } else if (const auto* with = std::get_if<cypher::WithClause>(&clause)) {
+        RAQLET_RETURN_IF_ERROR(LowerWith(*with));
+      } else if (const auto* ret = std::get_if<cypher::ReturnClause>(&clause)) {
+        RAQLET_RETURN_IF_ERROR(LowerReturn(*ret));
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  std::string FreshNodeId() { return "n_" + std::to_string(++node_counter_); }
+  std::string FreshEdgeId() { return "x" + std::to_string(++edge_counter_); }
+
+  // Substitutes $parameters by their literal values.
+  Result<Expr> Resolve(const Expr& expr) const {
+    if (expr.kind == ExprKind::kParameter) {
+      auto it = options_.parameters.find(expr.parameter);
+      if (it == options_.parameters.end()) {
+        return Status::InvalidArgument("missing value for parameter $" +
+                                       expr.parameter);
+      }
+      return Expr::Literal(it->second);
+    }
+    Expr resolved = expr;
+    for (Expr& child : resolved.children) {
+      RAQLET_ASSIGN_OR_RETURN(child, Resolve(child));
+    }
+    return resolved;
+  }
+
+  // Turns a pattern's property map into `id.prop = value` conjuncts.
+  Status AddPropertyConjuncts(
+      const std::string& id,
+      const std::vector<std::pair<std::string, Expr>>& properties) {
+    for (const auto& [prop, value] : properties) {
+      RAQLET_ASSIGN_OR_RETURN(Expr resolved, Resolve(value));
+      pending_where_.push_back(Expr::Binary(
+          BinOp::kEq, Expr::Property(id, prop), std::move(resolved)));
+    }
+    return Status::OK();
+  }
+
+  Result<NodePat> LowerNode(const cypher::NodePattern& node) {
+    NodePat out;
+    out.id = node.var.empty() ? FreshNodeId() : node.var;
+    out.label = node.label;
+    RAQLET_RETURN_IF_ERROR(AddPropertyConjuncts(out.id, node.properties));
+    return out;
+  }
+
+  Status LowerMatch(const cypher::MatchClause& match) {
+    MatchOp op;
+    for (const cypher::PathPattern& path : match.patterns) {
+      RAQLET_ASSIGN_OR_RETURN(NodePat current, LowerNode(path.start));
+      if (path.steps.empty()) {
+        op.nodes.push_back(current);
+        if (path.shortest || !path.path_var.empty()) {
+          out_.warnings.push_back("path variable on a single node ignored");
+        }
+        continue;
+      }
+      if (path.shortest && path.steps.size() != 1) {
+        return Status::Unsupported(
+            "shortestPath over multi-step patterns is not supported");
+      }
+      for (const auto& [edge, node] : path.steps) {
+        RAQLET_ASSIGN_OR_RETURN(NodePat next, LowerNode(node));
+        EdgePat e;
+        e.id = edge.var.empty() ? FreshEdgeId() : edge.var;
+        e.label = edge.type;
+        e.direction = edge.direction;
+        e.variable_length = edge.variable_length;
+        e.min_hops = edge.min_hops;
+        e.max_hops = edge.max_hops;
+        e.shortest = path.shortest;
+        if (path.shortest && !edge.variable_length) {
+          // shortestPath((a)-[:K]->(b)) degenerates to a 1..1 path.
+          e.variable_length = true;
+          e.min_hops = 1;
+          e.max_hops = 1;
+        }
+        e.path_id = path.path_var;
+        e.src = current;
+        e.dst = next;
+        RAQLET_RETURN_IF_ERROR(AddPropertyConjuncts(e.id, edge.properties));
+        if (e.variable_length && !edge.var.empty()) {
+          out_.warnings.push_back(
+              "variable-length relationship variable '" + edge.var +
+              "' does not bind a single edge; it is ignored");
+        }
+        op.edges.push_back(std::move(e));
+        current = op.edges.back().dst;
+      }
+    }
+    out_.ops.push_back(std::move(op));
+
+    // Property-map conjuncts plus the explicit WHERE form one WhereOp.
+    std::vector<Expr> conjuncts = std::move(pending_where_);
+    pending_where_.clear();
+    if (match.where.has_value()) {
+      RAQLET_ASSIGN_OR_RETURN(Expr where, Resolve(*match.where));
+      conjuncts.push_back(std::move(where));
+    }
+    if (!conjuncts.empty()) {
+      Expr combined = conjuncts[0];
+      for (size_t i = 1; i < conjuncts.size(); ++i) {
+        combined = Expr::Binary(BinOp::kAnd, std::move(combined),
+                                std::move(conjuncts[i]));
+      }
+      out_.ops.push_back(WhereOp{std::move(combined)});
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<Item>> LowerItems(
+      const std::vector<cypher::ReturnItem>& items) {
+    std::vector<Item> out;
+    std::set<std::string> used;
+    for (const cypher::ReturnItem& item : items) {
+      Item lowered;
+      RAQLET_ASSIGN_OR_RETURN(lowered.expr, Resolve(item.expr));
+      lowered.alias = item.alias;
+      if (lowered.alias.empty()) {
+        switch (lowered.expr.kind) {
+          case ExprKind::kVariable:
+            lowered.alias = lowered.expr.var;
+            break;
+          case ExprKind::kProperty:
+            lowered.alias = lowered.expr.property;
+            break;
+          case ExprKind::kCall:
+            lowered.alias = lowered.expr.function;
+            break;
+          default:
+            lowered.alias = "expr";
+            break;
+        }
+      }
+      // Aliases must be unique column names.
+      std::string base = lowered.alias;
+      int suffix = 1;
+      while (!used.insert(lowered.alias).second) {
+        lowered.alias = base + "_" + std::to_string(++suffix);
+      }
+      out.push_back(std::move(lowered));
+    }
+    return out;
+  }
+
+  Status LowerWith(const cypher::WithClause& with) {
+    WithOp op;
+    op.distinct = with.distinct;
+    RAQLET_ASSIGN_OR_RETURN(op.items, LowerItems(with.items));
+    out_.ops.push_back(std::move(op));
+    if (with.where.has_value()) {
+      RAQLET_ASSIGN_OR_RETURN(Expr where, Resolve(*with.where));
+      out_.ops.push_back(WhereOp{std::move(where)});
+    }
+    return Status::OK();
+  }
+
+  Status LowerReturn(const cypher::ReturnClause& ret) {
+    ReturnOp op;
+    op.distinct = ret.distinct;
+    RAQLET_ASSIGN_OR_RETURN(op.items, LowerItems(ret.items));
+    if (!ret.distinct) {
+      out_.warnings.push_back(
+          "bag semantics approximated by set semantics (deductive backends "
+          "deduplicate); use RETURN DISTINCT for exact equivalence");
+    }
+    if (!ret.order_by.empty()) {
+      out_.warnings.push_back(
+          "ORDER BY dropped: deductive backends lack result ordering (§3)");
+    }
+    if (ret.skip.has_value() || ret.limit.has_value()) {
+      out_.warnings.push_back("SKIP/LIMIT dropped (§3)");
+    }
+    out_.ops.push_back(std::move(op));
+    return Status::OK();
+  }
+
+  const LowerOptions& options_;
+  PgirQuery out_;
+  std::vector<Expr> pending_where_;
+  int node_counter_ = 0;
+  int edge_counter_ = 0;
+};
+
+}  // namespace
+
+Result<PgirQuery> LowerCypher(const cypher::Query& query,
+                              const LowerOptions& options) {
+  Lowerer lowerer(options);
+  return lowerer.Run(query);
+}
+
+}  // namespace raqlet::pgir

@@ -1,0 +1,98 @@
+#ifndef RAQLET_PGIR_PGIR_H_
+#define RAQLET_PGIR_PGIR_H_
+
+// PGIR — Raqlet's Property Graph IR (§3, Fig. 3b), inspired by GPC [16]
+// but extended with the Cypher features the LDBC SNB read workload needs
+// (aggregation, variable-length paths, shortest paths).
+//
+// A PGIR query is a sequence of clause constructs (MATCH, WHERE, WITH,
+// RETURN). Lowering from Cypher normalizes the query: anonymous nodes and
+// edges receive compiler-generated identifiers (x1, x2, ... for edges, per
+// the paper), and inline property conditions ({id: 42}) are extracted into
+// WHERE constructs.
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "cypher/ast.h"
+
+namespace raqlet::pgir {
+
+/// A node pattern: identifier plus optional label.
+struct NodePat {
+  std::string id;
+  std::string label;  // empty = unlabeled
+  std::string ToString() const;
+};
+
+/// An edge pattern between two node patterns. Simple edges have
+/// min_hops == max_hops == 1 and shortest == false.
+struct EdgePat {
+  std::string id;     // unique, compiler-generated when anonymous
+  std::string label;  // relationship type
+  cypher::EdgeDirection direction = cypher::EdgeDirection::kOutgoing;
+  bool variable_length = false;
+  int min_hops = 1;
+  int max_hops = 1;  // EdgePattern::kUnboundedHops when open-ended
+  bool shortest = false;
+  std::string path_id;  // bound path variable (for length(p)), may be empty
+  NodePat src;
+  NodePat dst;
+  std::string ToString() const;
+};
+
+/// MATCH construct: edge patterns plus isolated node patterns.
+struct MatchOp {
+  std::vector<EdgePat> edges;
+  std::vector<NodePat> nodes;
+};
+
+/// WHERE construct: a boolean predicate over the bound identifiers.
+struct WhereOp {
+  cypher::Expr predicate;
+};
+
+struct Item {
+  cypher::Expr expr;
+  std::string alias;  // always non-empty after lowering
+};
+
+/// WITH construct: projection (+ optional aggregation), resets the
+/// visible identifiers to the item aliases.
+struct WithOp {
+  std::vector<Item> items;
+  bool distinct = false;
+};
+
+/// RETURN construct: the final projection.
+struct ReturnOp {
+  std::vector<Item> items;
+  bool distinct = false;
+};
+
+using Op = std::variant<MatchOp, WhereOp, WithOp, ReturnOp>;
+
+struct PgirQuery {
+  std::vector<Op> ops;
+  /// Normalization notes: dropped ORDER BY/SKIP/LIMIT, bag->set semantics.
+  std::vector<std::string> warnings;
+  std::string ToString() const;
+};
+
+struct LowerOptions {
+  /// Values for $parameters appearing in the query.
+  std::map<std::string, dlir::Constant> parameters;
+};
+
+/// Lowers a parsed Cypher query into PGIR (Fig. 3a -> Fig. 3b):
+/// identifier assignment, property-map extraction into WHERE, ORDER
+/// BY/LIMIT removal (warned), parameter substitution.
+Result<PgirQuery> LowerCypher(const cypher::Query& query,
+                              const LowerOptions& options = {});
+
+}  // namespace raqlet::pgir
+
+#endif  // RAQLET_PGIR_PGIR_H_

@@ -1,0 +1,168 @@
+#include "raqlet/compiler.h"
+
+#include "cypher/parser.h"
+#include "dlir/parser.h"
+#include "gql/parser.h"
+#include "sqlpgq/parser.h"
+#include "dlir/souffle_printer.h"
+#include "opt/pass_manager.h"
+#include "pgir/cypher_printer.h"
+#include "pgir/pgir_to_dlir.h"
+#include "sqir/dlir_to_sqir.h"
+#include "sqir/sql_printer.h"
+
+namespace raqlet {
+
+Status Compiler::LoadPgSchema(const std::string& text) {
+  RAQLET_ASSIGN_OR_RETURN(pg_schema_, schema::ParsePgSchema(text));
+  dl_schema_ = schema::TranslateSchema(pg_schema_);
+  schema_loaded_ = true;
+  return Status::OK();
+}
+
+Status Compiler::CreateEdbs(Database* db) const {
+  if (!schema_loaded_) return Status::InvalidArgument("no schema loaded");
+  return schema::CreateEdbRelations(dl_schema_, db);
+}
+
+Result<CompiledQuery> Compiler::CompileGql(
+    const std::string& query, const CompileOptions& options) const {
+  if (!schema_loaded_) {
+    return Status::InvalidArgument(
+        "load a PG-Schema before compiling GQL queries");
+  }
+  CompiledQuery out;
+  RAQLET_ASSIGN_OR_RETURN(out.ast, gql::ParseQuery(query));
+  pgir::LowerOptions lower_options;
+  lower_options.parameters = options.parameters;
+  RAQLET_ASSIGN_OR_RETURN(out.pgir, pgir::LowerCypher(out.ast, lower_options));
+  out.warnings = out.pgir.warnings;
+  RAQLET_ASSIGN_OR_RETURN(out.dlir, pgir::TranslateToDlir(out.pgir, dl_schema_));
+  RAQLET_ASSIGN_OR_RETURN(out.optimized, Optimize(out.dlir, options.opt_level));
+  return out;
+}
+
+Result<CompiledQuery> Compiler::CompileSqlPgq(
+    const std::string& query, const CompileOptions& options) const {
+  if (!schema_loaded_) {
+    return Status::InvalidArgument(
+        "load a PG-Schema before compiling SQL/PGQ queries");
+  }
+  RAQLET_ASSIGN_OR_RETURN(sqlpgq::PgqQuery pgq, sqlpgq::ParseQuery(query));
+  CompiledQuery out;
+  out.ast = std::move(pgq.query);
+  pgir::LowerOptions lower_options;
+  lower_options.parameters = options.parameters;
+  RAQLET_ASSIGN_OR_RETURN(out.pgir, pgir::LowerCypher(out.ast, lower_options));
+  out.warnings = out.pgir.warnings;
+  RAQLET_ASSIGN_OR_RETURN(out.dlir, pgir::TranslateToDlir(out.pgir, dl_schema_));
+  RAQLET_ASSIGN_OR_RETURN(out.optimized, Optimize(out.dlir, options.opt_level));
+  return out;
+}
+
+Result<CompiledQuery> Compiler::CompileCypher(
+    const std::string& query, const CompileOptions& options) const {
+  if (!schema_loaded_) {
+    return Status::InvalidArgument(
+        "load a PG-Schema before compiling Cypher queries");
+  }
+  CompiledQuery out;
+  RAQLET_ASSIGN_OR_RETURN(out.ast, cypher::ParseQuery(query));
+  pgir::LowerOptions lower_options;
+  lower_options.parameters = options.parameters;
+  RAQLET_ASSIGN_OR_RETURN(out.pgir, pgir::LowerCypher(out.ast, lower_options));
+  out.warnings = out.pgir.warnings;
+  RAQLET_ASSIGN_OR_RETURN(out.dlir, pgir::TranslateToDlir(out.pgir, dl_schema_));
+  RAQLET_ASSIGN_OR_RETURN(out.optimized,
+                          Optimize(out.dlir, options.opt_level));
+  return out;
+}
+
+Result<dlir::Program> Compiler::CompileDatalog(const std::string& text) const {
+  RAQLET_ASSIGN_OR_RETURN(dlir::Program program, dlir::ParseProgram(text));
+  RAQLET_RETURN_IF_ERROR(program.Validate());
+  return program;
+}
+
+Result<dlir::Program> Compiler::Optimize(const dlir::Program& program,
+                                         int opt_level) const {
+  switch (opt_level) {
+    case 0:
+      return program;
+    case 1:
+      return opt::PassManager::Standard().Run(program);
+    default:
+      return opt::PassManager::Aggressive().Run(program);
+  }
+}
+
+analysis::AnalysisReport Compiler::Analyze(const dlir::Program& program) const {
+  return analysis::Analyze(program);
+}
+
+std::string Compiler::EmitSouffle(const dlir::Program& program) const {
+  return dlir::ToSouffle(program);
+}
+
+std::string Compiler::EmitCypher(const pgir::PgirQuery& query) const {
+  return pgir::ToCypher(query);
+}
+
+std::string Compiler::EmitGql(const pgir::PgirQuery& query) const {
+  return pgir::ToGql(query);
+}
+
+Result<sqir::SqirProgram> Compiler::ToSqir(const dlir::Program& program) const {
+  return sqir::TranslateToSqir(program);
+}
+
+Result<std::string> Compiler::EmitSql(const dlir::Program& program) const {
+  RAQLET_ASSIGN_OR_RETURN(sqir::SqirProgram sqir_program,
+                          sqir::TranslateToSqir(program));
+  return sqir::ToSql(sqir_program);
+}
+
+Result<engine::ResultTable> Compiler::RunOnDatalog(
+    const dlir::Program& program, Database* db,
+    engine::EvalStats* stats) const {
+  engine::DatalogEngine eng;
+  RAQLET_RETURN_IF_ERROR(eng.Run(program, db, stats));
+  std::vector<std::string> outputs = program.OutputRelations();
+  if (outputs.size() != 1) {
+    return Status::InvalidArgument("expected exactly one output relation");
+  }
+  RAQLET_ASSIGN_OR_RETURN(const Relation* rel, db->GetRelation(outputs[0]));
+  engine::ResultTable result;
+  for (const Column& col : rel->schema().columns) {
+    result.columns.push_back(col.name);
+  }
+  result.rows = rel->rows();
+  return result;
+}
+
+Result<engine::ResultTable> Compiler::RunOnSql(const dlir::Program& program,
+                                               Database* db,
+                                               engine::SqlMode mode,
+                                               engine::SqlStats* stats) const {
+  RAQLET_ASSIGN_OR_RETURN(sqir::SqirProgram sqir_program,
+                          sqir::TranslateToSqir(program));
+  engine::SqlOptions options;
+  options.mode = mode;
+  engine::SqlEngine eng(options);
+  return eng.Run(sqir_program, db, stats);
+}
+
+Result<engine::ResultTable> Compiler::RunOnGraph(
+    const pgir::PgirQuery& query, const engine::GraphStore& store,
+    Database* db, engine::GraphStats* stats) const {
+  engine::GraphEngine eng(&store, &dl_schema_, db);
+  return eng.Run(query, stats);
+}
+
+Result<engine::GraphStore> Compiler::BuildGraphStore(
+    const Database& db) const {
+  if (!schema_loaded_) return Status::InvalidArgument("no schema loaded");
+  return engine::GraphStore::Build(dl_schema_, db);
+}
+
+}  // namespace raqlet

@@ -1,0 +1,140 @@
+#ifndef RAQLET_RAQLET_COMPILER_H_
+#define RAQLET_RAQLET_COMPILER_H_
+
+// raqlet::Compiler — the public entry point tying the Fig. 1 pipeline
+// together: parse (Cypher or Datalog) -> PGIR -> DLIR -> analyses &
+// optimizations -> unparse (Soufflé Datalog / SQL) or execute on any of
+// the three engines.
+//
+// Typical use:
+//
+//   raqlet::Compiler compiler;
+//   RAQLET_RETURN_IF_ERROR(compiler.LoadPgSchema(schema_text));
+//   RAQLET_ASSIGN_OR_RETURN(auto unit, compiler.CompileCypher(query));
+//   std::string datalog = compiler.EmitSouffle(unit.optimized);
+//   RAQLET_ASSIGN_OR_RETURN(std::string sql,
+//                           compiler.EmitSql(unit.optimized));
+//   RAQLET_ASSIGN_OR_RETURN(auto rows,
+//                           compiler.RunOnDatalog(unit.optimized, &db));
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/analyses.h"
+#include "common/status.h"
+#include "cypher/ast.h"
+#include "dlir/program.h"
+#include "engine/datalog/engine.h"
+#include "engine/graph/executor.h"
+#include "engine/graph/graph_store.h"
+#include "engine/sql/executor.h"
+#include "pgir/pgir.h"
+#include "schema/dl_schema.h"
+#include "schema/pg_schema.h"
+#include "sqir/sqir.h"
+
+namespace raqlet {
+
+/// Everything produced while compiling one Cypher query.
+struct CompiledQuery {
+  cypher::Query ast;
+  pgir::PgirQuery pgir;
+  dlir::Program dlir;       // direct translation (paper's unoptimized form)
+  dlir::Program optimized;  // after the requested pass pipeline
+  std::vector<std::string> warnings;
+};
+
+struct CompileOptions {
+  /// Values for $parameters in the query text.
+  std::map<std::string, dlir::Constant> parameters;
+  /// Optimization level: 0 = none, 1 = Standard pipeline (inline,
+  /// pushdown, self-join-elim, dedup-atoms, dre — the paper's "fully
+  /// optimized" Table 1 configuration), 2 = Aggressive (adds magic sets
+  /// and linearization).
+  int opt_level = 1;
+};
+
+class Compiler {
+ public:
+  Compiler() = default;
+
+  /// Loads the PG-Schema (Fig. 2a) and derives the DL-Schema (Fig. 2b).
+  Status LoadPgSchema(const std::string& text);
+
+  const schema::PgSchema& pg_schema() const { return pg_schema_; }
+  const schema::DlSchema& dl_schema() const { return dl_schema_; }
+
+  /// Creates all EDB relations of the loaded schema in `db`.
+  Status CreateEdbs(Database* db) const;
+
+  /// Full Cypher pipeline: parse -> PGIR -> DLIR -> optimize.
+  Result<CompiledQuery> CompileCypher(const std::string& query,
+                                      const CompileOptions& options = {}) const;
+
+  /// GQL frontend (ISO 39075 core; shares the pattern grammar and the
+  /// whole downstream pipeline with Cypher).
+  Result<CompiledQuery> CompileGql(const std::string& query,
+                                   const CompileOptions& options = {}) const;
+
+  /// SQL/PGQ frontend (ISO 9075-16 GRAPH_TABLE core). The graph name in
+  /// the statement is informational (Raqlet has one loaded schema).
+  Result<CompiledQuery> CompileSqlPgq(const std::string& query,
+                                      const CompileOptions& options = {}) const;
+
+  /// Datalog frontend: parse Soufflé-dialect text into DLIR.
+  Result<dlir::Program> CompileDatalog(const std::string& text) const;
+
+  /// Applies the optimization pipeline for `opt_level` to a program.
+  Result<dlir::Program> Optimize(const dlir::Program& program,
+                                 int opt_level = 1) const;
+
+  /// §4 static analysis report.
+  analysis::AnalysisReport Analyze(const dlir::Program& program) const;
+
+  // ---- backends (unparsers) ----
+
+  /// Soufflé Datalog text (Fig. 3d).
+  std::string EmitSouffle(const dlir::Program& program) const;
+  /// Cypher / GQL text from PGIR (Fig. 1's graph-language unparsers).
+  std::string EmitCypher(const pgir::PgirQuery& query) const;
+  std::string EmitGql(const pgir::PgirQuery& query) const;
+  /// Recursive SQL text (Fig. 3e). Fails when recursive SQL cannot express
+  /// the program (mutual/non-linear recursion, lattice relations).
+  Result<std::string> EmitSql(const dlir::Program& program) const;
+  /// The SQIR form (for inspection or direct execution).
+  Result<sqir::SqirProgram> ToSqir(const dlir::Program& program) const;
+
+  // ---- engines ----
+
+  /// Bottom-up Datalog evaluation (Soufflé stand-in). Returns the rows of
+  /// the single output relation.
+  Result<engine::ResultTable> RunOnDatalog(
+      const dlir::Program& program, Database* db,
+      engine::EvalStats* stats = nullptr) const;
+
+  /// Recursive-SQL evaluation (DuckDB/HyPer stand-ins via `mode`).
+  Result<engine::ResultTable> RunOnSql(
+      const dlir::Program& program, Database* db,
+      engine::SqlMode mode = engine::SqlMode::kVectorized,
+      engine::SqlStats* stats = nullptr) const;
+
+  /// Graph-traversal evaluation of PGIR (Neo4j stand-in) over a prebuilt
+  /// store (use BuildGraphStore; building is the analogue of data load).
+  Result<engine::ResultTable> RunOnGraph(
+      const pgir::PgirQuery& query, const engine::GraphStore& store,
+      Database* db, engine::GraphStats* stats = nullptr) const;
+
+  /// Builds the adjacency-list property graph from the EDBs in `db`.
+  Result<engine::GraphStore> BuildGraphStore(const Database& db) const;
+
+ private:
+  schema::PgSchema pg_schema_;
+  schema::DlSchema dl_schema_;
+  bool schema_loaded_ = false;
+};
+
+}  // namespace raqlet
+
+#endif  // RAQLET_RAQLET_COMPILER_H_

@@ -1,0 +1,104 @@
+#include "schema/dl_schema.h"
+
+#include <sstream>
+
+namespace raqlet::schema {
+
+int NodeRelationInfo::PropertyColumn(const std::string& property) const {
+  for (size_t i = 0; i < prop_names.size(); ++i) {
+    if (prop_names[i] == property) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int EdgeRelationInfo::PropertyColumn(const std::string& property) const {
+  for (size_t i = 0; i < prop_names.size(); ++i) {
+    if (prop_names[i] == property) return static_cast<int>(2 + i);
+  }
+  return -1;
+}
+
+const NodeRelationInfo* DlSchema::FindNode(const std::string& label) const {
+  auto it = nodes_by_label.find(label);
+  return it == nodes_by_label.end() ? nullptr : &it->second;
+}
+
+const EdgeRelationInfo* DlSchema::FindEdge(const std::string& label) const {
+  auto it = edges_by_label.find(ToUpperSnake(label));
+  return it == edges_by_label.end() ? nullptr : &it->second;
+}
+
+std::string DlSchema::ToString() const {
+  std::ostringstream os;
+  for (const dlir::RelationDecl& decl : edbs) os << decl.ToString() << "\n";
+  return os.str();
+}
+
+DlSchema TranslateSchema(const PgSchema& pg) {
+  DlSchema dl;
+  for (const NodeTypeDef& node : pg.nodes) {
+    dlir::RelationDecl decl;
+    decl.name = node.label;
+    decl.is_input = true;
+
+    NodeRelationInfo info;
+    info.relation = node.label;
+
+    // The id property comes first (Fig. 2b), the rest keep declared order.
+    int id_index = node.PropertyIndex("id");
+    auto add_prop = [&](const PropertyDef& p) {
+      decl.columns.push_back(Column{p.name, p.type});
+      info.prop_names.push_back(p.name);
+      info.prop_types.push_back(p.type);
+    };
+    if (id_index >= 0) add_prop(node.properties[static_cast<size_t>(id_index)]);
+    for (size_t i = 0; i < node.properties.size(); ++i) {
+      if (static_cast<int>(i) == id_index) continue;
+      add_prop(node.properties[i]);
+    }
+    decl.primary_key = {0};
+
+    dl.edbs.push_back(std::move(decl));
+    dl.nodes_by_label.emplace(node.label, std::move(info));
+  }
+
+  for (const EdgeTypeDef& edge : pg.edges) {
+    const NodeTypeDef* src = pg.FindNodeByTypeName(edge.src_type);
+    const NodeTypeDef* dst = pg.FindNodeByTypeName(edge.dst_type);
+    if (src == nullptr || dst == nullptr) continue;  // validated by parser
+
+    dlir::RelationDecl decl;
+    decl.name = src->label + "_" + ToUpperSnake(edge.label) + "_" + dst->label;
+    decl.is_input = true;
+    decl.columns.push_back(Column{"id1", ValueType::kNumber});
+    decl.columns.push_back(Column{"id2", ValueType::kNumber});
+
+    EdgeRelationInfo info;
+    info.relation = decl.name;
+    info.src_label = src->label;
+    info.dst_label = dst->label;
+    for (const PropertyDef& p : edge.properties) {
+      decl.columns.push_back(Column{p.name, p.type});
+      info.prop_names.push_back(p.name);
+      info.prop_types.push_back(p.type);
+    }
+
+    dl.edbs.push_back(std::move(decl));
+    dl.edges_by_label.emplace(ToUpperSnake(edge.label), std::move(info));
+  }
+  return dl;
+}
+
+Status CreateEdbRelations(const DlSchema& dl, Database* db) {
+  for (const dlir::RelationDecl& decl : dl.edbs) {
+    if (db->HasRelation(decl.name)) continue;
+    RelationSchema schema;
+    schema.name = decl.name;
+    schema.columns = decl.columns;
+    schema.primary_key = decl.primary_key;
+    RAQLET_RETURN_IF_ERROR(db->CreateRelation(std::move(schema)).status());
+  }
+  return Status::OK();
+}
+
+}  // namespace raqlet::schema

@@ -1,0 +1,66 @@
+#ifndef RAQLET_SCHEMA_DL_SCHEMA_H_
+#define RAQLET_SCHEMA_DL_SCHEMA_H_
+
+// DL-Schema: the Datalog-side data model Raqlet derives from a PG-Schema
+// (paper §3, Fig. 2). Every node type becomes an EDB whose first column is
+// the node id; every edge type becomes an EDB named
+// `<SrcLabel>_<UPPER_SNAKE(edgeLabel)>_<DstLabel>` with columns
+// (id1, id2, <edge properties...>).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dlir/program.h"
+#include "schema/pg_schema.h"
+#include "storage/database.h"
+
+namespace raqlet::schema {
+
+/// Lookup info the PGIR->DLIR translator needs for one node label.
+struct NodeRelationInfo {
+  std::string relation;                  // EDB name (= node label)
+  std::vector<std::string> prop_names;   // column names; [0] is "id"
+  std::vector<ValueType> prop_types;
+
+  /// Column position of `property`, or -1.
+  int PropertyColumn(const std::string& property) const;
+  size_t arity() const { return prop_names.size(); }
+};
+
+/// Lookup info for one edge label (keyed by UPPER_SNAKE form).
+struct EdgeRelationInfo {
+  std::string relation;    // EDB name, e.g. Person_IS_LOCATED_IN_City
+  std::string src_label;   // node label of the source
+  std::string dst_label;   // node label of the target
+  std::vector<std::string> prop_names;  // edge property columns (from col 2)
+  std::vector<ValueType> prop_types;
+
+  /// Column position of `property` (offset past id1/id2), or -1.
+  int PropertyColumn(const std::string& property) const;
+  size_t arity() const { return 2 + prop_names.size(); }
+};
+
+struct DlSchema {
+  /// EDB declarations (all is_input = true), ready to prepend to a DLIR
+  /// program.
+  std::vector<dlir::RelationDecl> edbs;
+  std::map<std::string, NodeRelationInfo> nodes_by_label;
+  std::map<std::string, EdgeRelationInfo> edges_by_label;  // UPPER_SNAKE key
+
+  const NodeRelationInfo* FindNode(const std::string& label) const;
+  const EdgeRelationInfo* FindEdge(const std::string& label) const;
+
+  std::string ToString() const;
+};
+
+/// Derives the DL-Schema from `pg` (Fig. 2a -> Fig. 2b).
+DlSchema TranslateSchema(const PgSchema& pg);
+
+/// Creates every EDB of `dl` as an empty relation in `db`.
+Status CreateEdbRelations(const DlSchema& dl, Database* db);
+
+}  // namespace raqlet::schema
+
+#endif  // RAQLET_SCHEMA_DL_SCHEMA_H_

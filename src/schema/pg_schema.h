@@ -1,0 +1,71 @@
+#ifndef RAQLET_SCHEMA_PG_SCHEMA_H_
+#define RAQLET_SCHEMA_PG_SCHEMA_H_
+
+// Property-graph schema model in the spirit of PG-Schema [4], with the
+// paper's Fig. 2a concrete syntax:
+//
+//   CREATE GRAPH {
+//     (personType: Person {id INT, firstName STRING, locationIP STRING}),
+//     (cityType: City {id INT, name STRING}),
+//     (:personType)-[locationType: isLocatedIn {id INT}]->(:cityType)
+//   }
+//
+// Every node type must declare an `id` property; it becomes the first
+// column of the generated EDB (Fig. 2b: "node id is at the first position
+// of the EDB").
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace raqlet::schema {
+
+struct PropertyDef {
+  std::string name;
+  ValueType type = ValueType::kNumber;
+};
+
+struct NodeTypeDef {
+  std::string type_name;  // e.g. personType
+  std::string label;      // e.g. Person
+  std::vector<PropertyDef> properties;
+
+  /// Index of a property by name, or -1.
+  int PropertyIndex(const std::string& property) const;
+};
+
+struct EdgeTypeDef {
+  std::string type_name;   // e.g. locationType
+  std::string label;       // e.g. isLocatedIn
+  std::string src_type;    // node type_name of the source
+  std::string dst_type;    // node type_name of the target
+  std::vector<PropertyDef> properties;
+
+  int PropertyIndex(const std::string& property) const;
+};
+
+struct PgSchema {
+  std::vector<NodeTypeDef> nodes;
+  std::vector<EdgeTypeDef> edges;
+
+  const NodeTypeDef* FindNodeByLabel(const std::string& label) const;
+  const NodeTypeDef* FindNodeByTypeName(const std::string& type_name) const;
+  /// Matches either the declared label (`isLocatedIn`) or its upper-snake
+  /// form (`IS_LOCATED_IN`) as used in Cypher relationship patterns.
+  const EdgeTypeDef* FindEdgeByLabel(const std::string& label) const;
+
+  std::string ToString() const;
+};
+
+/// Converts a camelCase/PascalCase identifier to UPPER_SNAKE
+/// (isLocatedIn -> IS_LOCATED_IN). Identity on already-upper-snake names.
+std::string ToUpperSnake(const std::string& name);
+
+/// Parses the Fig. 2a `CREATE GRAPH { ... }` syntax.
+Result<PgSchema> ParsePgSchema(const std::string& source);
+
+}  // namespace raqlet::schema
+
+#endif  // RAQLET_SCHEMA_PG_SCHEMA_H_

@@ -1,0 +1,99 @@
+#include "sqir/sqir.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace raqlet::sqir {
+
+Expr Expr::Column(std::string table, std::string column) {
+  Expr e;
+  e.kind = kColumn;
+  e.table = std::move(table);
+  e.column = std::move(column);
+  return e;
+}
+
+Expr Expr::Const(dlir::Constant c) {
+  Expr e;
+  e.kind = kConst;
+  e.constant = std::move(c);
+  return e;
+}
+
+Expr Expr::Arith(dlir::ArithOp op, Expr lhs, Expr rhs) {
+  Expr e;
+  e.kind = kArith;
+  e.op = op;
+  e.children.push_back(std::move(lhs));
+  e.children.push_back(std::move(rhs));
+  return e;
+}
+
+Expr Expr::Agg(dlir::AggFunc func, std::vector<Expr> args) {
+  Expr e;
+  e.kind = kAgg;
+  e.agg = func;
+  e.children = std::move(args);
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case kColumn:
+      return table + "." + column;
+    case kConst:
+      return constant.ToString();
+    case kArith:
+      return "(" + children[0].ToString() + " " +
+             dlir::ArithOpToString(op) + " " + children[1].ToString() + ")";
+    case kAgg: {
+      std::string inner = children.empty() ? "*" : children[0].ToString();
+      return std::string(dlir::AggFuncToString(agg)) + "(" + inner + ")";
+    }
+  }
+  return "?";
+}
+
+std::string Predicate::ToString() const {
+  return lhs.ToString() + " " + dlir::CmpOpToString(op) + " " +
+         rhs.ToString();
+}
+
+std::string SqirProgram::ToString() const {
+  std::ostringstream os;
+  auto render_select = [&](const Select& sel) {
+    os << "  SELECT" << (sel.distinct ? " DISTINCT" : "");
+    std::vector<std::string> items;
+    for (const SelectItem& item : sel.items) {
+      items.push_back(item.expr.ToString() + " AS " + item.alias);
+    }
+    os << " " << Join(items, ", ") << "\n  FROM ";
+    std::vector<std::string> from;
+    for (const TableRef& t : sel.from) from.push_back(t.table + " " + t.alias);
+    os << Join(from, ", ") << "\n";
+    if (!sel.where.empty() || !sel.not_exists.empty()) {
+      std::vector<std::string> preds;
+      for (const Predicate& p : sel.where) preds.push_back(p.ToString());
+      for (const NotExists& ne : sel.not_exists) {
+        preds.push_back("NOT EXISTS " + ne.table);
+      }
+      os << "  WHERE " << Join(preds, " AND ") << "\n";
+    }
+    if (!sel.group_by.empty()) {
+      std::vector<std::string> groups;
+      for (const Expr& g : sel.group_by) groups.push_back(g.ToString());
+      os << "  GROUP BY " << Join(groups, ", ") << "\n";
+    }
+  };
+  for (const Cte& cte : ctes) {
+    os << (cte.recursive ? "RECURSIVE " : "") << cte.name << "("
+       << Join(cte.columns, ", ") << ")  -- " << cte.source_predicate << "\n";
+    for (const Select& sel : cte.branches) render_select(sel);
+  }
+  os << "FINAL\n";
+  render_select(final_select);
+  return os.str();
+}
+
+}  // namespace raqlet::sqir

@@ -1,0 +1,91 @@
+#ifndef RAQLET_SQIR_SQIR_H_
+#define RAQLET_SQIR_SQIR_H_
+
+// SQIR — Raqlet's SQL IR (§3, Fig. 3e): a chain of (possibly recursive)
+// common table expressions followed by a final SELECT. Produced from DLIR
+// by sqir/dlir_to_sqir.h, rendered as SQL text by sqir/sql_printer.h, and
+// executed natively by engine/sql.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dlir/program.h"
+
+namespace raqlet::sqir {
+
+/// Scalar expression over the columns of the FROM list.
+struct Expr {
+  enum Kind { kColumn, kConst, kArith, kAgg };
+  Kind kind = kConst;
+  std::string table;   // kColumn: table alias
+  std::string column;  // kColumn: column name
+  dlir::Constant constant;       // kConst
+  dlir::ArithOp op = dlir::ArithOp::kAdd;  // kArith
+  dlir::AggFunc agg = dlir::AggFunc::kCount;  // kAgg
+  std::vector<Expr> children;  // kArith: 2; kAgg: 0 (count(*)) or 1
+
+  static Expr Column(std::string table, std::string column);
+  static Expr Const(dlir::Constant c);
+  static Expr Arith(dlir::ArithOp op, Expr lhs, Expr rhs);
+  static Expr Agg(dlir::AggFunc func, std::vector<Expr> args);
+
+  std::string ToString() const;
+};
+
+struct SelectItem {
+  Expr expr;
+  std::string alias;
+};
+
+/// `lhs op rhs` in the WHERE clause.
+struct Predicate {
+  dlir::CmpOp op = dlir::CmpOp::kEq;
+  Expr lhs;
+  Expr rhs;
+  std::string ToString() const;
+};
+
+struct TableRef {
+  std::string table;  // base relation or CTE name
+  std::string alias;  // R1, R2, ... (paper style)
+};
+
+/// `NOT EXISTS (SELECT 1 FROM table AS t WHERE t.col = expr AND ...)` —
+/// the translation of a negated DLIR atom.
+struct NotExists {
+  std::string table;
+  std::vector<std::pair<std::string, Expr>> equalities;  // column = expr
+};
+
+/// One SELECT block (a CTE branch or the final query).
+struct Select {
+  bool distinct = true;  // set semantics (§3)
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  std::vector<Predicate> where;
+  std::vector<NotExists> not_exists;
+  std::vector<Expr> group_by;  // non-empty only with kAgg items
+};
+
+/// A CTE: `name(columns) AS (branch UNION branch ...)`. For recursive
+/// CTEs, branches that reference `name` form the recursive term.
+struct Cte {
+  std::string name;
+  std::string source_predicate;  // DLIR predicate this CTE implements
+  std::vector<std::string> columns;
+  bool recursive = false;
+  std::vector<Select> branches;
+};
+
+struct SqirProgram {
+  std::vector<Cte> ctes;
+  Select final_select;
+  /// Columns of the final result.
+  std::vector<std::string> output_columns;
+  std::string ToString() const;  // debug form; see sql_printer for SQL
+};
+
+}  // namespace raqlet::sqir
+
+#endif  // RAQLET_SQIR_SQIR_H_

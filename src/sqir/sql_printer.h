@@ -1,0 +1,26 @@
+#ifndef RAQLET_SQIR_SQL_PRINTER_H_
+#define RAQLET_SQIR_SQL_PRINTER_H_
+
+// Renders SQIR as executable SQL text (the paper's Fig. 3e backend).
+// The dialect is the portable core understood by DuckDB/Postgres/HyPer:
+// WITH [RECURSIVE] ... UNION ... and single-quoted string literals.
+
+#include <string>
+
+#include "sqir/sqir.h"
+
+namespace raqlet::sqir {
+
+struct SqlPrintOptions {
+  /// Emit `-- CTE <name> implements <predicate>` comments.
+  bool emit_comments = false;
+  /// UNION (distinct, SQL:1999 recursive semantics) vs UNION ALL.
+  bool union_all = false;
+};
+
+std::string ToSql(const SqirProgram& program,
+                  const SqlPrintOptions& options = {});
+
+}  // namespace raqlet::sqir
+
+#endif  // RAQLET_SQIR_SQL_PRINTER_H_

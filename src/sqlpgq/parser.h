@@ -1,0 +1,43 @@
+#ifndef RAQLET_SQLPGQ_PARSER_H_
+#define RAQLET_SQLPGQ_PARSER_H_
+
+// SQL/PGQ frontend (ISO/IEC 9075-16:2023, Fig. 1's planned "SQL/PGQ"
+// parser). SQL/PGQ embeds GQL-style graph pattern matching in SQL via the
+// GRAPH_TABLE operator; graphs are views over a tabular schema [24].
+//
+// Supported form:
+//
+//   SELECT [DISTINCT] * | col [, col ...]
+//   FROM GRAPH_TABLE ( <graph name>,
+//     MATCH [ANY SHORTEST] <path pattern>
+//     [WHERE <predicate>]
+//     COLUMNS ( <expr> AS <alias> [, ...] )
+//   ) [AS <alias>]
+//
+// with PGQ pattern syntax: labels via IS (`(n IS Person)`), per-element
+// WHERE (`(n IS Person WHERE n.id = 42)`), edge patterns
+// `-[e IS knows]->`, `<-[...]-`, `-[...]-`, and quantifiers
+// `->{m,n}` / `->{m,}` for variable-length paths.
+//
+// The parse result is the shared pattern-query AST (cypher::Query), so
+// the PGIR/DLIR pipeline downstream is identical — the paper's point:
+// one semantic core for all paradigms.
+
+#include <string>
+
+#include "common/status.h"
+#include "cypher/ast.h"
+
+namespace raqlet::sqlpgq {
+
+/// Everything extracted from a SQL/PGQ statement.
+struct PgqQuery {
+  std::string graph_name;  // the GRAPH_TABLE's first argument
+  cypher::Query query;     // lowered to the shared pattern AST
+};
+
+Result<PgqQuery> ParseQuery(const std::string& source);
+
+}  // namespace raqlet::sqlpgq
+
+#endif  // RAQLET_SQLPGQ_PARSER_H_

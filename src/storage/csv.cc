@@ -1,0 +1,99 @@
+#include "storage/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace raqlet {
+
+namespace {
+
+Result<Value> ParseField(Database* db, const std::string& field,
+                         ValueType type) {
+  switch (type) {
+    case ValueType::kNumber: {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::ParseError("not a number: '" + field + "'");
+      }
+      return Value::Number(static_cast<int64_t>(v));
+    }
+    case ValueType::kFloat: {
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::ParseError("not a float: '" + field + "'");
+      }
+      return Value::Float(v);
+    }
+    case ValueType::kSymbol:
+      return db->Str(field);
+    case ValueType::kBool:
+      return Value::Bool(field == "true" || field == "1");
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Status::Internal("unhandled value type");
+}
+
+}  // namespace
+
+Status LoadDelimitedText(Database* db, Relation* relation,
+                         const std::string& text, char delimiter) {
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, delimiter);
+    if (fields.size() != relation->arity()) {
+      return Status::ParseError(
+          relation->name() + " line " + std::to_string(line_no) + ": expected " +
+          std::to_string(relation->arity()) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    Tuple row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      RAQLET_ASSIGN_OR_RETURN(
+          Value v,
+          ParseField(db, fields[i], relation->schema().columns[i].type));
+      row.push_back(v);
+    }
+    relation->Insert(std::move(row));
+  }
+  return Status::OK();
+}
+
+Status LoadDelimitedFile(Database* db, Relation* relation,
+                         const std::string& path, char delimiter) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open facts file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadDelimitedText(db, relation, buffer.str(), delimiter);
+}
+
+std::string DumpDelimitedText(const Database& db, const Relation& relation,
+                              char delimiter) {
+  std::ostringstream os;
+  for (const Tuple& row : relation.rows()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << delimiter;
+      const Value& v = row[i];
+      if (v.kind() == ValueType::kSymbol) {
+        os << db.symbols().Resolve(v.AsSymbol());
+      } else {
+        os << v.ToString();
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace raqlet

@@ -1,0 +1,30 @@
+#ifndef RAQLET_STORAGE_CSV_H_
+#define RAQLET_STORAGE_CSV_H_
+
+// Minimal delimited-text load/store for EDB relations (Soufflé-style
+// facts files: one tuple per line, tab-separated by default).
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace raqlet {
+
+/// Parses `text` into tuples following `relation`'s schema types and
+/// inserts them. Strings are interned into `db`'s symbol table.
+Status LoadDelimitedText(Database* db, Relation* relation,
+                         const std::string& text, char delimiter = '\t');
+
+/// Reads a facts file from disk and loads it into `relation`.
+Status LoadDelimitedFile(Database* db, Relation* relation,
+                         const std::string& path, char delimiter = '\t');
+
+/// Renders `relation` as delimited text, one tuple per line, in insertion
+/// order. Symbols are resolved through `db`'s table.
+std::string DumpDelimitedText(const Database& db, const Relation& relation,
+                              char delimiter = '\t');
+
+}  // namespace raqlet
+
+#endif  // RAQLET_STORAGE_CSV_H_

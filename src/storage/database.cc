@@ -1,0 +1,43 @@
+#include "storage/database.h"
+
+namespace raqlet {
+
+Result<Relation*> Database::CreateRelation(RelationSchema schema) {
+  const std::string name = schema.name;
+  if (relations_.count(name) > 0) {
+    return Status::AlreadyExists("relation already exists: " + name);
+  }
+  auto relation = std::make_unique<Relation>(std::move(schema));
+  Relation* out = relation.get();
+  relations_.emplace(name, std::move(relation));
+  creation_order_.push_back(name);
+  return out;
+}
+
+Result<Relation*> Database::GetRelation(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no such relation: " + name);
+  }
+  return it->second.get();
+}
+
+Result<const Relation*> Database::GetRelation(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no such relation: " + name);
+  }
+  return static_cast<const Relation*>(it->second.get());
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  return creation_order_;
+}
+
+size_t Database::TotalTuples() const {
+  size_t total = 0;
+  for (const auto& [name, rel] : relations_) total += rel->size();
+  return total;
+}
+
+}  // namespace raqlet

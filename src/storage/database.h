@@ -1,0 +1,60 @@
+#ifndef RAQLET_STORAGE_DATABASE_H_
+#define RAQLET_STORAGE_DATABASE_H_
+
+// A Database owns the extensional relations (EDBs) plus the symbol table
+// used to intern every string value inside them. All engines execute
+// against a Database and produce Relations using its symbol table.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/relation.h"
+
+namespace raqlet {
+
+class Database {
+ public:
+  Database() = default;
+
+  // Databases are heavyweight; move-only to avoid silent deep copies.
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// Creates an empty relation. Fails with AlreadyExists on name clash.
+  Result<Relation*> CreateRelation(RelationSchema schema);
+
+  /// Returns the relation or NotFound.
+  Result<Relation*> GetRelation(const std::string& name);
+  Result<const Relation*> GetRelation(const std::string& name) const;
+
+  bool HasRelation(const std::string& name) const {
+    return relations_.count(name) > 0;
+  }
+
+  /// Relation names in creation order.
+  std::vector<std::string> RelationNames() const;
+
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+
+  /// Convenience: interns `text` and wraps it as a symbol Value.
+  Value Str(const std::string& text) { return Value::Symbol(symbols_.Intern(text)); }
+
+  /// Total number of stored tuples across all relations.
+  size_t TotalTuples() const;
+
+ private:
+  SymbolTable symbols_;
+  std::map<std::string, std::unique_ptr<Relation>> relations_;
+  std::vector<std::string> creation_order_;
+};
+
+}  // namespace raqlet
+
+#endif  // RAQLET_STORAGE_DATABASE_H_

@@ -1,0 +1,71 @@
+#include "storage/relation.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace raqlet {
+
+int RelationSchema::ColumnIndex(const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string RelationSchema::ToString() const {
+  std::vector<std::string> cols;
+  cols.reserve(columns.size());
+  for (const Column& c : columns) {
+    cols.push_back(c.name + ": " + ValueTypeToString(c.type));
+  }
+  return name + "(" + Join(cols, ", ") + ")";
+}
+
+bool Relation::Insert(Tuple t) {
+  auto [it, inserted] = dedup_.insert(std::move(t));
+  if (!inserted) return false;
+  rows_.push_back(*it);
+  return true;
+}
+
+void Relation::ReplaceRows(std::vector<Tuple> rows) {
+  Clear();
+  for (Tuple& row : rows) Insert(std::move(row));
+}
+
+void Relation::Clear() {
+  rows_.clear();
+  dedup_.clear();
+  index_cache_.clear();
+}
+
+const Relation::KeyIndex& Relation::GetIndex(
+    const std::vector<int>& key_columns) const {
+  std::string cache_key;
+  for (int c : key_columns) {
+    cache_key += std::to_string(c);
+    cache_key += ',';
+  }
+  CachedIndex& cached = index_cache_[cache_key];
+  for (uint32_t i = static_cast<uint32_t>(cached.rows_indexed);
+       i < rows_.size(); ++i) {
+    Tuple key;
+    key.reserve(key_columns.size());
+    for (int c : key_columns) key.push_back(rows_[i][static_cast<size_t>(c)]);
+    cached.index[std::move(key)].push_back(i);
+  }
+  cached.rows_indexed = rows_.size();
+  return cached.index;
+}
+
+std::string Relation::ToString(const SymbolTable* symbols) const {
+  std::ostringstream os;
+  os << schema_.ToString() << " [" << rows_.size() << " rows]\n";
+  for (const Tuple& row : rows_) {
+    os << "  " << TupleToString(row, symbols) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace raqlet

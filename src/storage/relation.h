@@ -1,0 +1,90 @@
+#ifndef RAQLET_STORAGE_RELATION_H_
+#define RAQLET_STORAGE_RELATION_H_
+
+// Set-semantics tuple storage shared by the Datalog and SQL engines and by
+// the EDB loaders. Insertion order is preserved (the semi-naive evaluator
+// identifies deltas as suffixes of the row vector).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace raqlet {
+
+/// A named column with a logical type.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNumber;
+};
+
+/// Schema of a stored relation. `primary_key` lists column positions that
+/// form a key (used by semantic join elimination); empty means unknown.
+struct RelationSchema {
+  std::string name;
+  std::vector<Column> columns;
+  std::vector<int> primary_key;
+
+  size_t arity() const { return columns.size(); }
+  /// Position of a column by name, or -1.
+  int ColumnIndex(const std::string& column_name) const;
+  std::string ToString() const;
+};
+
+/// A deduplicated, insertion-ordered bag of tuples of fixed arity.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(RelationSchema schema) : schema_(std::move(schema)) {}
+
+  const RelationSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name; }
+  size_t arity() const { return schema_.arity(); }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Inserts `t` if not already present. Returns true if the tuple is new.
+  bool Insert(Tuple t);
+
+  bool Contains(const Tuple& t) const { return dedup_.count(t) > 0; }
+
+  /// Rows in insertion order. Stable across inserts (indices never move).
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  void Clear();
+
+  /// Builds (or returns a cached) hash index mapping the projection of each
+  /// row onto `key_columns` to the list of row indices with that key.
+  /// Indexes are maintained incrementally: rows inserted after the index was
+  /// built are folded in on the next GetIndex call, so interleaving inserts
+  /// and probes (semi-naive evaluation) stays linear.
+  using KeyIndex = std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash>;
+  const KeyIndex& GetIndex(const std::vector<int>& key_columns) const;
+
+  /// Replaces the contents of this relation with `rows` (deduplicated).
+  /// Used by the engine to compact lattice relations at stratum boundaries.
+  void ReplaceRows(std::vector<Tuple> rows);
+
+  std::string ToString(const SymbolTable* symbols = nullptr) const;
+
+ private:
+  struct CachedIndex {
+    KeyIndex index;
+    size_t rows_indexed = 0;  // watermark into rows_
+  };
+
+  RelationSchema schema_;
+  std::vector<Tuple> rows_;
+  std::unordered_set<Tuple, TupleHash> dedup_;
+  // Cache key: comma-joined column list. Mutable: index construction is a
+  // logically-const acceleration structure.
+  mutable std::unordered_map<std::string, CachedIndex> index_cache_;
+};
+
+}  // namespace raqlet
+
+#endif  // RAQLET_STORAGE_RELATION_H_

@@ -1,0 +1,262 @@
+// Tests for the §4 static analyses and backend support checks.
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyses.h"
+#include "dlir/parser.h"
+
+namespace raqlet::analysis {
+namespace {
+
+dlir::Program Parse(const std::string& text) {
+  auto program = dlir::ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+constexpr char kLinearTc[] = R"(
+.decl edge(x: number, y: number)
+.input edge
+.decl tc(x: number, y: number)
+.output tc
+tc(x, y) :- edge(x, y).
+tc(x, y) :- tc(x, z), edge(z, y).
+)";
+
+constexpr char kNonLinearTc[] = R"(
+.decl edge(x: number, y: number)
+.input edge
+.decl tc(x: number, y: number)
+.output tc
+tc(x, y) :- edge(x, y).
+tc(x, y) :- tc(x, z), tc(z, y).
+)";
+
+constexpr char kMutual[] = R"(
+.decl s(x: number, y: number)
+.input s
+.decl even(x: number)
+.decl odd(x: number)
+.output even
+even(0).
+odd(y) :- even(x), s(x, y).
+even(y) :- odd(x), s(x, y).
+)";
+
+TEST(LinearityTest, LinearTcIsLinear) {
+  AnalysisReport report = Analyze(Parse(kLinearTc));
+  EXPECT_TRUE(report.linearity.all_linear);
+  EXPECT_TRUE(report.linearity.nonlinear_rules.empty());
+}
+
+TEST(LinearityTest, NonLinearTcIsFlagged) {
+  AnalysisReport report = Analyze(Parse(kNonLinearTc));
+  EXPECT_FALSE(report.linearity.all_linear);
+  ASSERT_EQ(report.linearity.nonlinear_rules.size(), 1u);
+  EXPECT_NE(report.linearity.nonlinear_rules[0].find("tc(x, z)"),
+            std::string::npos);
+}
+
+TEST(LinearityTest, NonRecursiveRulesAreNotFlagged) {
+  AnalysisReport report = Analyze(Parse(R"(
+.decl a(x: number)
+.input a
+.decl b(x: number)
+b(x) :- a(x), a(x).
+)"));
+  EXPECT_TRUE(report.linearity.all_linear);
+}
+
+TEST(MutualRecursionTest, EvenOddDetected) {
+  AnalysisReport report = Analyze(Parse(kMutual));
+  ASSERT_TRUE(report.mutual.has_mutual_recursion);
+  ASSERT_EQ(report.mutual.mutual_groups.size(), 1u);
+  EXPECT_EQ(report.mutual.mutual_groups[0],
+            (std::vector<std::string>{"even", "odd"}));
+}
+
+TEST(MutualRecursionTest, SelfRecursionIsNotMutual) {
+  AnalysisReport report = Analyze(Parse(kLinearTc));
+  EXPECT_FALSE(report.mutual.has_mutual_recursion);
+}
+
+TEST(StratificationTest, NegationOutsideRecursionIsStratified) {
+  AnalysisReport report = Analyze(Parse(R"(
+.decl edge(x: number, y: number)
+.input edge
+.decl node(x: number)
+.input node
+.decl reach(x: number)
+.decl unreach(x: number)
+.output unreach
+reach(1).
+reach(y) :- reach(x), edge(x, y).
+unreach(x) :- node(x), !reach(x).
+)"));
+  EXPECT_TRUE(report.stratification.stratified);
+  // reach computes in stratum 0; unreach sits above the negation boundary.
+  EXPECT_EQ(report.stratification.strata.at("reach"), 0);
+  EXPECT_EQ(report.stratification.strata.at("unreach"), 1);
+}
+
+TEST(StratificationTest, NegationInRecursionRejected) {
+  AnalysisReport report = Analyze(Parse(R"(
+.decl a(x: number)
+.input a
+.decl p(x: number)
+p(x) :- a(x), !p(x).
+)"));
+  EXPECT_FALSE(report.stratification.stratified);
+  EXPECT_NE(report.stratification.violation.find("negation"),
+            std::string::npos);
+}
+
+TEST(StratificationTest, AggregationInRecursionRejected) {
+  AnalysisReport report = Analyze(Parse(R"(
+.decl edge(x: number, y: number)
+.input edge
+.decl p(x: number, c: number)
+p(x, count(y)) :- p(y, _), edge(x, y).
+)"));
+  EXPECT_FALSE(report.stratification.stratified);
+}
+
+TEST(StratificationTest, AggregationBoundaryRaisesStratum) {
+  AnalysisReport report = Analyze(Parse(R"(
+.decl edge(x: number, y: number)
+.input edge
+.decl deg(x: number, d: number)
+.decl busy(x: number)
+.output busy
+deg(x, count(y)) :- edge(x, y).
+busy(x) :- deg(x, d), d > 3.
+)"));
+  ASSERT_TRUE(report.stratification.stratified);
+  EXPECT_EQ(report.stratification.strata.at("deg"), 1);
+  EXPECT_EQ(report.stratification.strata.at("busy"), 1);
+}
+
+TEST(MonotonicityTest, PositiveProgramIsMonotone) {
+  AnalysisReport report = Analyze(Parse(kLinearTc));
+  EXPECT_TRUE(report.monotonicity.monotone);
+  EXPECT_FALSE(report.monotonicity.uses_lattice);
+}
+
+TEST(MonotonicityTest, NegationBreaksMonotonicity) {
+  AnalysisReport report = Analyze(Parse(R"(
+.decl a(x: number)
+.input a
+.decl b(x: number)
+.input b
+.decl c(x: number)
+c(x) :- a(x), !b(x).
+)"));
+  EXPECT_FALSE(report.monotonicity.monotone);
+  ASSERT_EQ(report.monotonicity.reasons.size(), 1u);
+}
+
+TEST(MonotonicityTest, LatticeReported) {
+  AnalysisReport report = Analyze(Parse(R"(
+.decl edge(x: number, y: number)
+.input edge
+.decl dist(x: number, y: number, d: number) @min
+dist(x, y, 1) :- edge(x, y).
+dist(x, y, d + 1) :- dist(x, z, d), edge(z, y).
+)"));
+  EXPECT_TRUE(report.monotonicity.monotone);  // no negation/agg rules
+  EXPECT_TRUE(report.monotonicity.uses_lattice);
+}
+
+TEST(TerminationTest, ValueInventionWithoutBoundWarns) {
+  AnalysisReport report = Analyze(Parse(R"(
+.decl seed(x: number)
+.input seed
+.decl counter(x: number)
+counter(x) :- seed(x).
+counter(x + 1) :- counter(x).
+)"));
+  EXPECT_TRUE(report.termination.may_diverge);
+  ASSERT_EQ(report.termination.warnings.size(), 1u);
+}
+
+TEST(TerminationTest, LatticeSuppressesWarning) {
+  AnalysisReport report = Analyze(Parse(R"(
+.decl edge(x: number, y: number)
+.input edge
+.decl dist(x: number, y: number, d: number) @min
+dist(x, y, 1) :- edge(x, y).
+dist(x, y, d + 1) :- dist(x, z, d), edge(z, y).
+)"));
+  EXPECT_FALSE(report.termination.may_diverge);
+}
+
+TEST(TerminationTest, BoundConstraintSuppressesWarning) {
+  AnalysisReport report = Analyze(Parse(R"(
+.decl seed(x: number)
+.input seed
+.decl counter(x: number)
+counter(x) :- seed(x).
+counter(y) :- counter(x), y = x + 1, y < 100.
+)"));
+  EXPECT_FALSE(report.termination.may_diverge);
+}
+
+TEST(TerminationTest, PlainTcDoesNotWarn) {
+  AnalysisReport report = Analyze(Parse(kLinearTc));
+  EXPECT_FALSE(report.termination.may_diverge);
+}
+
+TEST(BackendSupportTest, DatalogAcceptsEverythingStratified) {
+  auto program = Parse(kNonLinearTc);
+  AnalysisReport report = Analyze(program);
+  EXPECT_TRUE(CheckBackendSupport(program, report, Backend::kDatalog).ok());
+}
+
+TEST(BackendSupportTest, SqlRejectsMutualRecursion) {
+  auto program = Parse(kMutual);
+  AnalysisReport report = Analyze(program);
+  Status st = CheckBackendSupport(program, report, Backend::kSql);
+  EXPECT_EQ(st.code(), StatusCode::kUnsupported);
+  EXPECT_NE(st.message().find("mutual"), std::string::npos);
+}
+
+TEST(BackendSupportTest, SqlRejectsNonLinearRecursion) {
+  auto program = Parse(kNonLinearTc);
+  AnalysisReport report = Analyze(program);
+  Status st = CheckBackendSupport(program, report, Backend::kSql);
+  EXPECT_EQ(st.code(), StatusCode::kUnsupported);
+  EXPECT_NE(st.message().find("linear"), std::string::npos);
+}
+
+TEST(BackendSupportTest, SqlRejectsLattice) {
+  auto program = Parse(R"(
+.decl edge(x: number, y: number)
+.input edge
+.decl dist(x: number, y: number, d: number) @min
+.output dist
+dist(x, y, 1) :- edge(x, y).
+dist(x, y, d + 1) :- dist(x, z, d), edge(z, y).
+)");
+  AnalysisReport report = Analyze(program);
+  EXPECT_EQ(CheckBackendSupport(program, report, Backend::kSql).code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(BackendSupportTest, SqlAcceptsLinearTc) {
+  auto program = Parse(kLinearTc);
+  AnalysisReport report = Analyze(program);
+  EXPECT_TRUE(CheckBackendSupport(program, report, Backend::kSql).ok());
+}
+
+TEST(AnalysisReportTest, ToStringMentionsEveryAnalysis) {
+  AnalysisReport report = Analyze(Parse(kNonLinearTc));
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("linearity"), std::string::npos);
+  EXPECT_NE(text.find("mutual recursion"), std::string::npos);
+  EXPECT_NE(text.find("stratified"), std::string::npos);
+  EXPECT_NE(text.find("monotone"), std::string::npos);
+  EXPECT_NE(text.find("termination"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace raqlet::analysis

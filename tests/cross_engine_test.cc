@@ -1,0 +1,200 @@
+// Cross-paradigm differential tests (DESIGN.md §5): the same Cypher query,
+// compiled through Raqlet, must produce identical result sets on the
+// graph engine (PGIR traversal), the Datalog engine (semi-naive bottom-up)
+// and the SQL engine (CTE materialization, both modes) — and the
+// optimization pipeline must not change any of them. This is the
+// machine-checkable core of the paper's "golden reference" claim (§6).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "raqlet/compiler.h"
+
+namespace raqlet {
+namespace {
+
+constexpr char kSchema[] = R"(
+CREATE GRAPH {
+  (personType: Person {id INT, firstName STRING, age INT}),
+  (cityType: City {id INT, name STRING}),
+  (:personType)-[locationType: isLocatedIn {id INT}]->(:cityType),
+  (:personType)-[knowsType: knows {id INT}]->(:personType)
+}
+)";
+
+// Deterministic random social graph.
+void FillDb(Database* db, int persons, int cities, int knows_edges,
+            unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> person(1, persons);
+  std::uniform_int_distribution<int> city(1, cities);
+  std::uniform_int_distribution<int> age(18, 80);
+
+  Relation* person_rel = *db->GetRelation("Person");
+  for (int i = 1; i <= persons; ++i) {
+    person_rel->Insert({Value::Number(i),
+                        db->Str("p" + std::to_string(i % 7)),
+                        Value::Number(age(rng))});
+  }
+  Relation* city_rel = *db->GetRelation("City");
+  for (int i = 1; i <= cities; ++i) {
+    city_rel->Insert(
+        {Value::Number(1000 + i), db->Str("c" + std::to_string(i))});
+  }
+  Relation* located = *db->GetRelation("Person_IS_LOCATED_IN_City");
+  int edge_id = 0;
+  for (int i = 1; i <= persons; ++i) {
+    located->Insert({Value::Number(i), Value::Number(1000 + city(rng)),
+                     Value::Number(++edge_id)});
+  }
+  Relation* knows = *db->GetRelation("Person_KNOWS_Person");
+  for (int i = 0; i < knows_edges; ++i) {
+    int a = person(rng);
+    int b = person(rng);
+    if (a == b) continue;
+    knows->Insert({Value::Number(a), Value::Number(b),
+                   Value::Number(++edge_id)});
+  }
+}
+
+struct EngineRuns {
+  std::set<std::string> graph;
+  std::set<std::string> datalog_unopt;
+  std::set<std::string> datalog_opt;
+  std::set<std::string> sql_vectorized;
+  std::set<std::string> sql_pipeline;
+};
+
+class CrossEngineTest : public ::testing::TestWithParam<int> {
+ protected:
+  // Compiles `query` and runs it on every engine/configuration. SQL runs
+  // are skipped (left empty, flagged) when the backend rejects the query
+  // class; everything else must agree.
+  EngineRuns RunEverywhere(const std::string& query, bool* sql_supported) {
+    Compiler compiler;
+    EXPECT_TRUE(compiler.LoadPgSchema(kSchema).ok());
+    Database db;
+    EXPECT_TRUE(compiler.CreateEdbs(&db).ok());
+    FillDb(&db, 30, 4, 60, static_cast<unsigned>(GetParam()) * 77 + 5);
+
+    CompileOptions options;
+    options.opt_level = 0;
+    auto unit = compiler.CompileCypher(query, options);
+    EXPECT_TRUE(unit.ok()) << unit.status().ToString();
+
+    auto optimized = compiler.Optimize(unit->dlir, 2);
+    EXPECT_TRUE(optimized.ok()) << optimized.status().ToString();
+
+    EngineRuns runs;
+    // Graph engine.
+    auto store = compiler.BuildGraphStore(db);
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    auto graph = compiler.RunOnGraph(unit->pgir, *store, &db);
+    EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+    if (graph.ok()) runs.graph = graph->ToStringSet(db.symbols());
+
+    // Datalog engine, unoptimized and aggressively optimized.
+    auto dl1 = compiler.RunOnDatalog(unit->dlir, &db);
+    EXPECT_TRUE(dl1.ok()) << dl1.status().ToString() << "\n"
+                          << unit->dlir.ToString();
+    if (dl1.ok()) runs.datalog_unopt = dl1->ToStringSet(db.symbols());
+    auto dl2 = compiler.RunOnDatalog(*optimized, &db);
+    EXPECT_TRUE(dl2.ok()) << dl2.status().ToString() << "\n"
+                          << optimized->ToString();
+    if (dl2.ok()) runs.datalog_opt = dl2->ToStringSet(db.symbols());
+
+    // SQL engine (when expressible).
+    auto sqir = compiler.ToSqir(unit->dlir);
+    *sql_supported = sqir.ok();
+    if (sqir.ok()) {
+      auto v = compiler.RunOnSql(unit->dlir, &db, engine::SqlMode::kVectorized);
+      EXPECT_TRUE(v.ok()) << v.status().ToString();
+      if (v.ok()) runs.sql_vectorized = v->ToStringSet(db.symbols());
+      auto p =
+          compiler.RunOnSql(unit->dlir, &db, engine::SqlMode::kTuplePipeline);
+      EXPECT_TRUE(p.ok()) << p.status().ToString();
+      if (p.ok()) runs.sql_pipeline = p->ToStringSet(db.symbols());
+    }
+    return runs;
+  }
+
+  void ExpectAllAgree(const std::string& query) {
+    bool sql_supported = false;
+    EngineRuns runs = RunEverywhere(query, &sql_supported);
+    EXPECT_EQ(runs.graph, runs.datalog_unopt) << query;
+    EXPECT_EQ(runs.datalog_unopt, runs.datalog_opt) << query;
+    if (sql_supported) {
+      EXPECT_EQ(runs.datalog_unopt, runs.sql_vectorized) << query;
+      EXPECT_EQ(runs.sql_vectorized, runs.sql_pipeline) << query;
+    }
+  }
+};
+
+TEST_P(CrossEngineTest, PointLookupJoin) {
+  ExpectAllAgree(
+      "MATCH (n:Person {id: 7})-[:IS_LOCATED_IN]->(c:City) "
+      "RETURN DISTINCT n.firstName AS name, c.id AS cityId");
+}
+
+TEST_P(CrossEngineTest, OneHopNeighbourhood) {
+  ExpectAllAgree(
+      "MATCH (a:Person)-[:KNOWS]->(b:Person) WHERE a.id < 5 "
+      "RETURN DISTINCT a.id AS a, b.id AS b");
+}
+
+TEST_P(CrossEngineTest, TwoHopWithFilter) {
+  ExpectAllAgree(
+      "MATCH (a:Person {id: 3})-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person) "
+      "WHERE c.age > 30 RETURN DISTINCT c.id AS id");
+}
+
+TEST_P(CrossEngineTest, IncomingEdges) {
+  ExpectAllAgree(
+      "MATCH (a:Person)<-[:KNOWS]-(b:Person) WHERE a.id = 11 "
+      "RETURN DISTINCT b.id AS id");
+}
+
+TEST_P(CrossEngineTest, UndirectedEdges) {
+  ExpectAllAgree(
+      "MATCH (a:Person {id: 4})-[:KNOWS]-(b:Person) "
+      "RETURN DISTINCT b.id AS id");
+}
+
+TEST_P(CrossEngineTest, DisjunctiveWhere) {
+  ExpectAllAgree(
+      "MATCH (a:Person)-[:KNOWS]->(b:Person) "
+      "WHERE a.id = 2 OR b.id = 9 "
+      "RETURN DISTINCT a.id AS a, b.id AS b");
+}
+
+TEST_P(CrossEngineTest, BoundedVariableLength) {
+  ExpectAllAgree(
+      "MATCH (a:Person {id: 1})-[:KNOWS*1..3]->(b:Person) "
+      "RETURN DISTINCT b.id AS id");
+}
+
+TEST_P(CrossEngineTest, UnboundedReachability) {
+  ExpectAllAgree(
+      "MATCH (a:Person {id: 2})-[:KNOWS*]->(b:Person) "
+      "RETURN DISTINCT b.id AS id");
+}
+
+TEST_P(CrossEngineTest, ShortestPathLengths) {
+  // Lattice recursion: Datalog + graph only (SQL rejects; checked inside).
+  ExpectAllAgree(
+      "MATCH p = shortestPath((a:Person {id: 1})-[:KNOWS*]->(b:Person)) "
+      "RETURN DISTINCT b.id AS id, length(p) AS len");
+}
+
+TEST_P(CrossEngineTest, AggregationCounts) {
+  ExpectAllAgree(
+      "MATCH (a:Person)-[:KNOWS]->(b:Person) "
+      "WITH a, count(b) AS friends "
+      "RETURN DISTINCT a.id AS id, friends");
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, CrossEngineTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace raqlet

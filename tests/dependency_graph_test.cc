@@ -1,0 +1,120 @@
+// Tests for the predicate dependency graph and its SCC decomposition.
+
+#include <gtest/gtest.h>
+
+#include "analysis/dependency_graph.h"
+#include "dlir/parser.h"
+
+namespace raqlet::analysis {
+namespace {
+
+dlir::Program Parse(const std::string& text) {
+  auto program = dlir::ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+TEST(DependencyGraphTest, LinearRecursionSelfLoop) {
+  auto program = Parse(R"(
+.decl edge(x: number, y: number)
+.decl tc(x: number, y: number)
+tc(x, y) :- edge(x, y).
+tc(x, y) :- tc(x, z), edge(z, y).
+)");
+  DependencyGraph g = DependencyGraph::Build(program);
+  EXPECT_TRUE(g.HasEdge("edge", "tc"));
+  EXPECT_TRUE(g.HasEdge("tc", "tc"));
+  EXPECT_FALSE(g.HasEdge("tc", "edge"));
+  EXPECT_TRUE(g.IsRecursivePredicate("tc"));
+  EXPECT_FALSE(g.IsRecursivePredicate("edge"));
+}
+
+TEST(DependencyGraphTest, TopologicalOrderRespectsDependencies) {
+  auto program = Parse(R"(
+.decl a(x: number)
+.decl b(x: number)
+.decl c(x: number)
+b(x) :- a(x).
+c(x) :- b(x).
+)");
+  DependencyGraph g = DependencyGraph::Build(program);
+  const auto& sccs = g.SccsInTopologicalOrder();
+  EXPECT_LT(g.SccOf("a"), g.SccOf("b"));
+  EXPECT_LT(g.SccOf("b"), g.SccOf("c"));
+  EXPECT_EQ(sccs.size(), 3u);
+}
+
+TEST(DependencyGraphTest, MutualRecursionOneScc) {
+  auto program = Parse(R"(
+.decl s(x: number, y: number)
+.decl even(x: number)
+.decl odd(x: number)
+even(0).
+odd(y) :- even(x), s(x, y).
+even(y) :- odd(x), s(x, y).
+)");
+  DependencyGraph g = DependencyGraph::Build(program);
+  EXPECT_EQ(g.SccOf("even"), g.SccOf("odd"));
+  EXPECT_TRUE(g.IsRecursiveScc(g.SccOf("even")));
+  EXPECT_NE(g.SccOf("s"), g.SccOf("even"));
+}
+
+TEST(DependencyGraphTest, EdgeFlagsForNegationAndAggregation) {
+  auto program = Parse(R"(
+.decl a(x: number)
+.decl b(x: number)
+.decl c(x: number, n: number)
+b(x) :- a(x), !c(x, _).
+c(x, count(y)) :- a(x), a(y).
+)");
+  DependencyGraph g = DependencyGraph::Build(program);
+  bool found_negated = false;
+  bool found_aggregated = false;
+  for (const DependencyEdge& e : g.edges()) {
+    if (e.from == "c" && e.to == "b" && e.negated) found_negated = true;
+    if (e.from == "a" && e.to == "c" && e.aggregated) found_aggregated = true;
+  }
+  EXPECT_TRUE(found_negated);
+  EXPECT_TRUE(found_aggregated);
+}
+
+TEST(DependencyGraphTest, IsolatedDeclsAreNodes) {
+  auto program = Parse(".decl lonely(x: number)");
+  DependencyGraph g = DependencyGraph::Build(program);
+  EXPECT_EQ(g.predicates().count("lonely"), 1u);
+  EXPECT_GE(g.SccOf("lonely"), 0);
+  EXPECT_FALSE(g.IsRecursivePredicate("lonely"));
+}
+
+TEST(DependencyGraphTest, DependenciesOfCollectsBodyPreds) {
+  auto program = Parse(R"(
+.decl a(x: number)
+.decl b(x: number)
+.decl c(x: number)
+c(x) :- a(x), b(x).
+)");
+  DependencyGraph g = DependencyGraph::Build(program);
+  EXPECT_EQ(g.DependenciesOf("c"), (std::set<std::string>{"a", "b"}));
+}
+
+TEST(DependencyGraphTest, LargeCycleIsOneScc) {
+  // a -> b -> c -> d -> a.
+  auto program = Parse(R"(
+.decl a(x: number)
+.decl b(x: number)
+.decl c(x: number)
+.decl d(x: number)
+b(x) :- a(x).
+c(x) :- b(x).
+d(x) :- c(x).
+a(x) :- d(x).
+)");
+  DependencyGraph g = DependencyGraph::Build(program);
+  EXPECT_EQ(g.SccOf("a"), g.SccOf("d"));
+  int scc = g.SccOf("a");
+  EXPECT_TRUE(g.IsRecursiveScc(scc));
+  EXPECT_EQ(g.SccsInTopologicalOrder()[static_cast<size_t>(scc)].size(), 4u);
+}
+
+}  // namespace
+}  // namespace raqlet::analysis

@@ -1,0 +1,100 @@
+// Parser robustness: every frontend must return a Status (never crash,
+// hang, or throw) on arbitrary garbage — random token soups and random
+// mutations of valid inputs.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cypher/parser.h"
+#include "dlir/parser.h"
+#include "schema/pg_schema.h"
+#include "sqlpgq/parser.h"
+
+namespace raqlet {
+namespace {
+
+const char* const kTokenPool[] = {
+    "MATCH",  "WHERE",  "RETURN", "WITH",   "DISTINCT", "FILTER", "AS",
+    "(",      ")",      "[",      "]",      "{",        "}",      ",",
+    ":",      "-",      "->",     "<-",     "*",        "..",     "=",
+    "<>",     "<=",     ".",      "n",      "Person",   "id",     "42",
+    "3.5",    "\"x\"",  "$p",     "count",  "shortestPath", "IS",
+    ".decl",  ".input", ".output", ":-",    "!",        "+",      "/",
+    "number", "symbol", "@min",   "SELECT", "FROM",     "GRAPH_TABLE",
+    "COLUMNS", "AND",   "OR",     "NOT",
+};
+
+std::string RandomTokenSoup(std::mt19937* rng, int length) {
+  std::uniform_int_distribution<size_t> pick(0, std::size(kTokenPool) - 1);
+  std::string out;
+  for (int i = 0; i < length; ++i) {
+    out += kTokenPool[pick(*rng)];
+    out += ' ';
+  }
+  return out;
+}
+
+std::string Mutate(const std::string& input, std::mt19937* rng) {
+  std::string out = input;
+  std::uniform_int_distribution<int> op(0, 2);
+  for (int i = 0; i < 4 && !out.empty(); ++i) {
+    std::uniform_int_distribution<size_t> pos(0, out.size() - 1);
+    size_t p = pos(*rng);
+    switch (op(*rng)) {
+      case 0:
+        out.erase(p, 1);
+        break;
+      case 1:
+        out.insert(p, 1, out[pos(*rng)]);
+        break;
+      default:
+        out[p] = "(){}[],.:-*"[pos(*rng) % 11];
+        break;
+    }
+  }
+  return out;
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzzTest, TokenSoupNeverCrashes) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 97 + 13);
+  for (int i = 0; i < 50; ++i) {
+    std::string soup = RandomTokenSoup(&rng, 2 + i % 40);
+    // Each call must return; the result (ok or error) is irrelevant.
+    (void)cypher::ParseQuery(soup);
+    (void)dlir::ParseProgram(soup);
+    (void)schema::ParsePgSchema(soup);
+    (void)sqlpgq::ParseQuery(soup);
+  }
+  SUCCEED();
+}
+
+TEST_P(ParserFuzzTest, MutatedValidInputsNeverCrash) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 131 + 7);
+  const std::string valid_cypher =
+      "MATCH (n:Person {id: 42})-[:KNOWS*1..3]->(m:Person) WHERE m.age > 10 "
+      "RETURN DISTINCT m.name AS name, count(n) AS c";
+  const std::string valid_datalog =
+      ".decl e(x: number, y: number)\n.input e\n.decl t(x: number, y: "
+      "number)\n.output t\nt(x, y) :- e(x, y).\nt(x, y) :- t(x, z), e(z, "
+      "y).";
+  const std::string valid_schema =
+      "CREATE GRAPH { (a: A {id INT}), (:a)-[e: rel {id INT}]->(:a) }";
+  const std::string valid_pgq =
+      "SELECT * FROM GRAPH_TABLE (g, MATCH (n IS A WHERE n.id = 1) COLUMNS "
+      "(n.id AS id))";
+  for (int i = 0; i < 50; ++i) {
+    (void)cypher::ParseQuery(Mutate(valid_cypher, &rng));
+    (void)dlir::ParseProgram(Mutate(valid_datalog, &rng));
+    (void)schema::ParsePgSchema(Mutate(valid_schema, &rng));
+    (void)sqlpgq::ParseQuery(Mutate(valid_pgq, &rng));
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace raqlet

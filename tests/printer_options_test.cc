@@ -1,0 +1,127 @@
+// Tests for unparser options and explicit optimizer entry points not
+// covered elsewhere: Soufflé printer flags, SQL printer flags, and the
+// explicit magic-set API.
+
+#include <gtest/gtest.h>
+
+#include "dlir/parser.h"
+#include "dlir/souffle_printer.h"
+#include "opt/magic_sets.h"
+#include "sqir/dlir_to_sqir.h"
+#include "sqir/sql_printer.h"
+
+namespace raqlet {
+namespace {
+
+dlir::Program Parse(const std::string& text) {
+  auto program = dlir::ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+constexpr char kTc[] = R"(
+.decl edge(x: number, y: number)
+.input edge
+.decl tc(x: number, y: number)
+.output tc
+tc(x, y) :- edge(x, y).
+tc(x, y) :- tc(x, z), edge(z, y).
+)";
+
+TEST(SoufflePrinterOptionsTest, IoDirectivesCanBeSuppressed) {
+  dlir::SouffleOptions options;
+  options.emit_io_directives = false;
+  std::string text = dlir::ToSouffle(Parse(kTc), options);
+  EXPECT_EQ(text.find(".input"), std::string::npos);
+  EXPECT_EQ(text.find(".output"), std::string::npos);
+  EXPECT_NE(text.find(".decl edge"), std::string::npos);
+}
+
+TEST(SoufflePrinterOptionsTest, CommentsCanBeSuppressed) {
+  dlir::SouffleOptions options;
+  options.emit_comments = false;
+  std::string text = dlir::ToSouffle(Parse(R"(
+.decl d(x: number, v: number) @min
+)"), options);
+  EXPECT_EQ(text.find("lattice relation"), std::string::npos);
+  // The subsumption clause itself is still emitted (it is semantics, not
+  // commentary).
+  EXPECT_NE(text.find("<="), std::string::npos);
+}
+
+TEST(SqlPrinterOptionsTest, CommentsNameSourcePredicates) {
+  auto sqir = sqir::TranslateToSqir(Parse(kTc));
+  ASSERT_TRUE(sqir.ok());
+  sqir::SqlPrintOptions options;
+  options.emit_comments = true;
+  std::string sql = sqir::ToSql(*sqir, options);
+  EXPECT_NE(sql.find("-- V1 implements tc"), std::string::npos);
+}
+
+TEST(SqlPrinterOptionsTest, UnionAllMode) {
+  auto sqir = sqir::TranslateToSqir(Parse(kTc));
+  ASSERT_TRUE(sqir.ok());
+  sqir::SqlPrintOptions options;
+  options.union_all = true;
+  std::string sql = sqir::ToSql(*sqir, options);
+  EXPECT_NE(sql.find("UNION ALL"), std::string::npos);
+}
+
+TEST(MagicSetsApiTest, RejectsBadAdornment) {
+  auto program = Parse(kTc);
+  auto result = opt::ApplyMagicSetsTo(program, "tc", "bfx");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(opt::ApplyMagicSetsTo(program, "ghost", "bf").ok());
+}
+
+TEST(MagicSetsApiTest, AllFreeAdornmentIsIdentity) {
+  auto program = Parse(kTc);
+  auto result = opt::ApplyMagicSetsTo(program, "tc", "ff");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rules.size(), program.rules.size());
+}
+
+TEST(MagicSetsApiTest, NoCallSiteIsIdentity) {
+  // tc is output itself; no output rule *calls* it with constants.
+  auto program = Parse(kTc);
+  auto result = opt::ApplyMagicSetsTo(program, "tc", "bf");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->FindDecl("m_tc_bf"), nullptr);
+}
+
+TEST(DlirParserErrorsTest, PositionsAndMessages) {
+  auto missing_dot = dlir::ParseProgram(".decl a(x: number)\na(1)");
+  ASSERT_FALSE(missing_dot.ok());
+  EXPECT_NE(missing_dot.status().message().find("line 2"), std::string::npos);
+
+  auto bad_cmp = dlir::ParseProgram(R"(
+.decl a(x: number)
+.decl b(x: number)
+b(x) :- a(x), x ~ 3.
+)");
+  EXPECT_FALSE(bad_cmp.ok());
+
+  auto negative = dlir::ParseProgram(R"(
+.decl a(x: number)
+a(-5).
+)");
+  ASSERT_TRUE(negative.ok()) << negative.status().ToString();
+  // -5 parses as 0 - 5 (constant-foldable by the optimizer).
+  EXPECT_EQ(negative->rules[0].head.args[0].kind, dlir::TermKind::kBinary);
+}
+
+TEST(DlirParserErrorsTest, BlockCommentsAndLineComments) {
+  auto program = dlir::ParseProgram(R"(
+// line comment
+.decl a(x: number) /* block
+   spanning lines */
+.decl b(x: number)
+b(x) :- a(x).  // trailing
+)");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->rules.size(), 1u);
+}
+
+}  // namespace
+}  // namespace raqlet

@@ -1,0 +1,147 @@
+// Tests for schema/: PG-Schema parsing (Fig. 2a) and the PG->DL schema
+// translation (Fig. 2b).
+
+#include <gtest/gtest.h>
+
+#include "schema/dl_schema.h"
+#include "schema/pg_schema.h"
+
+namespace raqlet::schema {
+namespace {
+
+constexpr char kPaperSchema[] = R"(
+CREATE GRAPH {
+  (personType: Person {id INT, firstName STRING, locationIP STRING}),
+  (cityType: City {id INT, name STRING}),
+  (:personType)-[locationType: isLocatedIn {id INT}]->(:cityType)
+}
+)";
+
+TEST(PgSchemaTest, ParsesPaperExample) {
+  auto schema = ParsePgSchema(kPaperSchema);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  ASSERT_EQ(schema->nodes.size(), 2u);
+  ASSERT_EQ(schema->edges.size(), 1u);
+  EXPECT_EQ(schema->nodes[0].type_name, "personType");
+  EXPECT_EQ(schema->nodes[0].label, "Person");
+  EXPECT_EQ(schema->nodes[0].properties.size(), 3u);
+  EXPECT_EQ(schema->edges[0].label, "isLocatedIn");
+  EXPECT_EQ(schema->edges[0].src_type, "personType");
+  EXPECT_EQ(schema->edges[0].dst_type, "cityType");
+}
+
+TEST(PgSchemaTest, LookupByLabelAndTypeName) {
+  auto schema = ParsePgSchema(kPaperSchema);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_NE(schema->FindNodeByLabel("City"), nullptr);
+  EXPECT_EQ(schema->FindNodeByLabel("Ghost"), nullptr);
+  EXPECT_NE(schema->FindNodeByTypeName("cityType"), nullptr);
+  // Edge label matches both declared and upper-snake spelling.
+  EXPECT_NE(schema->FindEdgeByLabel("isLocatedIn"), nullptr);
+  EXPECT_NE(schema->FindEdgeByLabel("IS_LOCATED_IN"), nullptr);
+}
+
+TEST(PgSchemaTest, RequiresNodeId) {
+  auto schema = ParsePgSchema("CREATE GRAPH { (t: NoId {name STRING}) }");
+  ASSERT_FALSE(schema.ok());
+  EXPECT_NE(schema.status().message().find("'id'"), std::string::npos);
+}
+
+TEST(PgSchemaTest, RejectsUnknownEndpoint) {
+  auto schema = ParsePgSchema(R"(
+CREATE GRAPH {
+  (a: A {id INT}),
+  (:a)-[e: rel]->(:ghost)
+}
+)");
+  EXPECT_FALSE(schema.ok());
+}
+
+TEST(PgSchemaTest, RejectsUnknownPropertyType) {
+  auto schema =
+      ParsePgSchema("CREATE GRAPH { (a: A {id INT, x BLOB}) }");
+  EXPECT_FALSE(schema.ok());
+}
+
+TEST(PgSchemaTest, NodesWithoutPropertiesNeedIdToo) {
+  auto schema = ParsePgSchema("CREATE GRAPH { (a: A) }");
+  EXPECT_FALSE(schema.ok());  // no id property
+}
+
+TEST(PgSchemaTest, ToStringRoundTrips) {
+  auto schema = ParsePgSchema(kPaperSchema);
+  ASSERT_TRUE(schema.ok());
+  auto reparsed = ParsePgSchema(schema->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->ToString(), schema->ToString());
+}
+
+TEST(UpperSnakeTest, ConvertsCamelCase) {
+  EXPECT_EQ(ToUpperSnake("isLocatedIn"), "IS_LOCATED_IN");
+  EXPECT_EQ(ToUpperSnake("knows"), "KNOWS");
+  EXPECT_EQ(ToUpperSnake("KNOWS"), "KNOWS");
+  EXPECT_EQ(ToUpperSnake("hasCreator"), "HAS_CREATOR");
+  EXPECT_EQ(ToUpperSnake("IS_LOCATED_IN"), "IS_LOCATED_IN");
+}
+
+TEST(DlSchemaTest, TranslatesPaperExample) {
+  auto pg = ParsePgSchema(kPaperSchema);
+  ASSERT_TRUE(pg.ok());
+  DlSchema dl = TranslateSchema(*pg);
+
+  ASSERT_EQ(dl.edbs.size(), 3u);
+  EXPECT_EQ(dl.edbs[0].name, "Person");
+  EXPECT_EQ(dl.edbs[1].name, "City");
+  EXPECT_EQ(dl.edbs[2].name, "Person_IS_LOCATED_IN_City");
+  // Edge EDB columns: (id1, id2, <props>) per Fig. 2b.
+  ASSERT_EQ(dl.edbs[2].columns.size(), 3u);
+  EXPECT_EQ(dl.edbs[2].columns[0].name, "id1");
+  EXPECT_EQ(dl.edbs[2].columns[1].name, "id2");
+  EXPECT_EQ(dl.edbs[2].columns[2].name, "id");
+  // All EDBs are inputs; node primary key is the id column.
+  for (const auto& decl : dl.edbs) EXPECT_TRUE(decl.is_input);
+  EXPECT_EQ(dl.edbs[0].primary_key, std::vector<int>{0});
+}
+
+TEST(DlSchemaTest, IdMovesToFirstColumn) {
+  auto pg = ParsePgSchema(
+      "CREATE GRAPH { (t: Tagged {name STRING, id INT, score FLOAT}) }");
+  ASSERT_TRUE(pg.ok());
+  DlSchema dl = TranslateSchema(*pg);
+  ASSERT_EQ(dl.edbs[0].columns.size(), 3u);
+  EXPECT_EQ(dl.edbs[0].columns[0].name, "id");
+  EXPECT_EQ(dl.edbs[0].columns[1].name, "name");
+  EXPECT_EQ(dl.edbs[0].columns[2].name, "score");
+  const NodeRelationInfo* info = dl.FindNode("Tagged");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->PropertyColumn("score"), 2);
+  EXPECT_EQ(info->PropertyColumn("id"), 0);
+}
+
+TEST(DlSchemaTest, EdgePropertyColumnsOffsetPastEndpoints) {
+  auto pg = ParsePgSchema(kPaperSchema);
+  ASSERT_TRUE(pg.ok());
+  DlSchema dl = TranslateSchema(*pg);
+  const EdgeRelationInfo* edge = dl.FindEdge("IS_LOCATED_IN");
+  ASSERT_NE(edge, nullptr);
+  EXPECT_EQ(edge->src_label, "Person");
+  EXPECT_EQ(edge->dst_label, "City");
+  EXPECT_EQ(edge->PropertyColumn("id"), 2);
+  EXPECT_EQ(edge->PropertyColumn("ghost"), -1);
+}
+
+TEST(DlSchemaTest, CreateEdbRelationsPopulatesDatabase) {
+  auto pg = ParsePgSchema(kPaperSchema);
+  ASSERT_TRUE(pg.ok());
+  DlSchema dl = TranslateSchema(*pg);
+  Database db;
+  ASSERT_TRUE(CreateEdbRelations(dl, &db).ok());
+  EXPECT_TRUE(db.HasRelation("Person"));
+  EXPECT_TRUE(db.HasRelation("City"));
+  EXPECT_TRUE(db.HasRelation("Person_IS_LOCATED_IN_City"));
+  // Idempotent: re-creating is a no-op, not an error.
+  EXPECT_TRUE(CreateEdbRelations(dl, &db).ok());
+}
+
+}  // namespace
+}  // namespace raqlet::schema

@@ -1,0 +1,227 @@
+// Tests for the SQL/CTE executor, in both execution modes
+// (parameterized), including recursive CTE working-table semantics.
+
+#include <gtest/gtest.h>
+
+#include "dlir/parser.h"
+#include "engine/sql/executor.h"
+#include "sqir/dlir_to_sqir.h"
+
+namespace raqlet::engine {
+namespace {
+
+dlir::Program Parse(const std::string& text) {
+  auto program = dlir::ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+sqir::SqirProgram Translate(const std::string& text) {
+  auto sqir = sqir::TranslateToSqir(Parse(text));
+  EXPECT_TRUE(sqir.ok()) << sqir.status().ToString();
+  return std::move(sqir).value();
+}
+
+Database MakeGraphDb(const std::vector<std::pair<int, int>>& edges) {
+  Database db;
+  RelationSchema s;
+  s.name = "edge";
+  s.columns = {{"x", ValueType::kNumber}, {"y", ValueType::kNumber}};
+  Relation* rel = *db.CreateRelation(s);
+  for (auto [x, y] : edges) rel->Insert({Value::Number(x), Value::Number(y)});
+  return db;
+}
+
+class SqlEngineModeTest : public ::testing::TestWithParam<SqlMode> {
+ protected:
+  SqlEngine Engine() const {
+    SqlOptions options;
+    options.mode = GetParam();
+    return SqlEngine(options);
+  }
+};
+
+TEST_P(SqlEngineModeTest, SimpleJoinWithConstant) {
+  Database db = MakeGraphDb({{1, 2}, {2, 3}, {1, 3}});
+  auto sqir = Translate(R"(
+.decl edge(x: number, y: number)
+.input edge
+.decl out(x: number, y: number)
+.output out
+out(x, y) :- edge(x, y), x = 1.
+)");
+  auto result = Engine().Run(sqir, &db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->ToStringSet(db.symbols()),
+            (std::set<std::string>{"(1, 2)", "(1, 3)"}));
+}
+
+TEST_P(SqlEngineModeTest, TwoHopJoin) {
+  Database db = MakeGraphDb({{1, 2}, {2, 3}, {3, 4}});
+  auto sqir = Translate(R"(
+.decl edge(x: number, y: number)
+.input edge
+.decl out(x: number, z: number)
+.output out
+out(x, z) :- edge(x, y), edge(y, z).
+)");
+  auto result = Engine().Run(sqir, &db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->ToStringSet(db.symbols()),
+            (std::set<std::string>{"(1, 3)", "(2, 4)"}));
+}
+
+TEST_P(SqlEngineModeTest, RecursiveTcOnCycle) {
+  Database db = MakeGraphDb({{1, 2}, {2, 3}, {3, 1}});
+  auto sqir = Translate(R"(
+.decl edge(x: number, y: number)
+.input edge
+.decl tc(x: number, y: number)
+.output tc
+tc(x, y) :- edge(x, y).
+tc(x, y) :- tc(x, z), edge(z, y).
+)");
+  SqlStats stats;
+  auto result = Engine().Run(sqir, &db, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 9u);  // complete closure of the 3-cycle
+  EXPECT_GE(stats.recursive_iterations, 2u);
+}
+
+TEST_P(SqlEngineModeTest, NotExists) {
+  Database db = MakeGraphDb({{1, 2}, {2, 3}});
+  RelationSchema s;
+  s.name = "blocked";
+  s.columns = {{"x", ValueType::kNumber}};
+  Relation* blocked = *db.CreateRelation(s);
+  blocked->Insert({Value::Number(2)});
+  auto sqir = Translate(R"(
+.decl edge(x: number, y: number)
+.input edge
+.decl blocked(x: number)
+.input blocked
+.decl out(x: number, y: number)
+.output out
+out(x, y) :- edge(x, y), !blocked(y).
+)");
+  auto result = Engine().Run(sqir, &db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->ToStringSet(db.symbols()),
+            (std::set<std::string>{"(2, 3)"}));
+}
+
+TEST_P(SqlEngineModeTest, GroupByAggregation) {
+  Database db = MakeGraphDb({{1, 2}, {1, 3}, {2, 3}});
+  auto sqir = Translate(R"(
+.decl edge(x: number, y: number)
+.input edge
+.decl outdeg(x: number, d: number)
+.output outdeg
+outdeg(x, count(y)) :- edge(x, y).
+)");
+  auto result = Engine().Run(sqir, &db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->ToStringSet(db.symbols()),
+            (std::set<std::string>{"(1, 2)", "(2, 1)"}));
+}
+
+TEST_P(SqlEngineModeTest, ArithmeticInSelectAndWhere) {
+  Database db = MakeGraphDb({{1, 2}, {2, 5}});
+  auto sqir = Translate(R"(
+.decl edge(x: number, y: number)
+.input edge
+.decl out(s: number)
+.output out
+out(s) :- edge(x, y), s = x + y * 2, s > 5.
+)");
+  auto result = Engine().Run(sqir, &db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->ToStringSet(db.symbols()),
+            (std::set<std::string>{"(12)"}));
+}
+
+TEST_P(SqlEngineModeTest, StringConstants) {
+  Database db;
+  RelationSchema s;
+  s.name = "person";
+  s.columns = {{"id", ValueType::kNumber}, {"name", ValueType::kSymbol}};
+  Relation* rel = *db.CreateRelation(s);
+  rel->Insert({Value::Number(1), db.Str("Ada")});
+  rel->Insert({Value::Number(2), db.Str("Bob")});
+  auto sqir = Translate(R"(
+.decl person(id: number, name: symbol)
+.input person
+.decl out(id: number)
+.output out
+out(x) :- person(x, name), name = "Ada".
+)");
+  auto result = Engine().Run(sqir, &db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->ToStringSet(db.symbols()),
+            (std::set<std::string>{"(1)"}));
+}
+
+TEST_P(SqlEngineModeTest, UnionOfMultipleRules) {
+  Database db = MakeGraphDb({{1, 2}, {3, 4}});
+  auto sqir = Translate(R"(
+.decl edge(x: number, y: number)
+.input edge
+.decl nodes(x: number)
+.output nodes
+nodes(x) :- edge(x, _).
+nodes(y) :- edge(_, y).
+)");
+  auto result = Engine().Run(sqir, &db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 4u);
+}
+
+TEST_P(SqlEngineModeTest, IterationCapStopsRunawayRecursion) {
+  // tc over a big cycle with a tiny cap.
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < 50; ++i) edges.emplace_back(i, (i + 1) % 50);
+  Database db = MakeGraphDb(edges);
+  auto sqir = Translate(R"(
+.decl edge(x: number, y: number)
+.input edge
+.decl tc(x: number, y: number)
+.output tc
+tc(x, y) :- edge(x, y).
+tc(x, y) :- tc(x, z), edge(z, y).
+)");
+  SqlOptions options;
+  options.mode = GetParam();
+  options.max_recursive_iterations = 3;
+  SqlEngine engine(options);
+  auto result = engine.Run(sqir, &db);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_P(SqlEngineModeTest, MissingTableFails) {
+  Database db;
+  auto program = Parse(R"(
+.decl edge(x: number, y: number)
+.input edge
+.decl out(x: number)
+.output out
+out(x) :- edge(x, _).
+)");
+  auto sqir = sqir::TranslateToSqir(program);
+  ASSERT_TRUE(sqir.ok());
+  auto result = Engine().Run(*sqir, &db);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SqlEngineModeTest,
+                         ::testing::Values(SqlMode::kVectorized,
+                                           SqlMode::kTuplePipeline),
+                         [](const auto& info) {
+                           return info.param == SqlMode::kVectorized
+                                      ? "Vectorized"
+                                      : "TuplePipeline";
+                         });
+
+}  // namespace
+}  // namespace raqlet::engine

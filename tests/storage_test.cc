@@ -1,0 +1,141 @@
+// Unit tests for storage/: Relation dedup/indexing, Database, CSV IO.
+
+#include <gtest/gtest.h>
+
+#include "storage/csv.h"
+#include "storage/database.h"
+#include "storage/relation.h"
+
+namespace raqlet {
+namespace {
+
+RelationSchema EdgeSchema(const std::string& name = "edge") {
+  RelationSchema s;
+  s.name = name;
+  s.columns = {{"src", ValueType::kNumber}, {"dst", ValueType::kNumber}};
+  return s;
+}
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation r(EdgeSchema());
+  EXPECT_TRUE(r.Insert({Value::Number(1), Value::Number(2)}));
+  EXPECT_FALSE(r.Insert({Value::Number(1), Value::Number(2)}));
+  EXPECT_TRUE(r.Insert({Value::Number(2), Value::Number(1)}));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains({Value::Number(1), Value::Number(2)}));
+  EXPECT_FALSE(r.Contains({Value::Number(9), Value::Number(9)}));
+}
+
+TEST(RelationTest, PreservesInsertionOrder) {
+  Relation r(EdgeSchema());
+  r.Insert({Value::Number(3), Value::Number(4)});
+  r.Insert({Value::Number(1), Value::Number(2)});
+  ASSERT_EQ(r.rows().size(), 2u);
+  EXPECT_EQ(r.rows()[0][0].AsNumber(), 3);
+  EXPECT_EQ(r.rows()[1][0].AsNumber(), 1);
+}
+
+TEST(RelationTest, IndexGroupsByKey) {
+  Relation r(EdgeSchema());
+  r.Insert({Value::Number(1), Value::Number(2)});
+  r.Insert({Value::Number(1), Value::Number(3)});
+  r.Insert({Value::Number(2), Value::Number(3)});
+  const auto& index = r.GetIndex({0});
+  auto it = index.find(Tuple{Value::Number(1)});
+  ASSERT_NE(it, index.end());
+  EXPECT_EQ(it->second.size(), 2u);
+}
+
+TEST(RelationTest, IndexIsMaintainedIncrementally) {
+  Relation r(EdgeSchema());
+  r.Insert({Value::Number(1), Value::Number(2)});
+  const auto& index1 = r.GetIndex({0});
+  EXPECT_EQ(index1.size(), 1u);
+  // Insert after the index was built; next GetIndex folds it in.
+  r.Insert({Value::Number(5), Value::Number(6)});
+  const auto& index2 = r.GetIndex({0});
+  EXPECT_EQ(index2.size(), 2u);
+  auto it = index2.find(Tuple{Value::Number(5)});
+  ASSERT_NE(it, index2.end());
+  EXPECT_EQ(it->second[0], 1u);
+}
+
+TEST(RelationTest, ReplaceRowsResets) {
+  Relation r(EdgeSchema());
+  r.Insert({Value::Number(1), Value::Number(2)});
+  r.GetIndex({0});
+  r.ReplaceRows({{Value::Number(7), Value::Number(8)},
+                 {Value::Number(7), Value::Number(8)}});
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains({Value::Number(7), Value::Number(8)}));
+  EXPECT_EQ(r.GetIndex({0}).size(), 1u);
+}
+
+TEST(RelationSchemaTest, ColumnIndex) {
+  RelationSchema s = EdgeSchema();
+  EXPECT_EQ(s.ColumnIndex("src"), 0);
+  EXPECT_EQ(s.ColumnIndex("dst"), 1);
+  EXPECT_EQ(s.ColumnIndex("missing"), -1);
+  EXPECT_EQ(s.ToString(), "edge(src: number, dst: number)");
+}
+
+TEST(DatabaseTest, CreateAndLookup) {
+  Database db;
+  auto rel = db.CreateRelation(EdgeSchema());
+  ASSERT_TRUE(rel.ok());
+  EXPECT_TRUE(db.HasRelation("edge"));
+  EXPECT_FALSE(db.CreateRelation(EdgeSchema()).ok());  // duplicate
+  auto missing = db.GetRelation("missing");
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.RelationNames(), std::vector<std::string>{"edge"});
+}
+
+TEST(DatabaseTest, StrInternsSymbols) {
+  Database db;
+  Value a = db.Str("alpha");
+  Value b = db.Str("alpha");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(db.symbols().Resolve(a.AsSymbol()), "alpha");
+}
+
+TEST(CsvTest, LoadTypedFields) {
+  Database db;
+  RelationSchema s;
+  s.name = "person";
+  s.columns = {{"id", ValueType::kNumber},
+               {"name", ValueType::kSymbol},
+               {"score", ValueType::kFloat}};
+  Relation* rel = *db.CreateRelation(s);
+  Status st = LoadDelimitedText(&db, rel, "1\tada\t2.5\n2\tbob\t1.0\n");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(rel->size(), 2u);
+  EXPECT_EQ(rel->rows()[0][1], db.Str("ada"));
+  EXPECT_DOUBLE_EQ(rel->rows()[0][2].AsFloat(), 2.5);
+}
+
+TEST(CsvTest, RejectsArityMismatch) {
+  Database db;
+  Relation* rel = *db.CreateRelation(EdgeSchema());
+  Status st = LoadDelimitedText(&db, rel, "1\t2\t3\n");
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, RejectsBadNumber) {
+  Database db;
+  Relation* rel = *db.CreateRelation(EdgeSchema());
+  Status st = LoadDelimitedText(&db, rel, "1\tnotanumber\n");
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, RoundTrips) {
+  Database db;
+  RelationSchema s;
+  s.name = "r";
+  s.columns = {{"id", ValueType::kNumber}, {"name", ValueType::kSymbol}};
+  Relation* rel = *db.CreateRelation(s);
+  ASSERT_TRUE(LoadDelimitedText(&db, rel, "1\tada\n2\tbob\n").ok());
+  EXPECT_EQ(DumpDelimitedText(db, *rel), "1\tada\n2\tbob\n");
+}
+
+}  // namespace
+}  // namespace raqlet
