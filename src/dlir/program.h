@@ -165,6 +165,10 @@ struct Program {
   std::vector<RelationDecl> decls;
   std::vector<Rule> rules;
 
+  /// Looks up a declaration by name; returns nullptr if absent.
+  /// WARNING: the returned pointer aims into `decls` and is invalidated by
+  /// any mutation of that vector (push_back may reallocate). Copy the decl
+  /// or re-lookup after mutating; do not hold it across a push_back.
   const RelationDecl* FindDecl(const std::string& name) const;
   RelationDecl* FindDecl(const std::string& name);
 

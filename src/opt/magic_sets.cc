@@ -159,20 +159,28 @@ Result<Program> ApplyMagicSetsTo(const Program& program,
 
   // Declare an adorned + magic relation pair for one adorned predicate.
   auto declare = [&](const AdornedPred& ap) {
-    const RelationDecl* base = out.FindDecl(ap.pred);
-    if (base == nullptr) return;
-    if (out.FindDecl(AdornedName(ap.pred, ap.adornment)) == nullptr) {
-      RelationDecl adorned = *base;
+    const bool need_adorned =
+        out.FindDecl(AdornedName(ap.pred, ap.adornment)) == nullptr;
+    const bool need_magic =
+        out.FindDecl(MagicName(ap.pred, ap.adornment)) == nullptr;
+    if (!need_adorned && !need_magic) return;
+    const RelationDecl* base_ptr = out.FindDecl(ap.pred);
+    if (base_ptr == nullptr) return;
+    // Copy the base decl by value: the push_backs below may reallocate
+    // out.decls, which would leave base_ptr dangling.
+    const RelationDecl base = *base_ptr;
+    if (need_adorned) {
+      RelationDecl adorned = base;
       adorned.name = AdornedName(ap.pred, ap.adornment);
       adorned.is_input = false;
       adorned.is_output = false;
       out.decls.push_back(std::move(adorned));
     }
-    if (out.FindDecl(MagicName(ap.pred, ap.adornment)) == nullptr) {
+    if (need_magic) {
       RelationDecl magic;
       magic.name = MagicName(ap.pred, ap.adornment);
       for (size_t i = 0; i < ap.adornment.size(); ++i) {
-        if (ap.adornment[i] == 'b') magic.columns.push_back(base->columns[i]);
+        if (ap.adornment[i] == 'b') magic.columns.push_back(base.columns[i]);
       }
       out.decls.push_back(std::move(magic));
     }

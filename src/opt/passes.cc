@@ -198,6 +198,7 @@ Result<Program> EliminateDeadRules(const Program& program) {
   }
 
   Program out;
+  out.decls.reserve(program.decls.size());
   for (const RelationDecl& decl : program.decls) {
     if (live.count(decl.name) > 0) out.decls.push_back(decl);
   }

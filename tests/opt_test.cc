@@ -423,6 +423,82 @@ out(y) :- tc(1, y).
   EXPECT_EQ(magic->FindDecl("tc_bf"), nullptr);  // unchanged
 }
 
+// Builds a program whose magic-sets transform adorns `depth + 1`
+// predicates: out(y) :- p0(1, y), p0 recursive, and a delegation chain
+// p0 -> p1 -> ... -> p<depth> bottoming out at edge. Every adorned
+// predicate declares two new relations, so the transform grows
+// Program::decls far past its copied-from capacity.
+std::string MakeDeepChainProgram(int depth) {
+  std::string text = ".decl edge(x: number, y: number)\n.input edge\n";
+  for (int i = 0; i <= depth; ++i) {
+    text += ".decl p" + std::to_string(i) + "(x: number, y: number)\n";
+  }
+  text += ".decl out(y: number)\n.output out\n";
+  text += "p0(x, y) :- p0(x, z), edge(z, y).\n";
+  for (int i = 0; i < depth; ++i) {
+    text += "p" + std::to_string(i) + "(x, y) :- p" + std::to_string(i + 1) +
+            "(x, y).\n";
+  }
+  text += "p" + std::to_string(depth) + "(x, y) :- edge(x, y).\n";
+  text += "out(y) :- p0(1, y).\n";
+  return text;
+}
+
+// Regression test for a heap-use-after-free: `declare` in ApplyMagicSetsTo
+// cached a FindDecl pointer into out.decls across push_backs that
+// reallocate the vector. Program copies start at capacity == size, so the
+// very first adorned declaration already reallocated; the long chain here
+// forces many reallocations so the bug cannot silently return.
+TEST(MagicSetsTest, ManyAdornedPredicatesSurviveDeclReallocation) {
+  auto program = Parse(MakeDeepChainProgram(11));
+  auto magic = ApplyMagicSets(program);
+  ASSERT_TRUE(magic.ok()) << magic.status().ToString();
+  ASSERT_TRUE(magic->Validate().ok()) << magic->Validate().ToString();
+  // All twelve predicates got adorned + magic decls with intact columns.
+  for (int i = 0; i <= 11; ++i) {
+    const std::string name = "p" + std::to_string(i);
+    const dlir::RelationDecl* adorned = magic->FindDecl(name + "_bf");
+    ASSERT_NE(adorned, nullptr) << name;
+    EXPECT_EQ(adorned->arity(), 2u);
+    const dlir::RelationDecl* m = magic->FindDecl("m_" + name + "_bf");
+    ASSERT_NE(m, nullptr) << name;
+    ASSERT_EQ(m->arity(), 1u);
+    // The magic column is copied from the base decl's bound position.
+    EXPECT_EQ(m->columns[0].name, "x");
+  }
+  // Semantics preserved against the untransformed program.
+  Database db1 = MakeChainDb(15);
+  Database db2 = MakeChainDb(15);
+  engine::DatalogEngine eng;
+  ASSERT_TRUE(eng.Run(program, &db1).ok());
+  Status st = eng.Run(*magic, &db2);
+  ASSERT_TRUE(st.ok()) << st.ToString() << "\n" << magic->ToString();
+  EXPECT_EQ(ResultSet(db1, "out"), ResultSet(db2, "out"));
+}
+
+TEST(MagicSetsTest, NonOutputCallSiteLeavesProgramUnchanged) {
+  // The only constant-bound call of `tc` sits in the body of a rule whose
+  // head is NOT an output relation; the call-site scan (which only looks
+  // at output rules) must find nothing and bail out unchanged.
+  auto program = Parse(R"(
+.decl edge(x: number, y: number)
+.input edge
+.decl tc(x: number, y: number)
+.decl inner(y: number)
+.decl out(y: number)
+.output out
+tc(x, y) :- edge(x, y).
+tc(x, y) :- tc(x, z), edge(z, y).
+inner(y) :- tc(1, y).
+out(y) :- inner(y).
+)");
+  auto magic = ApplyMagicSetsTo(program, "tc", "bf");
+  ASSERT_TRUE(magic.ok()) << magic.status().ToString();
+  EXPECT_EQ(magic->FindDecl("tc_bf"), nullptr);
+  EXPECT_EQ(magic->FindDecl("m_tc_bf"), nullptr);
+  EXPECT_EQ(magic->rules.size(), program.rules.size());
+}
+
 TEST(LinearizeTest, RewritesNonLinearTc) {
   auto program = Parse(R"(
 .decl edge(x: number, y: number)
