@@ -1,0 +1,164 @@
+// Parallel evaluation runtime scaling: the same semi-naive plans at
+// 1/2/4/8 threads. Two workload shapes:
+//
+//  * BM_TcParallel — whole-graph transitive closure on a random graph
+//    (out-degree 2), the ROADMAP's canonical recursive benchmark. One big
+//    recursive SCC: all the speedup comes from partitioned delta joins.
+//  * BM_LdbcReachParallel — LDBC SNB-shaped: person-to-person reachability
+//    over the generated KNOWS graph plus independent non-recursive strata
+//    (city rollup, message fanout), so the SCC scheduler also overlaps
+//    whole strata.
+//
+// The 1-thread rows are the serial baseline (no pool is created); results
+// are bit-identical across thread counts by construction — see
+// tests/parallel_engine_test.cc.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <random>
+
+#include "dlir/parser.h"
+#include "ldbc/ldbc.h"
+#include "raqlet/compiler.h"
+
+namespace {
+
+constexpr char kGraphSchema[] = R"(
+CREATE GRAPH {
+  (nodeType: Node {id INT}),
+  (:nodeType)-[edgeType: connectsTo {id INT}]->(:nodeType)
+}
+)";
+
+constexpr char kTcDatalog[] = R"(
+.decl Node_CONNECTS_TO_Node(id1: number, id2: number, id: number)
+.input Node_CONNECTS_TO_Node
+.decl tc(x: number, y: number)
+.output tc
+tc(x, y) :- Node_CONNECTS_TO_Node(x, y, _).
+tc(x, y) :- tc(x, z), Node_CONNECTS_TO_Node(z, y, _).
+)";
+
+// KNOWS reachability (the recursive SCC) next to two independent
+// non-recursive strata over other parts of the SNB graph.
+constexpr char kLdbcReachDatalog[] = R"(
+.decl Person_KNOWS_Person(a: number, b: number, id: number, date: number)
+.input Person_KNOWS_Person
+.decl Person_IS_LOCATED_IN_City(p: number, c: number, id: number)
+.input Person_IS_LOCATED_IN_City
+.decl Message_HAS_CREATOR_Person(m: number, p: number, id: number)
+.input Message_HAS_CREATOR_Person
+.decl reach(x: number, y: number)
+reach(x, y) :- Person_KNOWS_Person(x, y, _, _).
+reach(x, y) :- reach(x, z), Person_KNOWS_Person(z, y, _, _).
+.decl city_pop(c: number, n: number)
+city_pop(c, count()) :- Person_IS_LOCATED_IN_City(p, c, _).
+.decl msg_fanout(p: number, n: number)
+msg_fanout(p, count()) :- Message_HAS_CREATOR_Person(m, p, _).
+.decl reach_city(x: number, c: number)
+.output reach_city
+reach_city(x, c) :- reach(x, y), Person_IS_LOCATED_IN_City(y, c, _).
+)";
+
+struct TcInstance {
+  raqlet::Database db;
+  raqlet::dlir::Program program;
+};
+
+TcInstance& GetTcInstance(int nodes) {
+  static std::map<int, TcInstance*>& cache = *new std::map<int, TcInstance*>();
+  auto it = cache.find(nodes);
+  if (it != cache.end()) return *it->second;
+
+  auto* inst = new TcInstance();
+  raqlet::Compiler compiler;
+  if (!compiler.LoadPgSchema(kGraphSchema).ok()) std::abort();
+  if (!compiler.CreateEdbs(&inst->db).ok()) std::abort();
+  raqlet::Relation* edge_rel = *inst->db.GetRelation("Node_CONNECTS_TO_Node");
+  std::mt19937 rng(1234);
+  std::uniform_int_distribution<int> pick(1, nodes);
+  int edge_id = 0;
+  for (int i = 1; i <= nodes; ++i) {
+    for (int k = 0; k < 2; ++k) {  // out-degree 2
+      edge_rel->Insert({raqlet::Value::Number(i),
+                        raqlet::Value::Number(pick(rng)),
+                        raqlet::Value::Number(++edge_id)});
+    }
+  }
+  auto program = raqlet::dlir::ParseProgram(kTcDatalog);
+  if (!program.ok()) std::abort();
+  inst->program = std::move(program).value();
+  cache.emplace(nodes, inst);
+  return *inst;
+}
+
+struct LdbcInstance {
+  raqlet::Database db;
+  raqlet::dlir::Program program;
+};
+
+LdbcInstance& GetLdbcInstance() {
+  static LdbcInstance* inst = [] {
+    auto* created = new LdbcInstance();
+    raqlet::Compiler compiler;
+    if (!compiler.LoadPgSchema(raqlet::ldbc::SnbSchema()).ok()) std::abort();
+    if (!compiler.CreateEdbs(&created->db).ok()) std::abort();
+    raqlet::ldbc::GeneratorOptions gen;
+    gen.scale_factor = 0.3;
+    if (!GenerateSnbData(compiler.dl_schema(), &created->db, gen).ok()) {
+      std::abort();
+    }
+    auto program = raqlet::dlir::ParseProgram(kLdbcReachDatalog);
+    if (!program.ok()) std::abort();
+    created->program = std::move(program).value();
+    return created;
+  }();
+  return *inst;
+}
+
+void RunWithThreads(benchmark::State& state, const raqlet::dlir::Program& program,
+                    raqlet::Database* db, int threads) {
+  raqlet::engine::EvalOptions options;
+  options.num_threads = threads;
+  // Engine (and its pool) outlives the timing loop: steady-state cost.
+  raqlet::engine::DatalogEngine engine(options);
+  size_t derived = 0;
+  for (auto _ : state) {
+    raqlet::engine::EvalStats stats;
+    raqlet::Status st = engine.Run(program, db, &stats);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    derived = stats.tuples_inserted;
+  }
+  state.counters["tuples"] =
+      benchmark::Counter(static_cast<double>(derived));
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(threads));
+}
+
+void BM_TcParallel(benchmark::State& state) {
+  TcInstance& inst = GetTcInstance(static_cast<int>(state.range(0)));
+  RunWithThreads(state, inst.program, &inst.db,
+                 static_cast<int>(state.range(1)));
+  state.SetLabel("whole-graph TC, Datalog engine, partitioned delta joins");
+}
+
+void BM_LdbcReachParallel(benchmark::State& state) {
+  LdbcInstance& inst = GetLdbcInstance();
+  RunWithThreads(state, inst.program, &inst.db,
+                 static_cast<int>(state.range(0)));
+  state.SetLabel("LDBC SNB KNOWS-reachability + independent strata");
+}
+
+}  // namespace
+
+BENCHMARK(BM_TcParallel)
+    ->ArgsProduct({{300, 1000, 2000}, {1, 2, 4, 8}})
+    ->ArgNames({"nodes", "threads"})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LdbcReachParallel)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

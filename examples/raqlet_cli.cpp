@@ -9,6 +9,7 @@
 //   raqlet_cli --demo                      # built-in schema + query
 //
 // Options: --frontend cypher|gql|datalog, --opt 0|1|2,
+//          --threads N (parallel Datalog evaluation, default 1),
 //          --param name=value (repeatable).
 
 #include <fstream>
@@ -32,6 +33,7 @@ struct CliOptions {
   std::string run;   // datalog | sql | sql-tuple | graph
   std::string facts_dir;
   int opt_level = 1;
+  int threads = 1;
   bool demo = false;
   std::map<std::string, raqlet::dlir::Constant> parameters;
 };
@@ -42,7 +44,7 @@ int Usage() {
       "                  [--frontend cypher|gql|datalog] [--opt 0|1|2]\n"
       "                  [--emit pgir|dlir|optimized|datalog|sql|report|plan]\n"
       "                  [--run datalog|sql|sql-tuple|graph] [--facts DIR]\n"
-      "                  [--param name=value]...\n"
+      "                  [--threads N] [--param name=value]...\n"
       "       raqlet_cli --demo\n";
   return 2;
 }
@@ -106,6 +108,11 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       options.opt_level = std::atoi(v);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.threads = std::atoi(v);
+      if (options.threads < 1) return Usage();
     } else if (arg == "--param") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -220,7 +227,9 @@ int main(int argc, char** argv) {
     raqlet::Result<raqlet::engine::ResultTable> result =
         raqlet::Status::Internal("unset");
     if (options.run == "datalog") {
-      result = compiler.RunOnDatalog(program, &db);
+      raqlet::engine::EvalOptions eval_options;
+      eval_options.num_threads = options.threads;
+      result = compiler.RunOnDatalog(program, &db, nullptr, eval_options);
     } else if (options.run == "sql") {
       result = compiler.RunOnSql(program, &db);
     } else if (options.run == "sql-tuple") {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <unordered_map>
@@ -11,6 +13,8 @@
 
 #include "analysis/dependency_graph.h"
 #include "engine/value_ops.h"
+#include "runtime/scc_scheduler.h"
+#include "runtime/thread_pool.h"
 
 namespace raqlet::engine {
 
@@ -131,11 +135,23 @@ struct PlanStep {
   int constraint_index = -1;  // kFilter / kBind
   int bind_var = -1;          // kBind: variable slot to bind
   bool bind_from_lhs = false; // kBind: true if lhs is the defined variable
+  // Argument positions probed through an index (kJoinAtom / kNegCheck).
+  // Statically known: the set of bound slots at each step is determined by
+  // the plan prefix, not by runtime values.
+  std::vector<int> probe_cols;
+  // Prebuilt index over probe_cols, resolved via Relation::EnsureIndex
+  // before execution fans out (null iff probe_cols is empty). Probing it
+  // is lock- and lookup-free.
+  const Relation::KeyIndex* index = nullptr;
 };
 
 struct VariantPlan {
   std::vector<PlanStep> steps;
   int delta_atom = -1;  // index into rule.atoms, or -1 (no delta restriction)
+  // Atom whose row range may be partitioned across worker threads: the
+  // delta atom if any, else the plan's outermost positive join. -1 when
+  // the plan has no join at all.
+  int range_atom = -1;
 };
 
 // Builds the join order for one variant. Greedy: repeatedly pick the
@@ -156,6 +172,18 @@ Result<VariantPlan> PlanVariant(const CompiledRule& rule, int delta_atom,
         bound[static_cast<size_t>(arg.var)] = true;
       }
     }
+  };
+
+  // Argument positions of `atom` evaluable under the current bound set —
+  // exactly the positions execution will probe through an index.
+  auto probe_cols_for = [&](const CompiledAtom& atom) {
+    std::vector<int> cols;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const CompiledTerm& arg = atom.args[i];
+      if (arg.kind == CompiledTerm::kWildcard) continue;
+      if (arg.IsBoundUnder(bound)) cols.push_back(static_cast<int>(i));
+    }
+    return cols;
   };
 
   // Weave in constraints that became decidable: filters when fully bound,
@@ -215,7 +243,8 @@ Result<VariantPlan> PlanVariant(const CompiledRule& rule, int delta_atom,
           PlanStep step;
           step.kind = PlanStep::kNegCheck;
           step.atom_index = static_cast<int>(i);
-          plan.steps.push_back(step);
+          step.probe_cols = probe_cols_for(rule.atoms[i]);
+          plan.steps.push_back(std::move(step));
           atom_done[i] = true;
           changed = true;
         }
@@ -231,7 +260,9 @@ Result<VariantPlan> PlanVariant(const CompiledRule& rule, int delta_atom,
     PlanStep step;
     step.kind = PlanStep::kJoinAtom;
     step.atom_index = delta_atom;
-    plan.steps.push_back(step);
+    step.probe_cols = probe_cols_for(rule.atoms[static_cast<size_t>(delta_atom)]);
+    plan.steps.push_back(std::move(step));
+    plan.range_atom = delta_atom;
     atom_done[static_cast<size_t>(delta_atom)] = true;
     mark_atom_vars(rule.atoms[static_cast<size_t>(delta_atom)]);
     schedule_constraints();
@@ -270,7 +301,9 @@ Result<VariantPlan> PlanVariant(const CompiledRule& rule, int delta_atom,
     PlanStep step;
     step.kind = PlanStep::kJoinAtom;
     step.atom_index = best;
-    plan.steps.push_back(step);
+    step.probe_cols = probe_cols_for(rule.atoms[static_cast<size_t>(best)]);
+    plan.steps.push_back(std::move(step));
+    if (plan.range_atom < 0) plan.range_atom = best;
     atom_done[static_cast<size_t>(best)] = true;
     mark_atom_vars(rule.atoms[static_cast<size_t>(best)]);
     --positive_remaining;
@@ -313,11 +346,47 @@ struct AggState {
 // Engine implementation proper.
 // ---------------------------------------------------------------------------
 
+// Everything one evaluation task (a rule variant, or one chunk of its
+// outer join range) writes: derived tuples, stat counters, and — for
+// aggregate rules — the group accumulator. Buffers are merged into the
+// relations single-threaded, in deterministic task order, after a fan-out
+// completes; workers never touch a Relation's mutable state.
+struct EmitBuffer {
+  std::vector<std::pair<Relation*, Tuple>> staged;
+  EvalStats stats;
+  std::map<Tuple, AggState>* agg = nullptr;
+};
+
+// One schedulable unit of a fan-out: a planned rule variant restricted to
+// [range_begin, range_end) of its plan's range_atom rows.
+struct VariantTask {
+  const CompiledRule* rule = nullptr;
+  const VariantPlan* plan = nullptr;
+  size_t range_begin = 0;
+  size_t range_end = std::numeric_limits<size_t>::max();
+};
+
+// All the rules of one SCC, compiled upfront (single-threaded) so that
+// concurrent SCC evaluation never interns symbols or resolves relations.
+struct SccWork {
+  std::vector<std::string> preds;
+  bool recursive = false;
+  std::vector<CompiledRule> rules;
+  // Predicates whose sizes this SCC snapshots: its heads plus every body
+  // atom. Restricting the snapshot to these keeps concurrent SCCs from
+  // racing on size() of relations another SCC is currently filling.
+  std::set<std::string> snapshot_preds;
+};
+
 class Evaluation {
  public:
   Evaluation(const Program& program, Database* db, const EvalOptions& options,
-             EvalStats* stats)
-      : program_(program), db_(db), options_(options), stats_(stats) {}
+             EvalStats* stats, runtime::ExecutionContext* context)
+      : program_(program),
+        db_(db),
+        options_(options),
+        stats_(stats),
+        pool_(context != nullptr ? context->pool() : nullptr) {}
 
   Status Run();
 
@@ -326,22 +395,34 @@ class Evaluation {
   Status CheckStratification(const analysis::DependencyGraph& graph) const;
   Result<CompiledRule> CompileRule(const Rule& rule,
                                    const std::set<std::string>& scc_preds);
-  Status EvaluateScc(const std::vector<std::string>& scc_preds, bool recursive);
+  Status EvaluateScc(SccWork* work);
 
-  // Evaluates one rule variant, appending derived head tuples to
-  // `staged_`. `delta` names the relation whose rows are restricted to
-  // [delta_begin, delta_end) when joined at the delta atom.
-  Status EvaluateVariant(const CompiledRule& rule, const VariantPlan& plan,
+  // Plans the given (rule, delta_atom) variants, prebuilds every index the
+  // plans probe, evaluates all variants — fanned out over pool_ when
+  // available — and appends the derived tuples to `staged` in the same
+  // order a serial evaluation would have produced them.
+  Status EvaluateVariants(
+      const std::vector<std::pair<const CompiledRule*, int>>& variants,
+      const std::unordered_map<std::string, size_t>& snapshot,
+      const std::unordered_map<std::string, size_t>& delta_begin,
+      std::vector<std::pair<Relation*, Tuple>>* staged, EvalStats* scc_stats);
+
+  // Evaluates one task into `out`. `delta_begin` names relations whose
+  // rows are restricted to [delta_begin, snapshot) at the delta atom.
+  Status EvaluateVariant(const VariantTask& task,
                          const std::unordered_map<std::string, size_t>& snapshot,
-                         const std::unordered_map<std::string, size_t>& delta_begin);
+                         const std::unordered_map<std::string, size_t>& delta_begin,
+                         EmitBuffer* out);
 
-  Status ExecuteStep(const CompiledRule& rule, const VariantPlan& plan,
-                     size_t step_index, Env* env,
+  Status ExecuteStep(const VariantTask& task, size_t step_index, Env* env,
                      const std::unordered_map<std::string, size_t>& snapshot,
-                     const std::unordered_map<std::string, size_t>& delta_begin);
+                     const std::unordered_map<std::string, size_t>& delta_begin,
+                     EmitBuffer* out);
 
-  Status EmitHead(const CompiledRule& rule, Env* env);
-  Status FinalizeAggregates(const CompiledRule& rule);
+  Status EmitHead(const CompiledRule& rule, Env* env, EmitBuffer* out);
+  Status FinalizeAggregates(const CompiledRule& rule,
+                            const std::map<Tuple, AggState>& agg,
+                            EmitBuffer* out);
 
   Result<Value> ConstantToValue(const Constant& c) const;
   Result<CompiledTerm> CompileTerm(const Term& term,
@@ -352,17 +433,17 @@ class Evaluation {
   Database* db_;
   EvalOptions options_;
   EvalStats* stats_;
+  runtime::ThreadPool* pool_;  // null => strictly serial evaluation
 
+  // Read-only after PrepareRelations; safe to share across SCC tasks.
   std::unordered_map<std::string, Relation*> relations_;
-  // Tuples derived during the current round, applied at round end.
-  std::vector<std::pair<Relation*, Tuple>> staged_;
+  std::unordered_map<std::string, LatticeKind> lattice_kind_;
   // Lattice best-value maps, keyed by relation name; key = tuple prefix.
+  // Entries are pre-created in PrepareRelations and each is only ever
+  // touched by the SCC owning that relation.
   std::unordered_map<std::string, std::unordered_map<Tuple, Value, TupleHash>>
       lattice_best_;
-  std::unordered_map<std::string, LatticeKind> lattice_kind_;
-  // Aggregation scratch for the rule currently being evaluated.
-  std::map<Tuple, AggState>* current_agg_ = nullptr;
-  const CompiledRule* current_rule_ = nullptr;
+  std::mutex stats_mutex_;  // guards *stats_ merges from SCC tasks
 };
 
 Result<Value> Evaluation::ConstantToValue(const Constant& c) const {
@@ -570,7 +651,8 @@ Result<CompiledRule> Evaluation::CompileRule(
   return out;
 }
 
-Status Evaluation::EmitHead(const CompiledRule& rule, Env* env) {
+Status Evaluation::EmitHead(const CompiledRule& rule, Env* env,
+                            EmitBuffer* out) {
   if (rule.has_agg) {
     // Group key: head args except the aggregate slot.
     Tuple group;
@@ -586,7 +668,7 @@ Status Evaluation::EmitHead(const CompiledRule& rule, Env* env) {
     for (size_t i = 0; i < env->values.size(); ++i) {
       witness.push_back(env->bound[i] ? env->values[i] : Value::Null());
     }
-    AggState& state = (*current_agg_)[group];
+    AggState& state = (*out->agg)[group];
     if (!state.witnesses.insert(std::move(witness)).second) {
       return Status::OK();  // duplicate body match under set semantics
     }
@@ -614,18 +696,20 @@ Status Evaluation::EmitHead(const CompiledRule& rule, Env* env) {
     return Status::OK();
   }
 
-  Tuple out;
-  out.reserve(rule.head_args.size());
+  Tuple derived;
+  derived.reserve(rule.head_args.size());
   for (const CompiledTerm& arg : rule.head_args) {
     RAQLET_ASSIGN_OR_RETURN(Value v, EvalCompiledTerm(arg, *env));
-    out.push_back(v);
+    derived.push_back(v);
   }
-  staged_.emplace_back(rule.head_relation, std::move(out));
+  out->staged.emplace_back(rule.head_relation, std::move(derived));
   return Status::OK();
 }
 
-Status Evaluation::FinalizeAggregates(const CompiledRule& rule) {
-  for (const auto& [group, state] : *current_agg_) {
+Status Evaluation::FinalizeAggregates(const CompiledRule& rule,
+                                      const std::map<Tuple, AggState>& agg,
+                                      EmitBuffer* out) {
+  for (const auto& [group, state] : agg) {
     Value result;
     switch (rule.agg_func) {
       case AggFunc::kCount:
@@ -647,26 +731,29 @@ Status Evaluation::FinalizeAggregates(const CompiledRule& rule) {
                                   : state.sum / static_cast<double>(state.count));
         break;
     }
-    Tuple out;
-    out.reserve(group.size() + 1);
+    Tuple derived;
+    derived.reserve(group.size() + 1);
     size_t gi = 0;
     for (size_t i = 0; i < rule.head_args.size(); ++i) {
       if (static_cast<int>(i) == rule.agg_pos) {
-        out.push_back(result);
+        derived.push_back(result);
       } else {
-        out.push_back(group[gi++]);
+        derived.push_back(group[gi++]);
       }
     }
-    staged_.emplace_back(rule.head_relation, std::move(out));
+    out->staged.emplace_back(rule.head_relation, std::move(derived));
   }
   return Status::OK();
 }
 
 Status Evaluation::ExecuteStep(
-    const CompiledRule& rule, const VariantPlan& plan, size_t step_index,
-    Env* env, const std::unordered_map<std::string, size_t>& snapshot,
-    const std::unordered_map<std::string, size_t>& delta_begin) {
-  if (step_index == plan.steps.size()) return EmitHead(rule, env);
+    const VariantTask& task, size_t step_index, Env* env,
+    const std::unordered_map<std::string, size_t>& snapshot,
+    const std::unordered_map<std::string, size_t>& delta_begin,
+    EmitBuffer* out) {
+  const CompiledRule& rule = *task.rule;
+  const VariantPlan& plan = *task.plan;
+  if (step_index == plan.steps.size()) return EmitHead(rule, env, out);
 
   const PlanStep& step = plan.steps[step_index];
   switch (step.kind) {
@@ -676,7 +763,7 @@ Status Evaluation::ExecuteStep(
       RAQLET_ASSIGN_OR_RETURN(Value lhs, EvalCompiledTerm(c.lhs, *env));
       RAQLET_ASSIGN_OR_RETURN(Value rhs, EvalCompiledTerm(c.rhs, *env));
       if (!CheckCmp(c.op, lhs, rhs, db_->symbols())) return Status::OK();
-      return ExecuteStep(rule, plan, step_index + 1, env, snapshot, delta_begin);
+      return ExecuteStep(task, step_index + 1, env, snapshot, delta_begin, out);
     }
     case PlanStep::kBind: {
       const CompiledConstraint& c =
@@ -687,30 +774,28 @@ Status Evaluation::ExecuteStep(
       env->values[slot] = v;
       env->bound[slot] = true;
       Status s =
-          ExecuteStep(rule, plan, step_index + 1, env, snapshot, delta_begin);
+          ExecuteStep(task, step_index + 1, env, snapshot, delta_begin, out);
       env->bound[slot] = false;
       return s;
     }
     case PlanStep::kNegCheck: {
       const CompiledAtom& atom = rule.atoms[static_cast<size_t>(step.atom_index)];
-      std::vector<int> probe_cols;
       Tuple probe_key;
-      for (size_t i = 0; i < atom.args.size(); ++i) {
-        if (atom.args[i].kind == CompiledTerm::kWildcard) continue;
-        RAQLET_ASSIGN_OR_RETURN(Value v, EvalCompiledTerm(atom.args[i], *env));
-        probe_cols.push_back(static_cast<int>(i));
+      probe_key.reserve(step.probe_cols.size());
+      for (int col : step.probe_cols) {
+        RAQLET_ASSIGN_OR_RETURN(
+            Value v, EvalCompiledTerm(atom.args[static_cast<size_t>(col)], *env));
         probe_key.push_back(v);
       }
       size_t limit = snapshot.count(atom.predicate)
                          ? snapshot.at(atom.predicate)
                          : atom.relation->size();
       bool exists = false;
-      if (probe_cols.empty()) {
+      if (step.probe_cols.empty()) {
         exists = limit > 0;
       } else {
-        const Relation::KeyIndex& index = atom.relation->GetIndex(probe_cols);
-        auto it = index.find(probe_key);
-        if (it != index.end()) {
+        auto it = step.index->find(probe_key);
+        if (it != step.index->end()) {
           for (uint32_t row : it->second) {
             if (row < limit) {
               exists = true;
@@ -720,7 +805,7 @@ Status Evaluation::ExecuteStep(
         }
       }
       if (exists) return Status::OK();  // negation fails: prune this env
-      return ExecuteStep(rule, plan, step_index + 1, env, snapshot, delta_begin);
+      return ExecuteStep(task, step_index + 1, env, snapshot, delta_begin, out);
     }
     case PlanStep::kJoinAtom: {
       const CompiledAtom& atom = rule.atoms[static_cast<size_t>(step.atom_index)];
@@ -732,22 +817,25 @@ Status Evaluation::ExecuteStep(
         auto it = delta_begin.find(atom.predicate);
         if (it != delta_begin.end()) begin = it->second;
       }
+      if (plan.range_atom == step.atom_index) {
+        // Outer-range partitioning: this task only owns a chunk of the
+        // rows. Only the outermost join carries a range, so the clamp
+        // happens once per variant evaluation.
+        if (task.range_begin > begin) begin = task.range_begin;
+        if (task.range_end < end) end = task.range_end;
+      }
 
-      // Probe columns: argument positions already evaluable.
-      std::vector<int> probe_cols;
+      // Evaluate the statically-determined probe columns.
       Tuple probe_key;
-      for (size_t i = 0; i < atom.args.size(); ++i) {
-        const CompiledTerm& arg = atom.args[i];
-        if (arg.kind == CompiledTerm::kWildcard) continue;
-        if (arg.IsBoundUnder(env->bound)) {
-          RAQLET_ASSIGN_OR_RETURN(Value v, EvalCompiledTerm(arg, *env));
-          probe_cols.push_back(static_cast<int>(i));
-          probe_key.push_back(v);
-        }
+      probe_key.reserve(step.probe_cols.size());
+      for (int col : step.probe_cols) {
+        RAQLET_ASSIGN_OR_RETURN(
+            Value v, EvalCompiledTerm(atom.args[static_cast<size_t>(col)], *env));
+        probe_key.push_back(v);
       }
 
       auto try_row = [&](const Tuple& row) -> Status {
-        if (stats_ != nullptr) ++stats_->tuples_considered;
+        ++out->stats.tuples_considered;
         // Unify unbound argument variables against the row; repeated
         // variables within the atom compare on second occurrence.
         std::vector<size_t> newly_bound;
@@ -780,17 +868,18 @@ Status Evaluation::ExecuteStep(
         }
         Status s = Status::OK();
         if (matches) {
-          s = ExecuteStep(rule, plan, step_index + 1, env, snapshot,
-                          delta_begin);
+          s = ExecuteStep(task, step_index + 1, env, snapshot, delta_begin,
+                          out);
         }
         for (size_t slot : newly_bound) env->bound[slot] = false;
         return s;
       };
 
-      if (!probe_cols.empty()) {
-        const Relation::KeyIndex& index = atom.relation->GetIndex(probe_cols);
-        auto it = index.find(probe_key);
-        if (it == index.end()) return Status::OK();
+      if (!step.probe_cols.empty()) {
+        auto it = step.index->find(probe_key);
+        if (it == step.index->end()) return Status::OK();
+        // Row-index lists are ascending (see Relation::KeyIndex), so the
+        // emit order within a chunk matches the serial scan order.
         for (uint32_t row_idx : it->second) {
           if (row_idx < begin || row_idx >= end) continue;
           RAQLET_RETURN_IF_ERROR(try_row(rows[row_idx]));
@@ -807,39 +896,129 @@ Status Evaluation::ExecuteStep(
 }
 
 Status Evaluation::EvaluateVariant(
-    const CompiledRule& rule, const VariantPlan& plan,
+    const VariantTask& task,
     const std::unordered_map<std::string, size_t>& snapshot,
-    const std::unordered_map<std::string, size_t>& delta_begin) {
-  if (stats_ != nullptr) ++stats_->rule_evaluations;
-  Env env(rule.num_vars);
-  return ExecuteStep(rule, plan, 0, &env, snapshot, delta_begin);
+    const std::unordered_map<std::string, size_t>& delta_begin,
+    EmitBuffer* out) {
+  Env env(task.rule->num_vars);
+  return ExecuteStep(task, 0, &env, snapshot, delta_begin, out);
 }
 
-Status Evaluation::EvaluateScc(const std::vector<std::string>& scc_preds,
-                               bool recursive) {
-  std::set<std::string> scc_set(scc_preds.begin(), scc_preds.end());
+// Minimum chunk of outer-atom rows worth shipping to another thread; below
+// this the fan-out overhead (buffers, task dispatch) beats the join work.
+constexpr size_t kMinRowsPerChunk = 64;
 
-  // Rules defining a predicate of this SCC.
-  std::vector<CompiledRule> rules;
-  for (const Rule& rule : program_.rules) {
-    if (scc_set.count(rule.head.predicate) == 0) continue;
-    RAQLET_ASSIGN_OR_RETURN(CompiledRule cr, CompileRule(rule, scc_set));
-    rules.push_back(std::move(cr));
+Status Evaluation::EvaluateVariants(
+    const std::vector<std::pair<const CompiledRule*, int>>& variants,
+    const std::unordered_map<std::string, size_t>& snapshot,
+    const std::unordered_map<std::string, size_t>& delta_begin,
+    std::vector<std::pair<Relation*, Tuple>>* staged, EvalStats* scc_stats) {
+  // Plan every variant and prebuild every index the plans will probe —
+  // single-threaded, so Relation caches mutate before any fan-out.
+  std::vector<VariantPlan> plans;
+  plans.reserve(variants.size());
+  for (const auto& [rule, delta_atom] : variants) {
+    ++scc_stats->rule_evaluations;
+    RAQLET_ASSIGN_OR_RETURN(
+        VariantPlan plan, PlanVariant(*rule, delta_atom, options_.reorder_atoms));
+    for (PlanStep& step : plan.steps) {
+      if (step.probe_cols.empty()) continue;
+      const Relation* rel =
+          rule->atoms[static_cast<size_t>(step.atom_index)].relation;
+      step.index = rel->EnsureIndex(step.probe_cols);
+    }
+    plans.push_back(std::move(plan));
   }
-  if (rules.empty()) return Status::OK();
 
-  // Applies staged tuples; returns per-relation previous sizes so callers
-  // can derive deltas. Handles lattice merge semantics.
+  // Split each variant's outer join range into chunks. Aggregate rules
+  // stay single-task (the group accumulator spans the whole range).
+  std::vector<VariantTask> tasks;
+  for (size_t v = 0; v < variants.size(); ++v) {
+    const CompiledRule* rule = variants[v].first;
+    const VariantPlan& plan = plans[v];
+    VariantTask whole;
+    whole.rule = rule;
+    whole.plan = &plan;
+    if (pool_ == nullptr || rule->has_agg || plan.range_atom < 0) {
+      tasks.push_back(whole);
+      continue;
+    }
+    const CompiledAtom& outer =
+        rule->atoms[static_cast<size_t>(plan.range_atom)];
+    size_t begin = 0;
+    size_t end = snapshot.count(outer.predicate) ? snapshot.at(outer.predicate)
+                                                 : outer.relation->size();
+    if (plan.range_atom == plan.delta_atom) {
+      auto it = delta_begin.find(outer.predicate);
+      if (it != delta_begin.end()) begin = it->second;
+    }
+    size_t range = end > begin ? end - begin : 0;
+    size_t max_chunks = static_cast<size_t>(pool_->num_threads()) * 4;
+    size_t chunks = range / kMinRowsPerChunk;
+    if (chunks > max_chunks) chunks = max_chunks;
+    if (chunks <= 1) {
+      tasks.push_back(whole);
+      continue;
+    }
+    size_t chunk_size = (range + chunks - 1) / chunks;
+    for (size_t c = 0; c < chunks; ++c) {
+      VariantTask task = whole;
+      task.range_begin = begin + c * chunk_size;
+      task.range_end = std::min(end, task.range_begin + chunk_size);
+      if (task.range_begin >= task.range_end) break;
+      tasks.push_back(task);
+    }
+  }
+
+  // Evaluate. Each task owns an EmitBuffer; workers share nothing.
+  std::vector<EmitBuffer> buffers(tasks.size());
+  std::vector<Status> statuses(tasks.size(), Status::OK());
+  auto run_task = [&](size_t i) {
+    EmitBuffer& out = buffers[i];
+    std::map<Tuple, AggState> agg;
+    if (tasks[i].rule->has_agg) out.agg = &agg;
+    Status s = EvaluateVariant(tasks[i], snapshot, delta_begin, &out);
+    if (s.ok() && tasks[i].rule->has_agg) {
+      s = FinalizeAggregates(*tasks[i].rule, agg, &out);
+    }
+    statuses[i] = std::move(s);
+  };
+  if (pool_ != nullptr && tasks.size() > 1) {
+    pool_->ParallelFor(tasks.size(), run_task);
+  } else {
+    for (size_t i = 0; i < tasks.size(); ++i) run_task(i);
+  }
+
+  // Deterministic merge: task order equals the order a serial evaluation
+  // visits the same rows, so the staged sequence — and therefore every
+  // relation's insertion order — is identical for any thread count.
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    RAQLET_RETURN_IF_ERROR(statuses[i]);
+    std::move(buffers[i].staged.begin(), buffers[i].staged.end(),
+              std::back_inserter(*staged));
+    scc_stats->tuples_considered += buffers[i].stats.tuples_considered;
+  }
+  return Status::OK();
+}
+
+Status Evaluation::EvaluateScc(SccWork* work) {
+  const std::vector<std::string>& scc_preds = work->preds;
+  const std::vector<CompiledRule>& rules = work->rules;
+  EvalStats scc_stats;
+  std::vector<std::pair<Relation*, Tuple>> staged;
+
+  // Applies staged tuples; the single-writer phase of each round. Handles
+  // lattice merge semantics.
   auto apply_staged = [&]() -> size_t {
     size_t inserted = 0;
-    for (auto& [rel, tuple] : staged_) {
+    for (auto& [rel, tuple] : staged) {
       auto lk = lattice_kind_.find(rel->name());
       if (lk != lattice_kind_.end()) {
         // Lattice insert: only counts if it improves the best value for
         // the key prefix.
         Tuple prefix(tuple.begin(), tuple.end() - 1);
         Value candidate = tuple.back();
-        auto& best = lattice_best_[rel->name()];
+        auto& best = lattice_best_.find(rel->name())->second;
         auto it = best.find(prefix);
         bool improves =
             it == best.end() ||
@@ -853,36 +1032,40 @@ Status Evaluation::EvaluateScc(const std::vector<std::string>& scc_preds,
       }
       if (rel->Insert(std::move(tuple))) ++inserted;
     }
-    staged_.clear();
-    if (stats_ != nullptr) stats_->tuples_inserted += inserted;
+    staged.clear();
+    scc_stats.tuples_inserted += inserted;
     return inserted;
   };
 
+  // Only the predicates this SCC's rules mention: sizes of unrelated
+  // relations may be changing concurrently in other SCCs.
   auto snapshot_sizes = [&]() {
     std::unordered_map<std::string, size_t> snapshot;
-    for (const auto& [name, rel] : relations_) snapshot[name] = rel->size();
+    for (const std::string& name : work->snapshot_preds) {
+      snapshot[name] = relations_.at(name)->size();
+    }
     return snapshot;
   };
 
-  if (!recursive) {
+  auto merge_stats = [&]() {
+    if (stats_ == nullptr) return;
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_->fixpoint_rounds += scc_stats.fixpoint_rounds;
+    stats_->tuples_inserted += scc_stats.tuples_inserted;
+    stats_->rule_evaluations += scc_stats.rule_evaluations;
+    stats_->tuples_considered += scc_stats.tuples_considered;
+  };
+
+  if (rules.empty()) return Status::OK();
+
+  if (!work->recursive) {
     auto snapshot = snapshot_sizes();
-    for (const CompiledRule& rule : rules) {
-      if (rule.has_agg) {
-        std::map<Tuple, AggState> agg;
-        current_agg_ = &agg;
-        RAQLET_ASSIGN_OR_RETURN(VariantPlan plan,
-                                PlanVariant(rule, -1, options_.reorder_atoms));
-        RAQLET_RETURN_IF_ERROR(EvaluateVariant(rule, plan, snapshot, {}));
-        RAQLET_RETURN_IF_ERROR(FinalizeAggregates(rule));
-        current_agg_ = nullptr;
-      } else {
-        RAQLET_ASSIGN_OR_RETURN(VariantPlan plan,
-                                PlanVariant(rule, -1, options_.reorder_atoms));
-        RAQLET_RETURN_IF_ERROR(EvaluateVariant(rule, plan, snapshot, {}));
-      }
-    }
-    apply_staged();
-    return Status::OK();
+    std::vector<std::pair<const CompiledRule*, int>> variants;
+    for (const CompiledRule& rule : rules) variants.emplace_back(&rule, -1);
+    Status s = EvaluateVariants(variants, snapshot, {}, &staged, &scc_stats);
+    if (s.ok()) apply_staged();
+    merge_stats();
+    return s;
   }
 
   // Recursive SCC. Aggregates are rejected by stratification earlier.
@@ -893,11 +1076,14 @@ Status Evaluation::EvaluateScc(const std::vector<std::string>& scc_preds,
   }
   {
     auto snapshot = snapshot_sizes();
+    std::vector<std::pair<const CompiledRule*, int>> variants;
     for (const CompiledRule& rule : rules) {
-      if (!rule.recursive_atoms.empty()) continue;
-      RAQLET_ASSIGN_OR_RETURN(VariantPlan plan,
-                              PlanVariant(rule, -1, options_.reorder_atoms));
-      RAQLET_RETURN_IF_ERROR(EvaluateVariant(rule, plan, snapshot, {}));
+      if (rule.recursive_atoms.empty()) variants.emplace_back(&rule, -1);
+    }
+    Status s = EvaluateVariants(variants, snapshot, {}, &staged, &scc_stats);
+    if (!s.ok()) {
+      merge_stats();
+      return s;
     }
     apply_staged();
   }
@@ -915,8 +1101,9 @@ Status Evaluation::EvaluateScc(const std::vector<std::string>& scc_preds,
     }
     if (!any_delta) break;
     ++round;
-    if (stats_ != nullptr) ++stats_->fixpoint_rounds;
+    ++scc_stats.fixpoint_rounds;
     if (options_.max_iterations != 0 && round > options_.max_iterations) {
+      merge_stats();
       return Status::Unsupported(
           "fixpoint did not converge within " +
           std::to_string(options_.max_iterations) +
@@ -924,21 +1111,24 @@ Status Evaluation::EvaluateScc(const std::vector<std::string>& scc_preds,
     }
 
     auto snapshot = snapshot_sizes();
+    std::vector<std::pair<const CompiledRule*, int>> variants;
     for (const CompiledRule& rule : rules) {
       if (rule.recursive_atoms.empty()) continue;
       if (options_.seminaive) {
         for (int delta_atom : rule.recursive_atoms) {
-          RAQLET_ASSIGN_OR_RETURN(
-              VariantPlan plan,
-              PlanVariant(rule, delta_atom, options_.reorder_atoms));
-          RAQLET_RETURN_IF_ERROR(
-              EvaluateVariant(rule, plan, snapshot, delta_begin));
+          variants.emplace_back(&rule, delta_atom);
         }
       } else {
-        RAQLET_ASSIGN_OR_RETURN(VariantPlan plan,
-                                PlanVariant(rule, -1, options_.reorder_atoms));
-        RAQLET_RETURN_IF_ERROR(EvaluateVariant(rule, plan, snapshot, {}));
+        variants.emplace_back(&rule, -1);
       }
+    }
+    // Non-seminaive variants carry delta_atom == -1 and never consult
+    // delta_begin, so passing it unconditionally is safe.
+    Status s = EvaluateVariants(variants, snapshot, delta_begin, &staged,
+                                &scc_stats);
+    if (!s.ok()) {
+      merge_stats();
+      return s;
     }
     for (const std::string& pred : scc_preds) {
       delta_begin[pred] = snapshot[pred];
@@ -961,6 +1151,7 @@ Status Evaluation::EvaluateScc(const std::vector<std::string>& scc_preds,
     }
     rel->ReplaceRows(std::move(compacted));
   }
+  merge_stats();
   return Status::OK();
 }
 
@@ -971,12 +1162,39 @@ Status Evaluation::Run() {
   analysis::DependencyGraph graph = analysis::DependencyGraph::Build(program_);
   RAQLET_RETURN_IF_ERROR(CheckStratification(graph));
 
+  // Compile every SCC's rules upfront, single-threaded: rule compilation
+  // interns constants into the shared symbol table and resolves relation
+  // pointers, neither of which may race with concurrent SCC evaluation.
   const auto& sccs = graph.SccsInTopologicalOrder();
+  std::vector<SccWork> work(sccs.size());
   for (size_t i = 0; i < sccs.size(); ++i) {
-    RAQLET_RETURN_IF_ERROR(
-        EvaluateScc(sccs[i], graph.IsRecursiveScc(static_cast<int>(i))));
+    work[i].preds = sccs[i];
+    work[i].recursive = graph.IsRecursiveScc(static_cast<int>(i));
+    std::set<std::string> scc_set(sccs[i].begin(), sccs[i].end());
+    for (const Rule& rule : program_.rules) {
+      if (scc_set.count(rule.head.predicate) == 0) continue;
+      RAQLET_ASSIGN_OR_RETURN(CompiledRule cr, CompileRule(rule, scc_set));
+      work[i].snapshot_preds.insert(rule.head.predicate);
+      for (const CompiledAtom& atom : cr.atoms) {
+        work[i].snapshot_preds.insert(atom.predicate);
+      }
+      work[i].rules.push_back(std::move(cr));
+    }
   }
-  return Status::OK();
+
+  if (pool_ == nullptr) {
+    for (SccWork& w : work) {
+      RAQLET_RETURN_IF_ERROR(EvaluateScc(&w));
+    }
+    return Status::OK();
+  }
+
+  // Independent SCCs run concurrently; an SCC starts only after every SCC
+  // it depends on finished, so all relations it reads (beyond its own) are
+  // frozen for its whole lifetime.
+  runtime::SccDag dag = runtime::BuildSccDag(graph);
+  return runtime::RunSccDag(dag, pool_,
+                            [&](int i) { return EvaluateScc(&work[static_cast<size_t>(i)]); });
 }
 
 }  // namespace
@@ -991,7 +1209,7 @@ std::string EvalStats::ToString() const {
 
 Status DatalogEngine::Run(const dlir::Program& program, Database* db,
                           EvalStats* stats) const {
-  Evaluation eval(program, db, options_, stats);
+  Evaluation eval(program, db, options_, stats, context_.get());
   return eval.Run();
 }
 

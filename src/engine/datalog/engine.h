@@ -19,12 +19,20 @@
 //    improves the best value for the key prefix. This gives terminating
 //    shortest-path recursion on cyclic graphs (Datalog^o-style monotone
 //    aggregation).
+//  * With num_threads > 1, execution runs on the raqlet_runtime layer:
+//    independent SCCs are scheduled concurrently, and within one fixpoint
+//    round each rule variant's outer join range is partitioned across the
+//    pool. Workers emit into thread-local buffers that are merged
+//    single-threaded in task order, so derived relations are bit-identical
+//    to a 1-thread run.
 
 #include <cstddef>
+#include <memory>
 #include <string>
 
 #include "common/status.h"
 #include "dlir/program.h"
+#include "runtime/execution_context.h"
 #include "storage/database.h"
 
 namespace raqlet::engine {
@@ -41,6 +49,12 @@ struct EvalOptions {
   /// If an IDB relation already exists in the database, clear and
   /// recompute it instead of failing.
   bool overwrite_idb = true;
+  /// Degree of parallelism. 1 (default) evaluates strictly serially;
+  /// N > 1 evaluates independent SCCs and partitioned delta joins on a
+  /// thread pool of N threads. Results are identical for every N.
+  int num_threads = 1;
+
+  bool operator==(const EvalOptions&) const = default;
 };
 
 struct EvalStats {
@@ -54,7 +68,12 @@ struct EvalStats {
 
 class DatalogEngine {
  public:
-  explicit DatalogEngine(EvalOptions options = {}) : options_(options) {}
+  explicit DatalogEngine(EvalOptions options = {})
+      : options_(options),
+        context_(options.num_threads > 1
+                     ? std::make_unique<runtime::ExecutionContext>(
+                           options.num_threads)
+                     : nullptr) {}
 
   /// Evaluates `program` against `db`. Input relations must pre-exist in
   /// `db` with matching arity; IDB relations are created (or cleared) and
@@ -64,6 +83,10 @@ class DatalogEngine {
 
  private:
   EvalOptions options_;
+  // Created eagerly with the engine (num_threads is fixed per engine), so
+  // Run stays const and safe to call from multiple threads, and repeated
+  // executions (fixpoint benchmarks, servers) reuse the same workers.
+  std::unique_ptr<runtime::ExecutionContext> context_;
 };
 
 }  // namespace raqlet::engine

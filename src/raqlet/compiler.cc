@@ -122,10 +122,21 @@ Result<std::string> Compiler::EmitSql(const dlir::Program& program) const {
   return sqir::ToSql(sqir_program);
 }
 
+const engine::DatalogEngine& Compiler::DatalogEngineFor(
+    const engine::EvalOptions& options) const {
+  std::lock_guard<std::mutex> lock(engine_cache_mutex_);
+  for (const auto& [cached_options, engine] : engine_cache_) {
+    if (cached_options == options) return *engine;
+  }
+  engine_cache_.emplace_back(
+      options, std::make_unique<engine::DatalogEngine>(options));
+  return *engine_cache_.back().second;
+}
+
 Result<engine::ResultTable> Compiler::RunOnDatalog(
-    const dlir::Program& program, Database* db,
-    engine::EvalStats* stats) const {
-  engine::DatalogEngine eng;
+    const dlir::Program& program, Database* db, engine::EvalStats* stats,
+    const engine::EvalOptions& options) const {
+  const engine::DatalogEngine& eng = DatalogEngineFor(options);
   RAQLET_RETURN_IF_ERROR(eng.Run(program, db, stats));
   std::vector<std::string> outputs = program.OutputRelations();
   if (outputs.size() != 1) {

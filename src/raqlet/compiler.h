@@ -18,8 +18,11 @@
 //                           compiler.RunOnDatalog(unit.optimized, &db));
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/analyses.h"
@@ -109,10 +112,12 @@ class Compiler {
   // ---- engines ----
 
   /// Bottom-up Datalog evaluation (Soufflé stand-in). Returns the rows of
-  /// the single output relation.
+  /// the single output relation. `options.num_threads > 1` evaluates on
+  /// the parallel runtime (identical results, see engine/datalog).
   Result<engine::ResultTable> RunOnDatalog(
       const dlir::Program& program, Database* db,
-      engine::EvalStats* stats = nullptr) const;
+      engine::EvalStats* stats = nullptr,
+      const engine::EvalOptions& options = {}) const;
 
   /// Recursive-SQL evaluation (DuckDB/HyPer stand-ins via `mode`).
   Result<engine::ResultTable> RunOnSql(
@@ -130,9 +135,21 @@ class Compiler {
   Result<engine::GraphStore> BuildGraphStore(const Database& db) const;
 
  private:
+  // One DatalogEngine per distinct EvalOptions ever requested, so repeated
+  // RunOnDatalog calls reuse the engine's thread pool instead of spawning
+  // and joining workers per query. Engines live until the Compiler dies
+  // (the set of distinct option values is small in practice) and are safe
+  // to run concurrently; the mutex only guards cache lookup/insert.
+  const engine::DatalogEngine& DatalogEngineFor(
+      const engine::EvalOptions& options) const;
+
   schema::PgSchema pg_schema_;
   schema::DlSchema dl_schema_;
   bool schema_loaded_ = false;
+  mutable std::mutex engine_cache_mutex_;
+  mutable std::vector<
+      std::pair<engine::EvalOptions, std::unique_ptr<engine::DatalogEngine>>>
+      engine_cache_;
 };
 
 }  // namespace raqlet

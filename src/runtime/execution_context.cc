@@ -1,0 +1,12 @@
+#include "runtime/execution_context.h"
+
+namespace raqlet::runtime {
+
+ExecutionContext::ExecutionContext(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_);
+  }
+}
+
+}  // namespace raqlet::runtime

@@ -1,0 +1,36 @@
+#ifndef RAQLET_RUNTIME_EXECUTION_CONTEXT_H_
+#define RAQLET_RUNTIME_EXECUTION_CONTEXT_H_
+
+// ExecutionContext bundles everything an engine needs to parallelize one
+// plan execution: the requested degree of parallelism and the thread pool
+// realizing it. num_threads == 1 (the default everywhere) means strictly
+// serial execution — no pool is created and the engines take their
+// single-threaded code paths, so serial behavior is bit-identical to the
+// pre-runtime engine.
+
+#include <memory>
+
+#include "runtime/thread_pool.h"
+
+namespace raqlet::runtime {
+
+class ExecutionContext {
+ public:
+  /// Creates a context with `num_threads` total executing threads
+  /// (clamped to >= 1). The pool is spawned eagerly so repeated plan
+  /// executions reuse the same workers.
+  explicit ExecutionContext(int num_threads = 1);
+
+  int num_threads() const { return num_threads_; }
+
+  /// The pool backing this context, or nullptr when serial.
+  ThreadPool* pool() const { return pool_.get(); }
+
+ private:
+  int num_threads_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace raqlet::runtime
+
+#endif  // RAQLET_RUNTIME_EXECUTION_CONTEXT_H_

@@ -1,0 +1,106 @@
+#include "runtime/scc_scheduler.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+
+namespace raqlet::runtime {
+
+SccDag BuildSccDag(const analysis::DependencyGraph& graph) {
+  SccDag dag;
+  dag.successors.resize(graph.SccsInTopologicalOrder().size());
+  for (const analysis::DependencyEdge& edge : graph.edges()) {
+    int from = graph.SccOf(edge.from);  // body predicate: dependency
+    int to = graph.SccOf(edge.to);      // head predicate: dependent
+    if (from == to || from < 0 || to < 0) continue;
+    dag.successors[static_cast<size_t>(from)].push_back(to);
+  }
+  for (std::vector<int>& succ : dag.successors) {
+    std::sort(succ.begin(), succ.end());
+    succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
+  }
+  return dag;
+}
+
+namespace {
+
+struct DagState {
+  const SccDag* dag = nullptr;
+  const std::function<Status(int)>* body = nullptr;
+  ThreadPool* pool = nullptr;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<int> pending_deps;     // unfinished predecessors per node
+  std::map<int, Status> errors;      // failed node -> its error
+  bool failed = false;
+  size_t launched = 0;
+  size_t finished = 0;
+
+  void Launch(int node);  // requires mutex held
+};
+
+void RunNode(DagState* state, int node) {
+  Status status = (*state->body)(node);
+  std::lock_guard<std::mutex> lock(state->mutex);
+  if (!status.ok()) {
+    state->failed = true;
+    state->errors.emplace(node, std::move(status));
+  } else if (!state->failed) {
+    for (int succ : state->dag->successors[static_cast<size_t>(node)]) {
+      if (--state->pending_deps[static_cast<size_t>(succ)] == 0) {
+        state->Launch(succ);
+      }
+    }
+  }
+  ++state->finished;
+  if (state->finished == state->launched &&
+      (state->failed || state->finished == state->dag->size())) {
+    state->cv.notify_all();
+  }
+}
+
+void DagState::Launch(int node) {
+  ++launched;
+  pool->Submit([this, node] { RunNode(this, node); });
+}
+
+}  // namespace
+
+Status RunSccDag(const SccDag& dag, ThreadPool* pool,
+                 const std::function<Status(int)>& body) {
+  size_t n = dag.size();
+  if (n == 0) return Status::OK();
+
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    // Node indices are already a topological order.
+    for (size_t i = 0; i < n; ++i) {
+      RAQLET_RETURN_IF_ERROR(body(static_cast<int>(i)));
+    }
+    return Status::OK();
+  }
+
+  DagState state;
+  state.dag = &dag;
+  state.body = &body;
+  state.pool = pool;
+  state.pending_deps.assign(n, 0);
+  for (const std::vector<int>& succ : dag.successors) {
+    for (int to : succ) ++state.pending_deps[static_cast<size_t>(to)];
+  }
+  {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    for (size_t i = 0; i < n; ++i) {
+      if (state.pending_deps[i] == 0) state.Launch(static_cast<int>(i));
+    }
+    state.cv.wait(lock, [&] {
+      return state.finished == state.launched &&
+             (state.failed || state.finished == n);
+    });
+    if (state.failed) return state.errors.begin()->second;
+  }
+  return Status::OK();
+}
+
+}  // namespace raqlet::runtime

@@ -1,0 +1,43 @@
+#ifndef RAQLET_RUNTIME_SCC_SCHEDULER_H_
+#define RAQLET_RUNTIME_SCC_SCHEDULER_H_
+
+// Dependency-aware scheduler for the evaluation units of the Datalog
+// engine: the SCCs of the predicate dependency graph. Two SCCs with no
+// path between them read disjoint-or-frozen relations, so they can be
+// evaluated concurrently; an SCC may only start once every SCC it depends
+// on has finished (its input relations are then frozen).
+
+#include <functional>
+#include <vector>
+
+#include "analysis/dependency_graph.h"
+#include "common/status.h"
+#include "runtime/thread_pool.h"
+
+namespace raqlet::runtime {
+
+/// The SCC-level condensation of a predicate dependency graph. Node i is
+/// the i-th SCC of DependencyGraph::SccsInTopologicalOrder(); an edge
+/// i -> j means SCC j depends on SCC i (and therefore j > i).
+struct SccDag {
+  std::vector<std::vector<int>> successors;
+
+  size_t size() const { return successors.size(); }
+};
+
+/// Builds the condensation of `graph`. Successor lists are sorted and
+/// deduplicated.
+SccDag BuildSccDag(const analysis::DependencyGraph& graph);
+
+/// Runs body(i) exactly once per DAG node, never starting a node before
+/// all of its predecessors finished. Independent nodes run concurrently on
+/// `pool`; with pool == nullptr nodes run serially in index (topological)
+/// order. On failure no new nodes are started, in-flight nodes drain, and
+/// the error of the lowest-index failed node is returned (which makes the
+/// reported error independent of scheduling).
+Status RunSccDag(const SccDag& dag, ThreadPool* pool,
+                 const std::function<Status(int)>& body);
+
+}  // namespace raqlet::runtime
+
+#endif  // RAQLET_RUNTIME_SCC_SCHEDULER_H_

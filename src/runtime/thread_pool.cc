@@ -1,0 +1,99 @@
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+namespace raqlet::runtime {
+
+namespace {
+
+// Shared state of one ParallelFor call. Kept alive by shared_ptr because
+// helper tasks may be dequeued after the loop already completed.
+struct ForState {
+  const std::function<void(size_t)>* fn = nullptr;
+  size_t count = 0;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+};
+
+void DrainFor(const std::shared_ptr<ForState>& state) {
+  while (true) {
+    size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state->count) return;
+    (*state->fn)(i);
+    if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        state->count) {
+      // Lock pairs with the waiter's predicate check: without it the
+      // notification could fire between the check and the wait.
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1 || workers_.empty()) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  auto state = std::make_shared<ForState>();
+  state->fn = &fn;
+  state->count = count;
+  // The caller participates, so at most count - 1 helpers are useful.
+  size_t helpers = workers_.size() < count - 1 ? workers_.size() : count - 1;
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit([state] { DrainFor(state); });
+  }
+  DrainFor(state);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->count;
+  });
+}
+
+}  // namespace raqlet::runtime

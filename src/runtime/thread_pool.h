@@ -1,0 +1,58 @@
+#ifndef RAQLET_RUNTIME_THREAD_POOL_H_
+#define RAQLET_RUNTIME_THREAD_POOL_H_
+
+// Fixed-size thread pool shared by the execution engines. Two primitives:
+//
+//  * Submit — fire-and-forget task, used by the SCC scheduler.
+//  * ParallelFor — blocking data-parallel loop over [0, count). The calling
+//    thread participates in the loop, so ParallelFor is safe to call from
+//    inside a pool task (a worker never blocks waiting for another worker
+//    to pick something up; at worst the caller runs every iteration
+//    itself).
+//
+// Tasks must not throw; engine code communicates failure through Status
+// values collected by the caller.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace raqlet::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(i) exactly once for every i in [0, count) and blocks until all
+  /// iterations finished. Iterations are claimed dynamically, so uneven
+  /// per-iteration cost balances across threads.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace raqlet::runtime
+
+#endif  // RAQLET_RUNTIME_THREAD_POOL_H_

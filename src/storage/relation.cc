@@ -42,6 +42,17 @@ void Relation::Clear() {
 
 const Relation::KeyIndex& Relation::GetIndex(
     const std::vector<int>& key_columns) const {
+  return FoldIndex(key_columns);
+}
+
+const Relation::KeyIndex* Relation::EnsureIndex(
+    const std::vector<int>& key_columns) const {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  return &FoldIndex(key_columns);
+}
+
+const Relation::KeyIndex& Relation::FoldIndex(
+    const std::vector<int>& key_columns) const {
   std::string cache_key;
   for (int c : key_columns) {
     cache_key += std::to_string(c);

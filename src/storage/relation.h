@@ -6,6 +6,7 @@
 // identifies deltas as suffixes of the row vector).
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -36,6 +37,16 @@ struct RelationSchema {
 };
 
 /// A deduplicated, insertion-ordered bag of tuples of fixed arity.
+///
+/// Threading contract (single writer / multiple readers): at most one
+/// thread may mutate a Relation (Insert / Clear / ReplaceRows), and while
+/// it does, no other thread may touch the relation at all. Between
+/// mutations — e.g. while the parallel evaluator fans a fixpoint round out
+/// across a thread pool — any number of threads may concurrently call the
+/// const accessors plus EnsureIndex, which serializes index construction
+/// internally. GetIndex is the historical single-threaded entry point: it
+/// folds new rows into the cache without locking and therefore must never
+/// run concurrently with anything else on the same relation.
 class Relation {
  public:
   Relation() = default;
@@ -62,8 +73,19 @@ class Relation {
   /// Indexes are maintained incrementally: rows inserted after the index was
   /// built are folded in on the next GetIndex call, so interleaving inserts
   /// and probes (semi-naive evaluation) stays linear.
+  /// Row-index lists within one key are in ascending (insertion) order —
+  /// the semi-naive evaluator's deterministic merge relies on this.
   using KeyIndex = std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash>;
   const KeyIndex& GetIndex(const std::vector<int>& key_columns) const;
+
+  /// Thread-safe variant of GetIndex for the single-writer/multi-reader
+  /// phase: brings the index for `key_columns` up to date with the current
+  /// rows under an internal lock and returns a pointer to it. The pointee
+  /// is stable (never moved by other cache entries being built) and safe
+  /// to probe lock-free for as long as the relation is not mutated. The
+  /// engine calls this once per plan step at plan-build time, so the inner
+  /// join loops pay neither the lock nor the cache lookup.
+  const KeyIndex* EnsureIndex(const std::vector<int>& key_columns) const;
 
   /// Replaces the contents of this relation with `rows` (deduplicated).
   /// Used by the engine to compact lattice relations at stratum boundaries.
@@ -77,12 +99,16 @@ class Relation {
     size_t rows_indexed = 0;  // watermark into rows_
   };
 
+  const KeyIndex& FoldIndex(const std::vector<int>& key_columns) const;
+
   RelationSchema schema_;
   std::vector<Tuple> rows_;
   std::unordered_set<Tuple, TupleHash> dedup_;
   // Cache key: comma-joined column list. Mutable: index construction is a
-  // logically-const acceleration structure.
+  // logically-const acceleration structure. Guarded by index_mutex_ only
+  // on the EnsureIndex path; see the class-level threading contract.
   mutable std::unordered_map<std::string, CachedIndex> index_cache_;
+  mutable std::mutex index_mutex_;
 };
 
 }  // namespace raqlet

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "storage/csv.h"
 #include "storage/database.h"
 #include "storage/relation.h"
@@ -58,6 +61,42 @@ TEST(RelationTest, IndexIsMaintainedIncrementally) {
   auto it = index2.find(Tuple{Value::Number(5)});
   ASSERT_NE(it, index2.end());
   EXPECT_EQ(it->second[0], 1u);
+}
+
+TEST(RelationTest, EnsureIndexMatchesGetIndexAndStaysCurrent) {
+  Relation r(EdgeSchema());
+  r.Insert({Value::Number(1), Value::Number(2)});
+  const Relation::KeyIndex* index = r.EnsureIndex({0});
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->size(), 1u);
+  r.Insert({Value::Number(5), Value::Number(6)});
+  // Same cache entry (pointer-stable), folded up to the new rows.
+  EXPECT_EQ(r.EnsureIndex({0}), index);
+  EXPECT_EQ(index->size(), 2u);
+  EXPECT_EQ(&r.GetIndex({0}), index);
+}
+
+// Multi-reader phase of the relation threading contract: once the index
+// is up to date and no writer is active, concurrent EnsureIndex calls and
+// probes are safe (the tsan CI leg checks this for real).
+TEST(RelationTest, EnsureIndexIsSafeUnderConcurrentReaders) {
+  Relation r(EdgeSchema());
+  for (int i = 0; i < 256; ++i) {
+    r.Insert({Value::Number(i % 16), Value::Number(i)});
+  }
+  std::atomic<size_t> total_hits{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&r, &total_hits] {
+      for (int pass = 0; pass < 50; ++pass) {
+        const Relation::KeyIndex* index = r.EnsureIndex({0});
+        auto it = index->find(Tuple{Value::Number(3)});
+        if (it != index->end()) total_hits.fetch_add(it->second.size());
+      }
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(total_hits.load(), 4u * 50u * 16u);
 }
 
 TEST(RelationTest, ReplaceRowsResets) {
