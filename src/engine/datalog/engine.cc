@@ -95,11 +95,18 @@ struct CompiledRule {
   int agg_pos = -1;
 };
 
-// Runtime variable environment.
+// Runtime variable environment, plus per-plan-step scratch buffers. The
+// scratch is indexed by step: ExecuteStep never re-enters the same step
+// within one task (recursion strictly descends the plan), so reusing one
+// buffer per step replaces a heap allocation per candidate row with one
+// per task.
 struct Env {
   std::vector<Value> values;
   std::vector<bool> bound;
-  explicit Env(size_t n) : values(n), bound(n, false) {}
+  std::vector<Tuple> probe_scratch;                 // per-step probe keys
+  std::vector<std::vector<size_t>> bound_scratch;   // per-step unbound slots
+  Env(size_t n, size_t steps)
+      : values(n), bound(n, false), probe_scratch(steps), bound_scratch(steps) {}
 };
 
 Result<Value> EvalCompiledTerm(const CompiledTerm& term, const Env& env) {
@@ -348,13 +355,26 @@ struct AggState {
 
 // Everything one evaluation task (a rule variant, or one chunk of its
 // outer join range) writes: derived tuples, stat counters, and — for
-// aggregate rules — the group accumulator. Buffers are merged into the
-// relations single-threaded, in deterministic task order, after a fan-out
-// completes; workers never touch a Relation's mutable state.
+// aggregate rules — the group accumulator. A task emits only to its
+// rule's head relation, so the buffer carries a single `target` and the
+// staged tuples are a plain run for that relation. After a fan-out
+// completes, runs are applied per relation in deterministic task order
+// (see Evaluation::ApplyStaged); workers never touch a Relation's mutable
+// state. Buffers are recycled through an ObjectPool so their capacity
+// survives across fixpoint rounds.
 struct EmitBuffer {
-  std::vector<std::pair<Relation*, Tuple>> staged;
+  Relation* target = nullptr;
+  std::vector<Tuple> staged;
   EvalStats stats;
   std::map<Tuple, AggState>* agg = nullptr;
+
+  // Back to logically-empty, keeping staged's capacity for reuse.
+  void Reset() {
+    target = nullptr;
+    staged.clear();
+    stats = EvalStats{};
+    agg = nullptr;
+  }
 };
 
 // One schedulable unit of a fan-out: a planned rule variant restricted to
@@ -386,7 +406,9 @@ class Evaluation {
         db_(db),
         options_(options),
         stats_(stats),
-        pool_(context != nullptr ? context->pool() : nullptr) {}
+        pool_(context != nullptr ? context->pool() : nullptr),
+        buffer_pool_(context != nullptr ? context->PoolFor<EmitBuffer>()
+                                        : &local_buffer_pool_) {}
 
   Status Run();
 
@@ -399,13 +421,23 @@ class Evaluation {
 
   // Plans the given (rule, delta_atom) variants, prebuilds every index the
   // plans probe, evaluates all variants — fanned out over pool_ when
-  // available — and appends the derived tuples to `staged` in the same
-  // order a serial evaluation would have produced them.
+  // available — and appends the per-task emit buffers to `out` in the same
+  // task order a serial evaluation would have produced the tuples.
   Status EvaluateVariants(
       const std::vector<std::pair<const CompiledRule*, int>>& variants,
       const std::unordered_map<std::string, size_t>& snapshot,
       const std::unordered_map<std::string, size_t>& delta_begin,
-      std::vector<std::pair<Relation*, Tuple>>* staged, EvalStats* scc_stats);
+      std::vector<EmitBuffer>* out, EvalStats* scc_stats);
+
+  // Applies the staged runs to their target relations — the single-writer
+  // phase of a round — and recycles the buffers. Runs are grouped per
+  // relation and each group is fed through Relation::InsertBatch in task
+  // order; lattice relations get a batched best-map pass first. When a
+  // thread pool is available the merge is sharded one task per relation
+  // (each relation keeps exactly one writer, so shards never contend),
+  // which parallelizes the merge while keeping contents and insertion
+  // order bit-identical at any thread count. Returns #tuples inserted.
+  size_t ApplyStaged(std::vector<EmitBuffer>* buffers);
 
   // Evaluates one task into `out`. `delta_begin` names relations whose
   // rows are restricted to [delta_begin, snapshot) at the delta atom.
@@ -434,6 +466,11 @@ class Evaluation {
   EvalOptions options_;
   EvalStats* stats_;
   runtime::ThreadPool* pool_;  // null => strictly serial evaluation
+  // Recycles EmitBuffers across rounds; the context's pool when a context
+  // exists (so capacity survives across queries on one engine), else a
+  // pool local to this evaluation.
+  runtime::ObjectPool<EmitBuffer>* buffer_pool_;
+  runtime::ObjectPool<EmitBuffer> local_buffer_pool_;
 
   // Read-only after PrepareRelations; safe to share across SCC tasks.
   std::unordered_map<std::string, Relation*> relations_;
@@ -702,7 +739,7 @@ Status Evaluation::EmitHead(const CompiledRule& rule, Env* env,
     RAQLET_ASSIGN_OR_RETURN(Value v, EvalCompiledTerm(arg, *env));
     derived.push_back(v);
   }
-  out->staged.emplace_back(rule.head_relation, std::move(derived));
+  out->staged.push_back(std::move(derived));
   return Status::OK();
 }
 
@@ -741,7 +778,7 @@ Status Evaluation::FinalizeAggregates(const CompiledRule& rule,
         derived.push_back(group[gi++]);
       }
     }
-    out->staged.emplace_back(rule.head_relation, std::move(derived));
+    out->staged.push_back(std::move(derived));
   }
   return Status::OK();
 }
@@ -780,8 +817,8 @@ Status Evaluation::ExecuteStep(
     }
     case PlanStep::kNegCheck: {
       const CompiledAtom& atom = rule.atoms[static_cast<size_t>(step.atom_index)];
-      Tuple probe_key;
-      probe_key.reserve(step.probe_cols.size());
+      Tuple& probe_key = env->probe_scratch[step_index];
+      probe_key.clear();
       for (int col : step.probe_cols) {
         RAQLET_ASSIGN_OR_RETURN(
             Value v, EvalCompiledTerm(atom.args[static_cast<size_t>(col)], *env));
@@ -826,19 +863,20 @@ Status Evaluation::ExecuteStep(
       }
 
       // Evaluate the statically-determined probe columns.
-      Tuple probe_key;
-      probe_key.reserve(step.probe_cols.size());
+      Tuple& probe_key = env->probe_scratch[step_index];
+      probe_key.clear();
       for (int col : step.probe_cols) {
         RAQLET_ASSIGN_OR_RETURN(
             Value v, EvalCompiledTerm(atom.args[static_cast<size_t>(col)], *env));
         probe_key.push_back(v);
       }
 
+      std::vector<size_t>& newly_bound = env->bound_scratch[step_index];
       auto try_row = [&](const Tuple& row) -> Status {
         ++out->stats.tuples_considered;
         // Unify unbound argument variables against the row; repeated
         // variables within the atom compare on second occurrence.
-        std::vector<size_t> newly_bound;
+        newly_bound.clear();
         bool matches = true;
         for (size_t i = 0; i < atom.args.size() && matches; ++i) {
           const CompiledTerm& arg = atom.args[i];
@@ -900,7 +938,7 @@ Status Evaluation::EvaluateVariant(
     const std::unordered_map<std::string, size_t>& snapshot,
     const std::unordered_map<std::string, size_t>& delta_begin,
     EmitBuffer* out) {
-  Env env(task.rule->num_vars);
+  Env env(task.rule->num_vars, task.plan->steps.size());
   return ExecuteStep(task, 0, &env, snapshot, delta_begin, out);
 }
 
@@ -912,7 +950,7 @@ Status Evaluation::EvaluateVariants(
     const std::vector<std::pair<const CompiledRule*, int>>& variants,
     const std::unordered_map<std::string, size_t>& snapshot,
     const std::unordered_map<std::string, size_t>& delta_begin,
-    std::vector<std::pair<Relation*, Tuple>>* staged, EvalStats* scc_stats) {
+    std::vector<EmitBuffer>* out, EvalStats* scc_stats) {
   // Plan every variant and prebuild every index the plans will probe —
   // single-threaded, so Relation caches mutate before any fan-out.
   std::vector<VariantPlan> plans;
@@ -970,16 +1008,22 @@ Status Evaluation::EvaluateVariants(
     }
   }
 
-  // Evaluate. Each task owns an EmitBuffer; workers share nothing.
-  std::vector<EmitBuffer> buffers(tasks.size());
+  // Evaluate. Each task owns a pooled EmitBuffer; workers share nothing.
+  std::vector<EmitBuffer> buffers;
+  buffers.reserve(tasks.size());
+  for (const VariantTask& task : tasks) {
+    EmitBuffer buffer = buffer_pool_->Acquire();
+    buffer.target = task.rule->head_relation;
+    buffers.push_back(std::move(buffer));
+  }
   std::vector<Status> statuses(tasks.size(), Status::OK());
   auto run_task = [&](size_t i) {
-    EmitBuffer& out = buffers[i];
+    EmitBuffer& buffer = buffers[i];
     std::map<Tuple, AggState> agg;
-    if (tasks[i].rule->has_agg) out.agg = &agg;
-    Status s = EvaluateVariant(tasks[i], snapshot, delta_begin, &out);
+    if (tasks[i].rule->has_agg) buffer.agg = &agg;
+    Status s = EvaluateVariant(tasks[i], snapshot, delta_begin, &buffer);
     if (s.ok() && tasks[i].rule->has_agg) {
-      s = FinalizeAggregates(*tasks[i].rule, agg, &out);
+      s = FinalizeAggregates(*tasks[i].rule, agg, &buffer);
     }
     statuses[i] = std::move(s);
   };
@@ -989,50 +1033,122 @@ Status Evaluation::EvaluateVariants(
     for (size_t i = 0; i < tasks.size(); ++i) run_task(i);
   }
 
-  // Deterministic merge: task order equals the order a serial evaluation
-  // visits the same rows, so the staged sequence — and therefore every
-  // relation's insertion order — is identical for any thread count.
+  // Task order equals the order a serial evaluation visits the same rows,
+  // so handing the buffers over in task order keeps every relation's
+  // staged run — and therefore its insertion order — identical for any
+  // thread count. Stats merge stops at the first error, matching what a
+  // serial evaluation would have accumulated before failing.
   for (size_t i = 0; i < tasks.size(); ++i) {
-    RAQLET_RETURN_IF_ERROR(statuses[i]);
-    std::move(buffers[i].staged.begin(), buffers[i].staged.end(),
-              std::back_inserter(*staged));
+    if (!statuses[i].ok()) {
+      for (EmitBuffer& buffer : buffers) {
+        buffer.Reset();
+        buffer_pool_->Release(std::move(buffer));
+      }
+      return statuses[i];
+    }
     scc_stats->tuples_considered += buffers[i].stats.tuples_considered;
   }
+  for (EmitBuffer& buffer : buffers) out->push_back(std::move(buffer));
   return Status::OK();
+}
+
+size_t Evaluation::ApplyStaged(std::vector<EmitBuffer>* buffers) {
+  // Group staged runs by target relation, preserving first-appearance
+  // (task) order both across groups and within each group.
+  std::vector<std::pair<Relation*, std::vector<size_t>>> groups;
+  std::unordered_map<Relation*, size_t> group_of;
+  for (size_t i = 0; i < buffers->size(); ++i) {
+    if ((*buffers)[i].staged.empty()) continue;
+    auto [it, fresh] = group_of.emplace((*buffers)[i].target, groups.size());
+    if (fresh) groups.emplace_back((*buffers)[i].target, std::vector<size_t>{});
+    groups[it->second].second.push_back(i);
+  }
+
+  std::vector<size_t> inserted(groups.size(), 0);
+  auto apply_group = [&](size_t g) {
+    Relation* rel = groups[g].first;
+    const std::vector<size_t>& runs = groups[g].second;
+    std::vector<Tuple> batch;
+    auto lk = lattice_kind_.find(rel->name());
+    if (lk == lattice_kind_.end()) {
+      if (runs.size() == 1) {
+        // Common case (one variant task for this relation this round):
+        // insert in place — no copy loop, and the pooled buffer keeps
+        // its staged capacity for the next round.
+        inserted[g] = rel->InsertBatchInPlace(&(*buffers)[runs[0]].staged);
+        return;
+      } else {
+        size_t total = 0;
+        for (size_t i : runs) total += (*buffers)[i].staged.size();
+        batch.reserve(total);
+        for (size_t i : runs) {
+          for (Tuple& tuple : (*buffers)[i].staged) {
+            batch.push_back(std::move(tuple));
+          }
+        }
+      }
+    } else {
+      // Batched lattice pass: a staged tuple survives only if it improves
+      // the best value for its key prefix, with the best map advancing
+      // through the run so intra-batch supersedes work exactly like the
+      // old tuple-at-a-time merge.
+      size_t total = 0;
+      for (size_t i : runs) total += (*buffers)[i].staged.size();
+      batch.reserve(total);
+      auto& best = lattice_best_.find(rel->name())->second;
+      for (size_t i : runs) {
+        for (Tuple& tuple : (*buffers)[i].staged) {
+          Tuple prefix(tuple.begin(), tuple.end() - 1);
+          Value candidate = tuple.back();
+          auto it = best.find(prefix);
+          bool improves =
+              it == best.end() ||
+              (lk->second == LatticeKind::kMin
+                   ? CompareValues(candidate, it->second, db_->symbols()) < 0
+                   : CompareValues(candidate, it->second, db_->symbols()) > 0);
+          if (!improves) continue;
+          if (it == best.end()) {
+            best.emplace(std::move(prefix), candidate);
+          } else {
+            it->second = candidate;
+          }
+          batch.push_back(std::move(tuple));
+        }
+      }
+    }
+    inserted[g] = rel->InsertBatch(std::move(batch));
+  };
+
+  // Sharded deterministic merge: one task per relation. Each relation has
+  // exactly one writer (this task), and no concurrently-running SCC reads
+  // a relation this SCC writes (the scheduler only starts an SCC after
+  // all its dependencies finished), so the single-writer contract holds.
+  if (pool_ != nullptr && groups.size() > 1) {
+    pool_->ParallelFor(groups.size(), apply_group);
+  } else {
+    for (size_t g = 0; g < groups.size(); ++g) apply_group(g);
+  }
+
+  size_t total_inserted = 0;
+  for (size_t n : inserted) total_inserted += n;
+  for (EmitBuffer& buffer : *buffers) {
+    buffer.Reset();
+    buffer_pool_->Release(std::move(buffer));
+  }
+  buffers->clear();
+  return total_inserted;
 }
 
 Status Evaluation::EvaluateScc(SccWork* work) {
   const std::vector<std::string>& scc_preds = work->preds;
   const std::vector<CompiledRule>& rules = work->rules;
   EvalStats scc_stats;
-  std::vector<std::pair<Relation*, Tuple>> staged;
+  std::vector<EmitBuffer> staged;
 
-  // Applies staged tuples; the single-writer phase of each round. Handles
-  // lattice merge semantics.
+  // The single-writer phase of each round: per-relation batched (and,
+  // with a pool, sharded) merge of the staged runs.
   auto apply_staged = [&]() -> size_t {
-    size_t inserted = 0;
-    for (auto& [rel, tuple] : staged) {
-      auto lk = lattice_kind_.find(rel->name());
-      if (lk != lattice_kind_.end()) {
-        // Lattice insert: only counts if it improves the best value for
-        // the key prefix.
-        Tuple prefix(tuple.begin(), tuple.end() - 1);
-        Value candidate = tuple.back();
-        auto& best = lattice_best_.find(rel->name())->second;
-        auto it = best.find(prefix);
-        bool improves =
-            it == best.end() ||
-            (lk->second == LatticeKind::kMin
-                 ? CompareValues(candidate, it->second, db_->symbols()) < 0
-                 : CompareValues(candidate, it->second, db_->symbols()) > 0);
-        if (!improves) continue;
-        best[prefix] = candidate;
-        if (rel->Insert(std::move(tuple))) ++inserted;
-        continue;
-      }
-      if (rel->Insert(std::move(tuple))) ++inserted;
-    }
-    staged.clear();
+    size_t inserted = ApplyStaged(&staged);
     scc_stats.tuples_inserted += inserted;
     return inserted;
   };

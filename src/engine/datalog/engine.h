@@ -22,9 +22,11 @@
 //  * With num_threads > 1, execution runs on the raqlet_runtime layer:
 //    independent SCCs are scheduled concurrently, and within one fixpoint
 //    round each rule variant's outer join range is partitioned across the
-//    pool. Workers emit into thread-local buffers that are merged
-//    single-threaded in task order, so derived relations are bit-identical
-//    to a 1-thread run.
+//    pool. Workers emit into per-task buffers (recycled through the
+//    context's object pool across rounds); the merge is sharded per
+//    target relation — each relation's staged runs apply in task order
+//    through Relation::InsertBatch on one pool task — so derived
+//    relations are bit-identical to a 1-thread run at any thread count.
 
 #include <cstddef>
 #include <memory>
@@ -70,10 +72,8 @@ class DatalogEngine {
  public:
   explicit DatalogEngine(EvalOptions options = {})
       : options_(options),
-        context_(options.num_threads > 1
-                     ? std::make_unique<runtime::ExecutionContext>(
-                           options.num_threads)
-                     : nullptr) {}
+        context_(std::make_unique<runtime::ExecutionContext>(
+            options.num_threads)) {}
 
   /// Evaluates `program` against `db`. Input relations must pre-exist in
   /// `db` with matching arity; IDB relations are created (or cleared) and

@@ -1,9 +1,12 @@
 #include "engine/graph/executor.h"
 
+#include <algorithm>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -273,6 +276,41 @@ class Execution {
     return Status::OK();
   }
 
+  // Memoized >=1-step reachability closure, keyed per (edge label,
+  // direction, reverse) traversal and shared across every start node of
+  // the query — the ROADMAP "shared visited-set frontier" quick win that
+  // replaces the per-binding BFS restart. Once closure(m) is complete,
+  // any later traversal that reaches m unions the cached set instead of
+  // re-walking m's out-edges (closure sets are transitively closed, so
+  // their members never need expanding either).
+  using NodeSet = std::unordered_set<int64_t>;
+  const NodeSet& Closure(const std::string& upper, EdgeDirection direction,
+                         bool reverse, int64_t start) const {
+    auto& memo =
+        closure_memos_[{upper, static_cast<int>(direction), reverse}];
+    auto hit = memo.find(start);
+    if (hit != memo.end()) return *hit->second;
+    auto result = std::make_unique<NodeSet>();
+    NodeSet& reached = *result;
+    std::deque<int64_t> queue;  // nodes whose edges still need walking
+    auto visit = [&](const GraphStore::Neighbor& nb) {
+      if (reached.insert(nb.node).second) queue.push_back(nb.node);
+    };
+    ForEachNeighbor(upper, start, direction, reverse, visit);
+    while (!queue.empty()) {
+      int64_t node = queue.front();
+      queue.pop_front();
+      auto cached = memo.find(node);
+      if (cached != memo.end()) {
+        for (int64_t m : *cached->second) reached.insert(m);
+        continue;
+      }
+      ForEachNeighbor(upper, node, direction, reverse, visit);
+      if (stats_ != nullptr) ++stats_->bfs_visits;
+    }
+    return *memo.emplace(start, std::move(result)).first->second;
+  }
+
   // BFS over (node, depth) states, mirroring the DLIR walk semantics.
   // Returns reachable nodes with qualifying depths in [min_hops, max_hops]
   // (max < 0 = unbounded), or min distances when `shortest`.
@@ -283,6 +321,17 @@ class Execution {
                                                int max_hops,
                                                bool shortest) const {
     std::vector<std::pair<int64_t, int64_t>> out;
+    if (!shortest && max_hops < 0 && min_hops <= 1) {
+      // Plain unbounded reachability: no caller consumes the depths (the
+      // emit path only reads them for shortest-path length bindings), so
+      // serve the memoized closure. Sorted for a deterministic row order.
+      const NodeSet& closed = Closure(upper, direction, reverse, start);
+      out.reserve(closed.size() + 1);
+      for (int64_t node : closed) out.emplace_back(node, 1);
+      std::sort(out.begin(), out.end());
+      if (min_hops == 0) out.emplace_back(start, 0);
+      return out;
+    }
     if (shortest || max_hops < 0) {
       if (!shortest && min_hops > 1) {
         // Walks of length >= m: exact-depth states up to m, then closure.
@@ -734,6 +783,10 @@ class Execution {
   Database* db_;
   GraphStats* stats_;
   BindingTable table_;
+  // Completed reachability closures per traversal signature; see Closure.
+  mutable std::map<std::tuple<std::string, int, bool>,
+                   std::unordered_map<int64_t, std::unique_ptr<NodeSet>>>
+      closure_memos_;
 };
 
 }  // namespace

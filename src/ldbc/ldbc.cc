@@ -71,63 +71,91 @@ Status GenerateSnbData(const schema::DlSchema& dl, Database* db,
 
   int64_t edge_id = 0;
 
+  // Every relation is filled through one InsertBatch call: the generator
+  // emits unique rows, so bulk loading skips per-row dedup rehashes.
+  std::vector<Tuple> batch;
+
   RAQLET_ASSIGN_OR_RETURN(Relation * person, db->GetRelation("Person"));
+  batch.reserve(static_cast<size_t>(persons));
   for (int i = 1; i <= persons; ++i) {
-    person->Insert({Value::Number(i), db->Str(pick(kFirstNames)),
-                    db->Str(pick(kLastNames)), db->Str(pick(kGenders)),
-                    Value::Number(19600101 + (rng() % 40) * 10000),
-                    Value::Number(kDateBase + date(rng)),
-                    db->Str("10.0." + std::to_string(i % 256) + "." +
-                            std::to_string(i % 100)),
-                    db->Str(pick(kBrowsers)), db->Str("en"),
-                    db->Str("p" + std::to_string(i) + "@snb.test")});
+    batch.push_back({Value::Number(i), db->Str(pick(kFirstNames)),
+                     db->Str(pick(kLastNames)), db->Str(pick(kGenders)),
+                     Value::Number(19600101 + (rng() % 40) * 10000),
+                     Value::Number(kDateBase + date(rng)),
+                     db->Str("10.0." + std::to_string(i % 256) + "." +
+                             std::to_string(i % 100)),
+                     db->Str(pick(kBrowsers)), db->Str("en"),
+                     db->Str("p" + std::to_string(i) + "@snb.test")});
   }
+  person->InsertBatch(std::move(batch));
+  batch = {};
 
   RAQLET_ASSIGN_OR_RETURN(Relation * city, db->GetRelation("City"));
+  batch.reserve(static_cast<size_t>(cities));
   for (int i = 1; i <= cities; ++i) {
-    city->Insert({Value::Number(i), db->Str("City" + std::to_string(i)),
-                  db->Str("url/city/" + std::to_string(i))});
+    batch.push_back({Value::Number(i), db->Str("City" + std::to_string(i)),
+                     db->Str("url/city/" + std::to_string(i))});
   }
+  city->InsertBatch(std::move(batch));
+  batch = {};
   RAQLET_ASSIGN_OR_RETURN(Relation * country, db->GetRelation("Country"));
+  batch.reserve(static_cast<size_t>(countries));
   for (int i = 1; i <= countries; ++i) {
-    country->Insert({Value::Number(i), db->Str("Country" + std::to_string(i)),
+    batch.push_back({Value::Number(i), db->Str("Country" + std::to_string(i)),
                      db->Str("url/country/" + std::to_string(i))});
   }
+  country->InsertBatch(std::move(batch));
+  batch = {};
   RAQLET_ASSIGN_OR_RETURN(Relation * tag, db->GetRelation("Tag"));
+  batch.reserve(static_cast<size_t>(tags));
   for (int i = 1; i <= tags; ++i) {
-    tag->Insert({Value::Number(i), db->Str("Tag" + std::to_string(i)),
-                 db->Str("url/tag/" + std::to_string(i))});
+    batch.push_back({Value::Number(i), db->Str("Tag" + std::to_string(i)),
+                     db->Str("url/tag/" + std::to_string(i))});
   }
+  tag->InsertBatch(std::move(batch));
+  batch = {};
   RAQLET_ASSIGN_OR_RETURN(Relation * forum, db->GetRelation("Forum"));
+  batch.reserve(static_cast<size_t>(forums));
   for (int i = 1; i <= forums; ++i) {
-    forum->Insert({Value::Number(i), db->Str("Forum" + std::to_string(i)),
-                   Value::Number(kDateBase + date(rng))});
+    batch.push_back({Value::Number(i), db->Str("Forum" + std::to_string(i)),
+                     Value::Number(kDateBase + date(rng))});
   }
+  forum->InsertBatch(std::move(batch));
+  batch = {};
   RAQLET_ASSIGN_OR_RETURN(Relation * message, db->GetRelation("Message"));
+  batch.reserve(static_cast<size_t>(messages));
   for (int i = 1; i <= messages; ++i) {
-    message->Insert({Value::Number(i),
+    batch.push_back({Value::Number(i),
                      db->Str("content-" + std::to_string(i % 997)),
                      Value::Number(kDateBase + date(rng)),
                      db->Str(pick(kBrowsers)),
                      db->Str("10.1." + std::to_string(i % 256) + ".1"),
                      Value::Number(10 + static_cast<int64_t>(rng() % 1990))});
   }
+  message->InsertBatch(std::move(batch));
+  batch = {};
 
   // Place hierarchy.
   RAQLET_ASSIGN_OR_RETURN(Relation * located,
                           db->GetRelation("Person_IS_LOCATED_IN_City"));
   std::uniform_int_distribution<int> city_of(1, cities);
+  batch.reserve(static_cast<size_t>(persons));
   for (int i = 1; i <= persons; ++i) {
-    located->Insert(
+    batch.push_back(
         {Value::Number(i), Value::Number(city_of(rng)), Value::Number(++edge_id)});
   }
+  located->InsertBatch(std::move(batch));
+  batch = {};
   RAQLET_ASSIGN_OR_RETURN(Relation * part,
                           db->GetRelation("City_IS_PART_OF_Country"));
   std::uniform_int_distribution<int> country_of(1, countries);
+  batch.reserve(static_cast<size_t>(cities));
   for (int i = 1; i <= cities; ++i) {
-    part->Insert({Value::Number(i), Value::Number(country_of(rng)),
-                  Value::Number(++edge_id)});
+    batch.push_back({Value::Number(i), Value::Number(country_of(rng)),
+                     Value::Number(++edge_id)});
   }
+  part->InsertBatch(std::move(batch));
+  batch = {};
 
   // KNOWS with a heavy-tailed degree distribution (Pareto-ish).
   RAQLET_ASSIGN_OR_RETURN(Relation * knows,
@@ -145,56 +173,75 @@ Status GenerateSnbData(const schema::DlSchema& dl, Database* db,
     for (int k = 0; k < degree; ++k) {
       int other = any_person(rng);
       if (other == i) continue;
-      knows->Insert({Value::Number(i), Value::Number(other),
-                     Value::Number(++edge_id),
-                     Value::Number(kDateBase + date(rng))});
+      batch.push_back({Value::Number(i), Value::Number(other),
+                       Value::Number(++edge_id),
+                       Value::Number(kDateBase + date(rng))});
     }
   }
+  knows->InsertBatch(std::move(batch));
+  batch = {};
 
   // Message authorship: each message has exactly one creator.
   RAQLET_ASSIGN_OR_RETURN(Relation * creator,
                           db->GetRelation("Message_HAS_CREATOR_Person"));
+  batch.reserve(static_cast<size_t>(messages));
   for (int i = 1; i <= messages; ++i) {
-    creator->Insert({Value::Number(i), Value::Number(any_person(rng)),
+    batch.push_back({Value::Number(i), Value::Number(any_person(rng)),
                      Value::Number(++edge_id)});
   }
+  creator->InsertBatch(std::move(batch));
+  batch = {};
 
   // Likes, membership, containment, tags, interests.
   RAQLET_ASSIGN_OR_RETURN(Relation * likes,
                           db->GetRelation("Person_LIKES_Message"));
   std::uniform_int_distribution<int> any_message(1, messages);
+  batch.reserve(static_cast<size_t>(persons) * 4);
   for (int i = 0; i < persons * 4; ++i) {
-    likes->Insert({Value::Number(any_person(rng)),
-                   Value::Number(any_message(rng)), Value::Number(++edge_id),
-                   Value::Number(kDateBase + date(rng))});
+    batch.push_back({Value::Number(any_person(rng)),
+                     Value::Number(any_message(rng)), Value::Number(++edge_id),
+                     Value::Number(kDateBase + date(rng))});
   }
+  likes->InsertBatch(std::move(batch));
+  batch = {};
   RAQLET_ASSIGN_OR_RETURN(Relation * member,
                           db->GetRelation("Forum_HAS_MEMBER_Person"));
   std::uniform_int_distribution<int> any_forum(1, forums);
+  batch.reserve(static_cast<size_t>(persons) * 2);
   for (int i = 0; i < persons * 2; ++i) {
-    member->Insert({Value::Number(any_forum(rng)),
-                    Value::Number(any_person(rng)), Value::Number(++edge_id),
-                    Value::Number(kDateBase + date(rng))});
+    batch.push_back({Value::Number(any_forum(rng)),
+                     Value::Number(any_person(rng)), Value::Number(++edge_id),
+                     Value::Number(kDateBase + date(rng))});
   }
+  member->InsertBatch(std::move(batch));
+  batch = {};
   RAQLET_ASSIGN_OR_RETURN(Relation * container,
                           db->GetRelation("Forum_CONTAINER_OF_Message"));
+  batch.reserve(static_cast<size_t>(messages));
   for (int i = 1; i <= messages; ++i) {
-    container->Insert({Value::Number(any_forum(rng)), Value::Number(i),
-                       Value::Number(++edge_id)});
+    batch.push_back({Value::Number(any_forum(rng)), Value::Number(i),
+                     Value::Number(++edge_id)});
   }
+  container->InsertBatch(std::move(batch));
+  batch = {};
   RAQLET_ASSIGN_OR_RETURN(Relation * has_tag,
                           db->GetRelation("Message_HAS_TAG_Tag"));
   std::uniform_int_distribution<int> any_tag(1, tags);
+  batch.reserve(static_cast<size_t>(messages));
   for (int i = 1; i <= messages; ++i) {
-    has_tag->Insert({Value::Number(i), Value::Number(any_tag(rng)),
+    batch.push_back({Value::Number(i), Value::Number(any_tag(rng)),
                      Value::Number(++edge_id)});
   }
+  has_tag->InsertBatch(std::move(batch));
+  batch = {};
   RAQLET_ASSIGN_OR_RETURN(Relation * interest,
                           db->GetRelation("Person_HAS_INTEREST_Tag"));
+  batch.reserve(static_cast<size_t>(persons));
   for (int i = 1; i <= persons; ++i) {
-    interest->Insert({Value::Number(i), Value::Number(any_tag(rng)),
-                      Value::Number(++edge_id)});
+    batch.push_back({Value::Number(i), Value::Number(any_tag(rng)),
+                     Value::Number(++edge_id)});
   }
+  interest->InsertBatch(std::move(batch));
   return Status::OK();
 }
 

@@ -2,14 +2,20 @@
 #define RAQLET_RUNTIME_EXECUTION_CONTEXT_H_
 
 // ExecutionContext bundles everything an engine needs to parallelize one
-// plan execution: the requested degree of parallelism and the thread pool
-// realizing it. num_threads == 1 (the default everywhere) means strictly
-// serial execution — no pool is created and the engines take their
+// plan execution: the requested degree of parallelism, the thread pool
+// realizing it, and context-lifetime object pools for recycling staging
+// buffers. num_threads == 1 (the default everywhere) means strictly
+// serial execution — no thread pool is created and the engines take their
 // single-threaded code paths, so serial behavior is bit-identical to the
-// pre-runtime engine.
+// pre-runtime engine (the object pools are still available: buffer reuse
+// is a serial win too).
 
 #include <memory>
+#include <mutex>
+#include <typeindex>
+#include <unordered_map>
 
+#include "runtime/object_pool.h"
 #include "runtime/thread_pool.h"
 
 namespace raqlet::runtime {
@@ -26,9 +32,24 @@ class ExecutionContext {
   /// The pool backing this context, or nullptr when serial.
   ThreadPool* pool() const { return pool_.get(); }
 
+  /// Context-lifetime recycling pool for objects of type T, created on
+  /// first use. Thread-safe; the returned pointer is stable for the
+  /// context's lifetime. Engines use this to reuse per-task emit buffers
+  /// across fixpoint rounds and across queries on the same engine.
+  template <typename T>
+  ObjectPool<T>* PoolFor() {
+    std::lock_guard<std::mutex> lock(object_pools_mutex_);
+    std::shared_ptr<void>& slot = object_pools_[std::type_index(typeid(T))];
+    if (slot == nullptr) slot = std::make_shared<ObjectPool<T>>();
+    return static_cast<ObjectPool<T>*>(slot.get());
+  }
+
  private:
   int num_threads_;
   std::unique_ptr<ThreadPool> pool_;
+  std::mutex object_pools_mutex_;
+  // shared_ptr<void> keeps the typed deleter, so pools destruct properly.
+  std::unordered_map<std::type_index, std::shared_ptr<void>> object_pools_;
 };
 
 }  // namespace raqlet::runtime

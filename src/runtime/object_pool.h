@@ -1,0 +1,58 @@
+#ifndef RAQLET_RUNTIME_OBJECT_POOL_H_
+#define RAQLET_RUNTIME_OBJECT_POOL_H_
+
+// Thread-safe free list of reusable objects. The point is capacity reuse:
+// engines check staging buffers out per fan-out and return them after the
+// merge, so the buffers' internal allocations survive across fixpoint
+// rounds (and, via ExecutionContext, across queries) instead of being
+// reallocated every round.
+//
+// The pool never clears what it hands back — callers reset an object to a
+// logically-empty state (keeping capacity) before Release.
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace raqlet::runtime {
+
+template <typename T>
+class ObjectPool {
+ public:
+  ObjectPool() = default;
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+
+  /// Pops a recycled instance, or default-constructs one if none is idle.
+  T Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!free_.empty()) {
+        T out = std::move(free_.back());
+        free_.pop_back();
+        return out;
+      }
+    }
+    return T{};
+  }
+
+  /// Returns `object` to the free list for a later Acquire.
+  void Release(T object) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(object));
+  }
+
+  /// Number of idle objects currently pooled (for tests/metrics).
+  size_t idle() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return free_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<T> free_;
+};
+
+}  // namespace raqlet::runtime
+
+#endif  // RAQLET_RUNTIME_OBJECT_POOL_H_

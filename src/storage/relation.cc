@@ -1,10 +1,24 @@
 #include "storage/relation.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/str_util.h"
 
 namespace raqlet {
+
+namespace {
+
+// Finalizer spreading TupleHash output across slot indices: the table
+// indexes with the low bits, so fold the high bits down first.
+inline uint32_t MixHash(size_t h) {
+  uint64_t x = static_cast<uint64_t>(h) * 0x9e3779b97f4a7c15ULL;
+  return static_cast<uint32_t>(x ^ (x >> 32));
+}
+
+}  // namespace
 
 int RelationSchema::ColumnIndex(const std::string& column_name) const {
   for (size_t i = 0; i < columns.size(); ++i) {
@@ -22,21 +36,100 @@ std::string RelationSchema::ToString() const {
   return name + "(" + Join(cols, ", ") + ")";
 }
 
+uint32_t Relation::DedupProbe(const Tuple& t, uint32_t h32,
+                              size_t* slot_out) const {
+  size_t mask = dedup_slots_.size() - 1;  // size is a power of two
+  size_t pos = h32 & mask;
+  while (true) {
+    const DedupSlot& slot = dedup_slots_[pos];
+    if (slot.row == kEmptySlot) {
+      if (slot_out != nullptr) *slot_out = pos;
+      return kEmptySlot;
+    }
+    if (slot.hash == h32 && rows_[slot.row] == t) return slot.row;
+    pos = (pos + 1) & mask;
+  }
+}
+
+void Relation::DedupReserve(size_t want) {
+  if (want >= kEmptySlot) {
+    // Row indices are 32 bits; at 2^32-1 rows the next index would collide
+    // with the empty-slot sentinel and dedup would silently re-admit
+    // duplicates. Fail loudly instead.
+    std::fprintf(stderr, "raqlet: relation '%s' exceeds 2^32-1 rows\n",
+                 schema_.name.c_str());
+    std::abort();
+  }
+  // Max load factor 7/8: linear probing stays short and a slot is 8 bytes,
+  // so the table is still far smaller than the node-based set it replaces.
+  size_t capacity = dedup_slots_.size();
+  if (capacity >= 16 && want * 8 <= capacity * 7) return;
+  size_t new_capacity = capacity == 0 ? 16 : capacity;
+  while (want * 8 > new_capacity * 7) new_capacity *= 2;
+  std::vector<DedupSlot> old = std::move(dedup_slots_);
+  dedup_slots_.assign(new_capacity, DedupSlot{});
+  size_t mask = new_capacity - 1;
+  for (const DedupSlot& slot : old) {
+    if (slot.row == kEmptySlot) continue;
+    size_t pos = slot.hash & mask;
+    while (dedup_slots_[pos].row != kEmptySlot) pos = (pos + 1) & mask;
+    dedup_slots_[pos] = slot;
+  }
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  if (dedup_slots_.empty()) return false;
+  return DedupProbe(t, MixHash(TupleHash{}(t)), nullptr) != kEmptySlot;
+}
+
 bool Relation::Insert(Tuple t) {
-  auto [it, inserted] = dedup_.insert(std::move(t));
-  if (!inserted) return false;
-  rows_.push_back(*it);
+  DedupReserve(rows_.size() + 1);
+  uint32_t h32 = MixHash(TupleHash{}(t));
+  size_t slot;
+  if (DedupProbe(t, h32, &slot) != kEmptySlot) return false;
+  uint32_t idx = static_cast<uint32_t>(rows_.size());
+  rows_.push_back(std::move(t));
+  dedup_slots_[slot] = DedupSlot{h32, idx};
   return true;
+}
+
+size_t Relation::InsertBatch(std::vector<Tuple> batch) {
+  return InsertBatchInPlace(&batch);
+}
+
+size_t Relation::InsertBatchInPlace(std::vector<Tuple>* batch) {
+  // One reservation for the whole batch; doubling (rather than
+  // reserve(size + k) per batch) keeps growth geometric across rounds.
+  size_t want = rows_.size() + batch->size();
+  if (want > rows_.capacity()) {
+    rows_.reserve(std::max(want, rows_.capacity() * 2));
+  }
+  DedupReserve(want);
+  size_t inserted = 0;
+  for (Tuple& t : *batch) {
+    uint32_t h32 = MixHash(TupleHash{}(t));
+    size_t slot;
+    if (DedupProbe(t, h32, &slot) != kEmptySlot) continue;
+    uint32_t idx = static_cast<uint32_t>(rows_.size());
+    rows_.push_back(std::move(t));
+    dedup_slots_[slot] = DedupSlot{h32, idx};
+    ++inserted;
+  }
+  batch->clear();  // moved-from tuples out, capacity retained for reuse
+  // One fold per cached index for the whole batch, so interleaved probe
+  // sites never re-fold tuple by tuple.
+  for (auto& [key, cached] : index_cache_) FoldSuffix(&cached);
+  return inserted;
 }
 
 void Relation::ReplaceRows(std::vector<Tuple> rows) {
   Clear();
-  for (Tuple& row : rows) Insert(std::move(row));
+  InsertBatch(std::move(rows));
 }
 
 void Relation::Clear() {
   rows_.clear();
-  dedup_.clear();
+  dedup_slots_.clear();
   index_cache_.clear();
 }
 
@@ -58,16 +151,26 @@ const Relation::KeyIndex& Relation::FoldIndex(
     cache_key += std::to_string(c);
     cache_key += ',';
   }
-  CachedIndex& cached = index_cache_[cache_key];
-  for (uint32_t i = static_cast<uint32_t>(cached.rows_indexed);
+  auto it = index_cache_.find(cache_key);
+  if (it == index_cache_.end()) {
+    it = index_cache_.emplace(cache_key, CachedIndex{}).first;
+    it->second.key_columns = key_columns;
+  }
+  FoldSuffix(&it->second);
+  return it->second.index;
+}
+
+void Relation::FoldSuffix(CachedIndex* cached) const {
+  for (uint32_t i = static_cast<uint32_t>(cached->rows_indexed);
        i < rows_.size(); ++i) {
     Tuple key;
-    key.reserve(key_columns.size());
-    for (int c : key_columns) key.push_back(rows_[i][static_cast<size_t>(c)]);
-    cached.index[std::move(key)].push_back(i);
+    key.reserve(cached->key_columns.size());
+    for (int c : cached->key_columns) {
+      key.push_back(rows_[i][static_cast<size_t>(c)]);
+    }
+    cached->index[std::move(key)].push_back(i);
   }
-  cached.rows_indexed = rows_.size();
-  return cached.index;
+  cached->rows_indexed = rows_.size();
 }
 
 std::string Relation::ToString(const SymbolTable* symbols) const {

@@ -9,7 +9,6 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -39,14 +38,19 @@ struct RelationSchema {
 /// A deduplicated, insertion-ordered bag of tuples of fixed arity.
 ///
 /// Threading contract (single writer / multiple readers): at most one
-/// thread may mutate a Relation (Insert / Clear / ReplaceRows), and while
-/// it does, no other thread may touch the relation at all. Between
-/// mutations — e.g. while the parallel evaluator fans a fixpoint round out
-/// across a thread pool — any number of threads may concurrently call the
-/// const accessors plus EnsureIndex, which serializes index construction
-/// internally. GetIndex is the historical single-threaded entry point: it
-/// folds new rows into the cache without locking and therefore must never
-/// run concurrently with anything else on the same relation.
+/// thread may mutate a Relation (Insert / InsertBatch / Clear /
+/// ReplaceRows), and while it does, no other thread may touch the relation
+/// at all. The writer need not be the same thread every time: the parallel
+/// evaluator's sharded merge hands each relation's staged run to one pool
+/// task per round, which is fine — distinct relations may be mutated by
+/// distinct threads concurrently, as long as each relation has exactly one
+/// writer and no concurrent readers of that relation. Between mutations —
+/// e.g. while a fixpoint round fans out across the pool — any number of
+/// threads may concurrently call the const accessors plus EnsureIndex,
+/// which serializes index construction internally. GetIndex is the
+/// historical single-threaded entry point: it folds new rows into the
+/// cache without locking and therefore must never run concurrently with
+/// anything else on the same relation.
 class Relation {
  public:
   Relation() = default;
@@ -61,7 +65,22 @@ class Relation {
   /// Inserts `t` if not already present. Returns true if the tuple is new.
   bool Insert(Tuple t);
 
-  bool Contains(const Tuple& t) const { return dedup_.count(t) > 0; }
+  /// Bulk insert: appends every tuple of `batch` not already present (in
+  /// the relation or earlier in the batch), preserving batch order.
+  /// Reserves rows_ and the dedup table once for the whole batch and folds
+  /// the new row suffix into every cached index in a single pass per
+  /// index, so a batch costs one scan where per-tuple insertion paid a
+  /// probe-site fold and amortized rehashes. Returns the number of tuples
+  /// actually inserted.
+  size_t InsertBatch(std::vector<Tuple> batch);
+
+  /// In-place variant: consumes the tuples but leaves `*batch` cleared
+  /// with its capacity intact, so callers staging through recycled
+  /// buffers (the engine's pooled EmitBuffers) keep their allocation
+  /// across rounds.
+  size_t InsertBatchInPlace(std::vector<Tuple>* batch);
+
+  bool Contains(const Tuple& t) const;
 
   /// Rows in insertion order. Stable across inserts (indices never move).
   const std::vector<Tuple>& rows() const { return rows_; }
@@ -71,8 +90,9 @@ class Relation {
   /// Builds (or returns a cached) hash index mapping the projection of each
   /// row onto `key_columns` to the list of row indices with that key.
   /// Indexes are maintained incrementally: rows inserted after the index was
-  /// built are folded in on the next GetIndex call, so interleaving inserts
-  /// and probes (semi-naive evaluation) stays linear.
+  /// built are folded in on the next GetIndex call (or eagerly, once per
+  /// batch, by InsertBatch), so interleaving inserts and probes (semi-naive
+  /// evaluation) stays linear.
   /// Row-index lists within one key are in ascending (insertion) order —
   /// the semi-naive evaluator's deterministic merge relies on this.
   using KeyIndex = std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash>;
@@ -94,16 +114,39 @@ class Relation {
   std::string ToString(const SymbolTable* symbols = nullptr) const;
 
  private:
+  // The dedup structure stores row indices into rows_ rather than tuple
+  // copies: tuples are stored exactly once and inserting never copies a
+  // tuple. It is a flat open-addressing table of (hash, row-index) slots
+  // with linear probing — the semi-naive engine probes it once per derived
+  // tuple, and a duplicate check costs one cache line of slot metadata
+  // plus (only on a hash match) one row comparison, instead of a
+  // node-based bucket chase. Rehashing re-seats the cached hashes without
+  // touching any tuple. Probing by Tuple allocates nothing.
+  struct DedupSlot {
+    uint32_t hash = 0;
+    uint32_t row = kEmptySlot;
+  };
+  static constexpr uint32_t kEmptySlot = 0xffffffffu;
+
+  // Probes for `t` (with precomputed tuple hash mix `h32`). Returns the
+  // matching row index, or kEmptySlot if absent — in which case *slot_out
+  // is the insertion position (valid until the table grows).
+  uint32_t DedupProbe(const Tuple& t, uint32_t h32, size_t* slot_out) const;
+  // Grows the slot table so `want` entries fit under the max load factor.
+  void DedupReserve(size_t want);
+
   struct CachedIndex {
+    std::vector<int> key_columns;
     KeyIndex index;
     size_t rows_indexed = 0;  // watermark into rows_
   };
 
   const KeyIndex& FoldIndex(const std::vector<int>& key_columns) const;
-
+  // Folds rows [cached->rows_indexed, rows_.size()) into `cached`.
+  void FoldSuffix(CachedIndex* cached) const;
   RelationSchema schema_;
   std::vector<Tuple> rows_;
-  std::unordered_set<Tuple, TupleHash> dedup_;
+  std::vector<DedupSlot> dedup_slots_;  // size is a power of two (or 0)
   // Cache key: comma-joined column list. Mutable: index construction is a
   // logically-const acceleration structure. Guarded by index_mutex_ only
   // on the EnsureIndex path; see the class-level threading contract.

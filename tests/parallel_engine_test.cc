@@ -166,7 +166,50 @@ loops(x) :- fwd(x, x).
 both(x, y) :- fwd(x, y), bwd(x, y).
 )";
 
+// Many relations derive tuples in the same round — a mutually-recursive
+// ring of 8 predicates (one SCC, 8 heads staged per fixpoint round) plus
+// independent downstream strata — so the per-relation sharded merge has
+// real shards to run concurrently. Exact row order and stats must still
+// match the serial run.
+constexpr char kManyOutputRelations[] = R"(
+.decl node(x: number)
+.input node
+.decl edge(x: number, y: number)
+.input edge
+.decl s0(x: number, y: number)
+.decl s1(x: number, y: number)
+.decl s2(x: number, y: number)
+.decl s3(x: number, y: number)
+.decl s4(x: number, y: number)
+.decl s5(x: number, y: number)
+.decl s6(x: number, y: number)
+.decl s7(x: number, y: number)
+.output s0
+s0(x, y) :- edge(x, y).
+s0(x, y) :- s7(x, z), edge(z, y).
+s1(x, y) :- s0(x, z), edge(z, y).
+s2(x, y) :- s1(x, z), edge(z, y).
+s3(x, y) :- s2(x, z), edge(z, y).
+s4(x, y) :- s3(x, z), edge(z, y).
+s5(x, y) :- s4(x, z), edge(z, y).
+s6(x, y) :- s5(x, z), edge(z, y).
+s7(x, y) :- s6(x, z), edge(z, y).
+.decl fwd(x: number, y: number)
+fwd(x, y) :- s0(x, y).
+fwd(x, y) :- fwd(x, z), s1(z, y).
+.decl pairs(x: number, y: number)
+.output pairs
+pairs(x, y) :- fwd(x, y), s2(x, y).
+)";
+
 class ParallelDeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST(ParallelDeterminismShardedMergeTest, ManyOutputRelationsAtEightThreads) {
+  for (unsigned seed : {3u, 19u}) {
+    ExpectDeterministicEvaluation(kManyOutputRelations, /*threads=*/8, seed,
+                                  /*nodes=*/30, /*edges=*/90);
+  }
+}
 
 TEST_P(ParallelDeterminismTest, TransitiveClosure) {
   for (unsigned seed : {1u, 2u, 3u}) {

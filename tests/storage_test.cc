@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <random>
 #include <thread>
 
 #include "storage/csv.h"
@@ -97,6 +99,90 @@ TEST(RelationTest, EnsureIndexIsSafeUnderConcurrentReaders) {
   }
   for (std::thread& reader : readers) reader.join();
   EXPECT_EQ(total_hits.load(), 4u * 50u * 16u);
+}
+
+TEST(RelationTest, InsertBatchDedupsWithinAndAcrossBatches) {
+  Relation r(EdgeSchema());
+  r.Insert({Value::Number(1), Value::Number(2)});
+  // Batch: duplicate of an existing row, an internal duplicate pair, and
+  // two new rows. Order of survivors must be batch order.
+  size_t inserted = r.InsertBatch({
+      {Value::Number(1), Value::Number(2)},  // already present
+      {Value::Number(3), Value::Number(4)},
+      {Value::Number(3), Value::Number(4)},  // duplicate within the batch
+      {Value::Number(5), Value::Number(6)},
+  });
+  EXPECT_EQ(inserted, 2u);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.rows()[1][0].AsNumber(), 3);
+  EXPECT_EQ(r.rows()[2][0].AsNumber(), 5);
+  EXPECT_TRUE(r.Contains({Value::Number(5), Value::Number(6)}));
+  EXPECT_FALSE(r.Contains({Value::Number(5), Value::Number(7)}));
+  EXPECT_EQ(r.InsertBatch({}), 0u);  // empty batch is a no-op
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(RelationTest, InsertBatchMatchesTupleAtATimeInsertion) {
+  // Randomized equivalence: feeding the same (duplicate-heavy) stream
+  // through Insert and through chunked InsertBatch must produce identical
+  // contents in identical order.
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<int> pick(0, 15);
+  std::vector<Tuple> stream;
+  for (int i = 0; i < 500; ++i) {
+    stream.push_back({Value::Number(pick(rng)), Value::Number(pick(rng))});
+  }
+  Relation serial(EdgeSchema());
+  for (const Tuple& t : stream) serial.Insert(t);
+  Relation batched(EdgeSchema("edge2"));
+  for (size_t begin = 0; begin < stream.size(); begin += 64) {
+    size_t end = std::min(stream.size(), begin + 64);
+    batched.InsertBatch(
+        std::vector<Tuple>(stream.begin() + begin, stream.begin() + end));
+  }
+  ASSERT_EQ(serial.size(), batched.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial.rows()[i], batched.rows()[i]) << "row " << i;
+  }
+}
+
+TEST(RelationTest, InsertBatchKeepsCachedIndexesCurrent) {
+  Relation r(EdgeSchema());
+  r.Insert({Value::Number(1), Value::Number(2)});
+  const Relation::KeyIndex* index = r.EnsureIndex({0});
+  EXPECT_EQ(index->size(), 1u);
+  // The batch must fold the new suffix into the cached index eagerly —
+  // the EnsureIndex pointer stays valid and sees the new keys.
+  r.InsertBatch({{Value::Number(1), Value::Number(3)},
+                 {Value::Number(7), Value::Number(8)}});
+  EXPECT_EQ(r.EnsureIndex({0}), index);
+  EXPECT_EQ(index->size(), 2u);
+  auto it = index->find(Tuple{Value::Number(1)});
+  ASSERT_NE(it, index->end());
+  EXPECT_EQ(it->second, (std::vector<uint32_t>{0, 1}));  // ascending rows
+}
+
+TEST(RelationTest, InsertBatchWatermarkSurvivesInterleavedIndexUse) {
+  // Batches interleaved with GetIndex/EnsureIndex and single inserts:
+  // each index entry must be folded exactly once per row regardless of
+  // which operation triggers the fold.
+  Relation r(EdgeSchema());
+  r.InsertBatch({{Value::Number(1), Value::Number(1)},
+                 {Value::Number(1), Value::Number(2)}});
+  const auto& by_src = r.GetIndex({0});  // built after the first batch
+  EXPECT_EQ(by_src.at(Tuple{Value::Number(1)}).size(), 2u);
+  r.Insert({Value::Number(1), Value::Number(3)});  // lazy fold pending
+  r.InsertBatch({{Value::Number(1), Value::Number(4)},
+                 {Value::Number(2), Value::Number(1)}});  // eager fold
+  EXPECT_EQ(by_src.at(Tuple{Value::Number(1)}).size(), 4u);
+  const auto& by_dst = r.GetIndex({1});  // fresh index after both batches
+  EXPECT_EQ(by_dst.at(Tuple{Value::Number(1)}).size(), 2u);
+  EXPECT_EQ(by_src.at(Tuple{Value::Number(1)}),
+            (std::vector<uint32_t>{0, 1, 2, 3}));
+  // No double-folded (duplicated) row indices anywhere.
+  for (const auto& [key, rows] : by_src) {
+    for (size_t i = 1; i < rows.size(); ++i) EXPECT_LT(rows[i - 1], rows[i]);
+  }
 }
 
 TEST(RelationTest, ReplaceRowsResets) {

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Guard against perf regressions on the semi-naive hot path.
+
+Compares a fresh Google-Benchmark JSON run against the committed baseline
+(BENCH_pr3.json) and fails if any benchmark matching the filter regressed
+by more than the tolerance. Benchmarks present in only one file are
+reported but never fail the check (sizes and cases may evolve).
+
+Usage:
+  bench_check.py CURRENT.json BASELINE.json [--suite bench_tc]
+                 [--filter BM_TcDatalog] [--max-regress 0.25]
+
+CURRENT.json is a raw `--benchmark_format=json` dump. BASELINE.json is
+either a raw dump or the committed multi-suite file {"bench_tc": {...},
+"bench_parallel": {...}} — pick the suite with --suite.
+
+The tolerance can be overridden with RAQLET_BENCH_TOLERANCE (a float,
+e.g. 0.4) to loosen the gate on noisy shared runners without editing CI.
+"""
+
+import argparse
+import json
+import os
+import re
+import statistics
+import sys
+
+
+def load_benchmarks(path, suite):
+    """Returns {name: median real_time}; with --benchmark_repetitions the
+    iteration entries share a name and are median-folded here, which keeps
+    one noisy repetition from failing (or masking) a regression."""
+    with open(path) as f:
+        data = json.load(f)
+    if "benchmarks" not in data and suite in data:
+        data = data[suite]
+    times = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        times.setdefault(bench["name"], []).append(float(bench["real_time"]))
+    return {name: statistics.median(ts) for name, ts in times.items()}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--suite", default="bench_tc")
+    parser.add_argument("--filter", default="BM_TcDatalog")
+    parser.add_argument("--max-regress", type=float, default=0.25)
+    args = parser.parse_args()
+
+    tolerance = args.max_regress
+    env_tolerance = os.environ.get("RAQLET_BENCH_TOLERANCE")
+    if env_tolerance:
+        tolerance = float(env_tolerance)
+
+    current = load_benchmarks(args.current, args.suite)
+    baseline = load_benchmarks(args.baseline, args.suite)
+    pattern = re.compile(args.filter)
+
+    failures = []
+    compared = 0
+    for name, base_time in sorted(baseline.items()):
+        if not pattern.search(name):
+            continue
+        if name not in current:
+            print(f"note: {name} missing from current run, skipping")
+            continue
+        compared += 1
+        ratio = current[name] / base_time
+        status = "ok"
+        if ratio > 1.0 + tolerance:
+            status = "REGRESSED"
+            failures.append(name)
+        print(f"{name}: baseline {base_time:.3f} -> current "
+              f"{current[name]:.3f} ({ratio:.2f}x) {status}")
+
+    if compared == 0:
+        print(f"error: no benchmarks matched filter '{args.filter}'")
+        return 1
+    if failures:
+        print(f"FAIL: {len(failures)} benchmark(s) regressed more than "
+              f"{tolerance:.0%}: {', '.join(failures)}")
+        return 1
+    print(f"OK: {compared} benchmark(s) within {tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
