@@ -140,6 +140,24 @@ void BM_Sql(benchmark::State& state, const std::string& query, bool optimized,
                       : " on SQL engine, tuple pipeline (HyPer stand-in)"));
 }
 
+// Vectorized SQL with batch partitioning across the runtime's thread pool
+// (no Table-1 analogue; tracks what multicore buys the DuckDB stand-in).
+void BM_SqlThreads(benchmark::State& state, const std::string& query,
+                   int threads) {
+  Workload& w = Workload::Get();
+  const CompiledQuery& unit = Unit(query, /*optimized=*/true);
+  for (auto _ : state) {
+    auto result =
+        w.compiler.RunOnSql(unit.optimized, &w.db,
+                            raqlet::engine::SqlMode::kVectorized, nullptr,
+                            threads);
+    CheckOk(result.status(), state);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(query + " optimized on SQL engine, vectorized, " +
+                 std::to_string(threads) + " threads");
+}
+
 #define ROW(query)                                                          \
   BENCHMARK_CAPTURE(BM_Graph, query##_neo4j, #query)                        \
       ->Unit(benchmark::kMillisecond);                                      \
@@ -162,6 +180,11 @@ void BM_Sql(benchmark::State& state, const std::string& query, bool optimized,
 
 ROW(SQ1);
 ROW(CQ2);
+
+BENCHMARK_CAPTURE(BM_SqlThreads, SQ1_duckdb_opt_4threads, "SQ1", 4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SqlThreads, CQ2_duckdb_opt_4threads, "CQ2", 4)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -115,6 +115,22 @@ void BM_TcSqlTuple(benchmark::State& state) {
   state.SetLabel("whole-graph TC, SQL engine tuple mode (HyPer stand-in)");
 }
 
+// The vectorized batch pipeline with its leading scan partitioned across
+// the runtime's thread pool (1 thread = the serial BM_TcSql path plus
+// plumbing; >1 measures multicore scaling — results are bit-identical).
+void BM_TcSqlParallel(benchmark::State& state) {
+  Instance& inst = GetInstance(static_cast<int>(state.range(0)));
+  const int threads = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    auto result = inst.compiler.RunOnSql(inst.tc_program, &inst.db,
+                                         raqlet::engine::SqlMode::kVectorized,
+                                         nullptr, threads);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("whole-graph TC, SQL vectorized, batches across threads");
+}
+
 void BM_TcGraph(benchmark::State& state) {
   Instance& inst = GetInstance(static_cast<int>(state.range(0)));
   for (auto _ : state) {
@@ -129,6 +145,13 @@ void BM_TcGraph(benchmark::State& state) {
 BENCHMARK(BM_TcDatalog)->Arg(100)->Arg(300)->Arg(1000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TcSql)->Arg(100)->Arg(300)->Arg(1000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TcSqlTuple)->Arg(100)->Arg(300)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TcSqlParallel)
+    ->ArgNames({"nodes", "threads"})
+    ->Args({300, 1})
+    ->Args({300, 4})
+    ->Args({1000, 1})
+    ->Args({1000, 4})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TcGraph)->Arg(100)->Arg(300)->Arg(1000)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -9,7 +9,8 @@
 //   raqlet_cli --demo                      # built-in schema + query
 //
 // Options: --frontend cypher|gql|datalog, --opt 0|1|2,
-//          --threads N (parallel Datalog evaluation, default 1),
+//          --threads N (parallel Datalog / vectorized-SQL evaluation,
+//          default 1),
 //          --param name=value (repeatable).
 
 #include <fstream>
@@ -231,7 +232,9 @@ int main(int argc, char** argv) {
       eval_options.num_threads = options.threads;
       result = compiler.RunOnDatalog(program, &db, nullptr, eval_options);
     } else if (options.run == "sql") {
-      result = compiler.RunOnSql(program, &db);
+      result = compiler.RunOnSql(program, &db,
+                                 raqlet::engine::SqlMode::kVectorized,
+                                 nullptr, options.threads);
     } else if (options.run == "sql-tuple") {
       result = compiler.RunOnSql(program, &db,
                                  raqlet::engine::SqlMode::kTuplePipeline);

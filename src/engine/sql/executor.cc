@@ -1,10 +1,18 @@
 #include "engine/sql/executor.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.h"
 
 namespace raqlet::engine {
 
@@ -37,52 +45,87 @@ struct ProbeSpec {
 
 struct StepPlan {
   size_t table_index = 0;
+  const Relation* rel = nullptr;
   std::vector<ProbeSpec> probes;
+  std::vector<int> probe_cols;  // probe columns, prebuilt for the index
+  const Relation::KeyIndex* index = nullptr;  // prebuilt when probes exist
   std::vector<const Predicate*> filters;
+  // Vectorized metadata: batch slots filled by earlier steps (gathered
+  // through the match selection on extension) and the (relation column,
+  // slot) pairs this step's table materializes.
+  std::vector<size_t> prior_slots;
+  std::vector<std::pair<int, size_t>> new_cols;
 };
+
+// Prebuilt NOT EXISTS anti-join: resolved relation, key columns, index.
+struct NePlan {
+  const NotExists* ne = nullptr;
+  const Relation* rel = nullptr;
+  std::vector<int> cols;
+  const Relation::KeyIndex* index = nullptr;  // null when cols is empty
+};
+
+// Columnar batch of intermediate join bindings: one Value column per
+// referenced table column (assigned a dense "slot"), rows are implicit.
+// Slots of tables not yet joined hold empty vectors.
+struct Batch {
+  std::vector<std::vector<Value>> cols;  // indexed by slot
+  size_t rows = 0;
+};
+
+// An expression evaluated over a Batch: either a borrowed column (one
+// value per batch row) or a broadcast scalar.
+struct BatchCol {
+  const std::vector<Value>* col = nullptr;
+  Value scalar;
+  const Value& at(size_t i) const {
+    return col != nullptr ? (*col)[i] : scalar;
+  }
+};
+
+// Minimum step-0 scan rows per parallel chunk; below this the pipeline
+// runs as a single batch even when a pool is available.
+constexpr size_t kChunkRows = 64;
 
 // Evaluates one SELECT block against resolved tables.
 class SelectEvaluator {
  public:
+  // `lead_scan`, when given, is preferred as the leading scan on join-order
+  // ties (the recursive working table: scanning it and probing the stable
+  // tables' cached indexes beats rebuilding an index over it every round).
+  // `delta_begin`/`delta_end` additionally restrict the leading scan to
+  // that row range of `lead_scan` and force it to be the first plan step —
+  // the vectorized semi-naive loop scans the previous round's suffix of
+  // the total relation in place instead of materializing a working table.
   SelectEvaluator(const Select& select, const TableResolver& resolver,
-                  Database* db, SqlMode mode, SqlStats* stats)
+                  Database* db, SqlMode mode, SqlStats* stats,
+                  runtime::ThreadPool* pool,
+                  const Relation* lead_scan = nullptr,
+                  size_t delta_begin = 0, size_t delta_end = kNoDelta)
       : select_(select), resolver_(resolver), db_(db), mode_(mode),
-        stats_(stats) {}
+        stats_(stats), pool_(pool), lead_scan_(lead_scan),
+        delta_begin_(delta_begin), delta_end_(delta_end) {}
+
+  static constexpr size_t kNoDelta = static_cast<size_t>(-1);
 
   // Appends result tuples to `out` (deduplicated by the relation).
   Status Evaluate(Relation* out) {
     RAQLET_RETURN_IF_ERROR(Bind());
     RAQLET_RETURN_IF_ERROR(Plan());
-    if (!select_.group_by.empty() || HasAggregate()) {
+    if (trivially_false_) return Status::OK();
+    if (!select_.group_by.empty() || !agg_item_pos_.empty()) {
       return EvaluateWithAggregation(out);
     }
+    if (mode_ == SqlMode::kVectorized && !plan_.empty()) {
+      return EvaluateVectorized(out);
+    }
+    // Tuple pipeline (also the trivial no-FROM path of both modes).
     RowBinding binding(tables_.size(), nullptr);
-    if (mode_ == SqlMode::kTuplePipeline) {
-      return Descend(0, &binding, [&](const RowBinding& row) -> Status {
-        RAQLET_ASSIGN_OR_RETURN(Tuple tuple, Project(row));
-        out->Insert(std::move(tuple));
-        return Status::OK();
-      });
-    }
-    // Vectorized: breadth-first batch extension.
-    std::vector<RowBinding> batch = {binding};
-    for (const StepPlan& step : plan_) {
-      std::vector<RowBinding> next;
-      for (RowBinding& row : batch) {
-        RAQLET_RETURN_IF_ERROR(ExtendOne(step, &row, [&](const RowBinding& r) {
-          next.push_back(r);
-          return Status::OK();
-        }));
-      }
-      batch = std::move(next);
-    }
-    for (const RowBinding& row : batch) {
-      RAQLET_ASSIGN_OR_RETURN(bool keep, PassesNotExists(row));
-      if (!keep) continue;
+    return Descend(0, &binding, [&](const RowBinding& row) -> Status {
       RAQLET_ASSIGN_OR_RETURN(Tuple tuple, Project(row));
       out->Insert(std::move(tuple));
-    }
-    return Status::OK();
+      return Status::OK();
+    });
   }
 
  private:
@@ -92,18 +135,16 @@ class SelectEvaluator {
   };
   using RowBinding = std::vector<const Tuple*>;
 
-  bool HasAggregate() const {
-    for (const SelectItem& item : select_.items) {
-      if (item.expr.kind == Expr::kAgg) return true;
-    }
-    return false;
-  }
-
   Status Bind() {
     for (const TableRef& ref : select_.from) {
       RAQLET_ASSIGN_OR_RETURN(const Relation* rel, resolver_(ref.table));
       tables_.push_back(BoundTable{ref.alias, rel});
       alias_index_[ref.alias] = tables_.size() - 1;
+    }
+    for (size_t i = 0; i < select_.items.size(); ++i) {
+      if (select_.items[i].expr.kind == Expr::kAgg) {
+        agg_item_pos_.push_back(i);
+      }
     }
     return Status::OK();
   }
@@ -121,6 +162,24 @@ class SelectEvaluator {
     std::vector<bool> used(select_.where.size(), false);
     std::vector<bool> placed(tables_.size(), false);
     std::set<std::string> bound;
+
+    // Alias-free (constant-only) predicates can't be attached to a join
+    // step — with an empty FROM list there are no steps at all — so they
+    // are evaluated exactly once up front.
+    RowBinding no_rows(tables_.size(), nullptr);
+    for (size_t p = 0; p < select_.where.size(); ++p) {
+      const Predicate& pred = select_.where[p];
+      std::set<std::string> aliases;
+      CollectAliases(pred.lhs, &aliases);
+      CollectAliases(pred.rhs, &aliases);
+      if (!aliases.empty()) continue;
+      RAQLET_ASSIGN_OR_RETURN(Value lhs, EvalExpr(pred.lhs, no_rows));
+      RAQLET_ASSIGN_OR_RETURN(Value rhs, EvalExpr(pred.rhs, no_rows));
+      if (!CheckCmp(pred.op, lhs, rhs, db_->symbols())) {
+        trivially_false_ = true;
+      }
+      used[p] = true;
+    }
 
     auto probe_score = [&](size_t candidate) {
       const std::string& alias = tables_[candidate].alias;
@@ -145,29 +204,53 @@ class SelectEvaluator {
       return score;
     };
 
+    const bool forced_lead = delta_end_ != kNoDelta;
     for (size_t n = 0; n < tables_.size(); ++n) {
       size_t i = 0;
-      int best_score = -1;
-      size_t best_size = 0;
-      for (size_t candidate = 0; candidate < tables_.size(); ++candidate) {
-        if (placed[candidate]) continue;
-        int score = probe_score(candidate);
-        size_t size = tables_[candidate].relation->size();
-        if (score > best_score ||
-            (score == best_score && size < best_size)) {
-          i = candidate;
-          best_score = score;
-          best_size = size;
+      bool chosen = false;
+      if (n == 0 && forced_lead) {
+        // Semi-naive delta scan: the recursive table leads uncondition-
+        // ally so its scan range can be restricted to the last round's
+        // suffix.
+        for (size_t candidate = 0; candidate < tables_.size(); ++candidate) {
+          if (tables_[candidate].relation == lead_scan_) {
+            i = candidate;
+            chosen = true;
+            break;
+          }
+        }
+      }
+      if (!chosen) {
+        int best_score = -1;
+        size_t best_size = 0;
+        bool best_lead = false;
+        for (size_t candidate = 0; candidate < tables_.size(); ++candidate) {
+          if (placed[candidate]) continue;
+          int score = probe_score(candidate);
+          size_t size = tables_[candidate].relation->size();
+          bool lead = tables_[candidate].relation == lead_scan_;
+          if (score > best_score ||
+              (score == best_score && !best_lead &&
+               (lead || size < best_size))) {
+            i = candidate;
+            best_score = score;
+            best_size = size;
+            best_lead = lead;
+          }
         }
       }
       placed[i] = true;
 
       StepPlan step;
       step.table_index = i;
+      step.rel = tables_[i].relation;
       const std::string& alias = tables_[i].alias;
       // Probes: eq predicates with a bare column of this table on one side
-      // and the other side computable from earlier tables/constants.
-      for (size_t p = 0; p < select_.where.size(); ++p) {
+      // and the other side computable from earlier tables/constants. The
+      // forced delta step takes none (a probe would bypass the scan-range
+      // restriction); its eq predicates become step-0 filters instead.
+      for (size_t p = 0;
+           !(forced_lead && n == 0) && p < select_.where.size(); ++p) {
         if (used[p]) continue;
         const Predicate& pred = select_.where[p];
         if (pred.op != dlir::CmpOp::kEq) continue;
@@ -213,6 +296,125 @@ class SelectEvaluator {
                                 select_.where[p].ToString());
       }
     }
+
+    // Prebuild the probe indexes (thread-safe EnsureIndex, called before
+    // any worker runs) so the join loops only ever probe.
+    for (StepPlan& step : plan_) {
+      if (step.probes.empty()) continue;
+      for (const ProbeSpec& probe : step.probes) {
+        step.probe_cols.push_back(probe.column);
+      }
+      step.index = step.rel->EnsureIndex(step.probe_cols);
+    }
+
+    // Resolve NOT EXISTS anti-joins once, up front.
+    for (const NotExists& ne : select_.not_exists) {
+      NePlan plan;
+      plan.ne = &ne;
+      RAQLET_ASSIGN_OR_RETURN(plan.rel, resolver_(ne.table));
+      for (const auto& [column, expr] : ne.equalities) {
+        (void)expr;
+        int col = plan.rel->schema().ColumnIndex(column);
+        if (col < 0) {
+          return Status::NotFound("no column " + column + " in " + ne.table);
+        }
+        plan.cols.push_back(col);
+      }
+      if (!plan.cols.empty()) {
+        plan.index = plan.rel->EnsureIndex(plan.cols);
+      }
+      ne_plans_.push_back(std::move(plan));
+    }
+
+    PreinternConstants();
+
+    if (mode_ == SqlMode::kVectorized && !plan_.empty()) {
+      return BuildBatchSlots();
+    }
+    return Status::OK();
+  }
+
+  // Interns every constant of the SELECT once, so expression evaluation
+  // never mutates the symbol table afterwards (worker threads evaluate
+  // expressions concurrently during the parallel batch pipeline).
+  void PreinternConstants() {
+    auto walk = [&](auto&& self, const Expr& e) -> void {
+      if (e.kind == Expr::kConst) {
+        const_values_.emplace(&e, ConstantToValue(e.constant, &db_->symbols()));
+      }
+      for (const Expr& child : e.children) self(self, child);
+    };
+    for (const SelectItem& item : select_.items) walk(walk, item.expr);
+    for (const Predicate& pred : select_.where) {
+      walk(walk, pred.lhs);
+      walk(walk, pred.rhs);
+    }
+    for (const NotExists& ne : select_.not_exists) {
+      for (const auto& [column, expr] : ne.equalities) {
+        (void)column;
+        walk(walk, expr);
+      }
+    }
+    for (const Expr& e : select_.group_by) walk(walk, e);
+  }
+
+  // Assigns a dense batch slot to every (table, column) pair referenced by
+  // the plan's probe keys and filters, the select items, the NOT EXISTS
+  // keys and GROUP BY — the columns the batch pipeline materializes.
+  Status BuildBatchSlots() {
+    slot_of_.assign(tables_.size(), std::map<int, size_t>());
+    for (const StepPlan& step : plan_) {
+      for (const ProbeSpec& probe : step.probes) {
+        RAQLET_RETURN_IF_ERROR(CollectSlots(*probe.key_expr));
+      }
+      for (const Predicate* pred : step.filters) {
+        RAQLET_RETURN_IF_ERROR(CollectSlots(pred->lhs));
+        RAQLET_RETURN_IF_ERROR(CollectSlots(pred->rhs));
+      }
+    }
+    for (const SelectItem& item : select_.items) {
+      RAQLET_RETURN_IF_ERROR(CollectSlots(item.expr));
+    }
+    for (const NotExists& ne : select_.not_exists) {
+      for (const auto& [column, expr] : ne.equalities) {
+        (void)column;
+        RAQLET_RETURN_IF_ERROR(CollectSlots(expr));
+      }
+    }
+    for (const Expr& e : select_.group_by) {
+      RAQLET_RETURN_IF_ERROR(CollectSlots(e));
+    }
+    // Per-step materialization lists: which slots exist before the step
+    // (to gather through the match selection) and which it fills.
+    std::vector<size_t> live;
+    for (StepPlan& step : plan_) {
+      step.prior_slots = live;
+      for (const auto& [col, slot] : slot_of_[step.table_index]) {
+        step.new_cols.emplace_back(col, slot);
+        live.push_back(slot);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status CollectSlots(const Expr& e) {
+    if (e.kind == Expr::kColumn) {
+      auto it = alias_index_.find(e.table);
+      if (it == alias_index_.end()) {
+        return Status::Internal("unbound alias " + e.table);
+      }
+      int col = ColumnIndex(it->second, e.column);
+      if (col < 0) {
+        return Status::NotFound("no column " + e.column + " in " + e.table);
+      }
+      std::map<int, size_t>& slots = slot_of_[it->second];
+      if (slots.find(col) == slots.end()) {
+        slots.emplace(col, slot_count_++);
+      }
+    }
+    for (const Expr& child : e.children) {
+      RAQLET_RETURN_IF_ERROR(CollectSlots(child));
+    }
     return Status::OK();
   }
 
@@ -229,8 +431,11 @@ class SelectEvaluator {
         }
         return (*row[it->second])[static_cast<size_t>(col)];
       }
-      case Expr::kConst:
+      case Expr::kConst: {
+        auto it = const_values_.find(&e);
+        if (it != const_values_.end()) return it->second;
         return ConstantToValue(e.constant, &db_->symbols());
+      }
       case Expr::kArith: {
         RAQLET_ASSIGN_OR_RETURN(Value lhs, EvalExpr(e.children[0], row));
         RAQLET_ASSIGN_OR_RETURN(Value rhs, EvalExpr(e.children[1], row));
@@ -242,11 +447,15 @@ class SelectEvaluator {
     return Status::Internal("unhandled expr kind");
   }
 
+  // ---------------------------------------------------------------------
+  // Tuple pipeline (depth-first, row at a time)
+  // ---------------------------------------------------------------------
+
   // Extends `row` with every matching row of one step, invoking `sink`.
   // (The binding slot is restored afterwards.)
   template <typename Sink>
   Status ExtendOne(const StepPlan& step, RowBinding* row, Sink sink) {
-    const Relation* rel = tables_[step.table_index].relation;
+    const Relation* rel = step.rel;
 
     auto try_row = [&](const Tuple& candidate) -> Status {
       if (stats_ != nullptr) ++stats_->rows_scanned;
@@ -265,16 +474,13 @@ class SelectEvaluator {
     };
 
     if (!step.probes.empty()) {
-      std::vector<int> cols;
-      Tuple key;
+      probe_key_.clear();
       for (const ProbeSpec& probe : step.probes) {
-        cols.push_back(probe.column);
         RAQLET_ASSIGN_OR_RETURN(Value v, EvalExpr(*probe.key_expr, *row));
-        key.push_back(v);
+        probe_key_.push_back(v);
       }
-      const Relation::KeyIndex& index = rel->GetIndex(cols);
-      auto it = index.find(key);
-      if (it == index.end()) return Status::OK();
+      auto it = step.index->find(probe_key_);
+      if (it == step.index->end()) return Status::OK();
       for (uint32_t row_idx : it->second) {
         RAQLET_RETURN_IF_ERROR(try_row(rel->rows()[row_idx]));
       }
@@ -300,25 +506,19 @@ class SelectEvaluator {
   }
 
   Result<bool> PassesNotExists(const RowBinding& row) const {
-    for (const NotExists& ne : select_.not_exists) {
-      RAQLET_ASSIGN_OR_RETURN(const Relation* rel, resolver_(ne.table));
-      std::vector<int> cols;
-      Tuple key;
-      for (const auto& [column, expr] : ne.equalities) {
-        int col = rel->schema().ColumnIndex(column);
-        if (col < 0) {
-          return Status::NotFound("no column " + column + " in " + ne.table);
-        }
-        cols.push_back(col);
-        RAQLET_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, row));
-        key.push_back(v);
-      }
+    for (const NePlan& plan : ne_plans_) {
       bool exists;
-      if (cols.empty()) {
-        exists = !rel->empty();
+      if (plan.cols.empty()) {
+        exists = !plan.rel->empty();
       } else {
-        const Relation::KeyIndex& index = rel->GetIndex(cols);
-        exists = index.find(key) != index.end();
+        Tuple key;
+        key.reserve(plan.cols.size());
+        for (const auto& [column, expr] : plan.ne->equalities) {
+          (void)column;
+          RAQLET_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, row));
+          key.push_back(v);
+        }
+        exists = plan.index->find(key) != plan.index->end();
       }
       if (exists) return false;
     }
@@ -335,91 +535,450 @@ class SelectEvaluator {
     return out;
   }
 
-  Status EvaluateWithAggregation(Relation* out) {
-    struct AggState {
-      int64_t count = 0;
-      double sum = 0.0;
-      bool any_float = false;
-      std::optional<Value> min;
-      std::optional<Value> max;
-    };
-    // Group key -> state, in first-seen order for determinism.
-    std::map<Tuple, AggState> groups;
+  // ---------------------------------------------------------------------
+  // Vectorized pipeline (column batches, breadth-first)
+  // ---------------------------------------------------------------------
 
-    int agg_pos = -1;
-    for (size_t i = 0; i < select_.items.size(); ++i) {
-      if (select_.items[i].expr.kind == Expr::kAgg) {
-        agg_pos = static_cast<int>(i);
+  Result<BatchCol> EvalExprBatch(const Expr& e, const Batch& b,
+                                 std::deque<std::vector<Value>>* scratch)
+      const {
+    switch (e.kind) {
+      case Expr::kColumn: {
+        auto it = alias_index_.find(e.table);
+        if (it == alias_index_.end()) {
+          return Status::Internal("unbound alias " + e.table);
+        }
+        int col = ColumnIndex(it->second, e.column);
+        auto slot_it = slot_of_[it->second].find(col);
+        if (col < 0 || slot_it == slot_of_[it->second].end()) {
+          return Status::NotFound("no column " + e.column + " in " + e.table);
+        }
+        BatchCol out;
+        out.col = &b.cols[slot_it->second];
+        return out;
+      }
+      case Expr::kConst: {
+        auto it = const_values_.find(&e);
+        if (it == const_values_.end()) {
+          // Every constant is interned by PreinternConstants before the
+          // batch pipeline runs; falling back to ConstantToValue here
+          // would mutate the SymbolTable from worker threads. Fail loudly
+          // if a new Expr source is ever missed.
+          return Status::Internal("constant not pre-interned: " +
+                                  e.ToString());
+        }
+        BatchCol out;
+        out.scalar = it->second;
+        return out;
+      }
+      case Expr::kArith: {
+        RAQLET_ASSIGN_OR_RETURN(BatchCol lhs,
+                                EvalExprBatch(e.children[0], b, scratch));
+        RAQLET_ASSIGN_OR_RETURN(BatchCol rhs,
+                                EvalExprBatch(e.children[1], b, scratch));
+        if (lhs.col == nullptr && rhs.col == nullptr) {
+          RAQLET_ASSIGN_OR_RETURN(Value v,
+                                  EvalArith(e.op, lhs.scalar, rhs.scalar));
+          BatchCol out;
+          out.scalar = v;
+          return out;
+        }
+        scratch->emplace_back();
+        std::vector<Value>& dst = scratch->back();
+        dst.resize(b.rows);
+        for (size_t i = 0; i < b.rows; ++i) {
+          RAQLET_ASSIGN_OR_RETURN(dst[i],
+                                  EvalArith(e.op, lhs.at(i), rhs.at(i)));
+        }
+        BatchCol out;
+        out.col = &dst;
+        return out;
+      }
+      case Expr::kAgg:
+        return Status::Internal("aggregate outside aggregation context");
+    }
+    return Status::Internal("unhandled expr kind");
+  }
+
+  // Drops batch rows whose keep flag is 0, compacting every live column
+  // in place (stable).
+  void CompactBatch(Batch* b, const std::vector<char>& keep) const {
+    size_t kept = 0;
+    for (size_t i = 0; i < b->rows; ++i) kept += keep[i] != 0;
+    if (kept == b->rows) return;
+    for (std::vector<Value>& col : b->cols) {
+      if (col.empty()) continue;
+      size_t w = 0;
+      for (size_t i = 0; i < b->rows; ++i) {
+        if (keep[i]) col[w++] = col[i];
+      }
+      col.resize(w);
+    }
+    b->rows = kept;
+  }
+
+  // One batch join step: evaluate the probe keys column-at-a-time, probe
+  // the prebuilt hash index once per batch of keys (or scan `[begin,end)`
+  // of the table when there are no probes), gather the surviving prior
+  // columns through the match selection, materialize this table's
+  // columns, and apply the step's filters as selection masks.
+  Status ExtendBatch(const StepPlan& step, size_t begin, size_t end,
+                     Batch* batch, size_t* scanned) const {
+    const std::vector<Tuple>& rows = step.rel->rows();
+    Batch in = std::move(*batch);
+    std::vector<uint32_t> src;    // batch row of each match
+    std::vector<uint32_t> match;  // table row of each match
+    std::deque<std::vector<Value>> scratch;
+    if (!step.probes.empty()) {
+      std::vector<BatchCol> keys;
+      keys.reserve(step.probes.size());
+      for (const ProbeSpec& probe : step.probes) {
+        RAQLET_ASSIGN_OR_RETURN(BatchCol key,
+                                EvalExprBatch(*probe.key_expr, in, &scratch));
+        keys.push_back(key);
+      }
+      Tuple key(step.probes.size());
+      for (size_t i = 0; i < in.rows; ++i) {
+        for (size_t k = 0; k < keys.size(); ++k) key[k] = keys[k].at(i);
+        auto it = step.index->find(key);
+        if (it == step.index->end()) continue;
+        *scanned += it->second.size();
+        for (uint32_t row_idx : it->second) {
+          src.push_back(static_cast<uint32_t>(i));
+          match.push_back(row_idx);
+        }
+      }
+    } else {
+      const size_t limit = std::min(end, rows.size());
+      const size_t count = limit > begin ? limit - begin : 0;
+      *scanned += in.rows * count;
+      src.reserve(in.rows * count);
+      match.reserve(in.rows * count);
+      for (size_t i = 0; i < in.rows; ++i) {
+        for (size_t r = begin; r < limit; ++r) {
+          src.push_back(static_cast<uint32_t>(i));
+          match.push_back(static_cast<uint32_t>(r));
+        }
       }
     }
-    if (agg_pos < 0) {
+
+    Batch out;
+    out.cols.resize(slot_count_);
+    out.rows = src.size();
+    for (size_t slot : step.prior_slots) {
+      const std::vector<Value>& sv = in.cols[slot];
+      std::vector<Value>& dst = out.cols[slot];
+      dst.resize(src.size());
+      for (size_t k = 0; k < src.size(); ++k) dst[k] = sv[src[k]];
+    }
+    for (const auto& [col, slot] : step.new_cols) {
+      std::vector<Value>& dst = out.cols[slot];
+      dst.resize(match.size());
+      for (size_t k = 0; k < match.size(); ++k) {
+        dst[k] = rows[match[k]][static_cast<size_t>(col)];
+      }
+    }
+
+    // Filters compact after each predicate, so later predicates (and their
+    // arithmetic) never see rows an earlier predicate already excluded —
+    // same short-circuit the tuple pipeline gets per row.
+    for (const Predicate* pred : step.filters) {
+      if (out.rows == 0) break;
+      std::deque<std::vector<Value>> fscratch;
+      RAQLET_ASSIGN_OR_RETURN(BatchCol lhs,
+                              EvalExprBatch(pred->lhs, out, &fscratch));
+      RAQLET_ASSIGN_OR_RETURN(BatchCol rhs,
+                              EvalExprBatch(pred->rhs, out, &fscratch));
+      std::vector<char> keep(out.rows);
+      for (size_t i = 0; i < out.rows; ++i) {
+        keep[i] = CheckCmp(pred->op, lhs.at(i), rhs.at(i), db_->symbols());
+      }
+      CompactBatch(&out, keep);
+    }
+    *batch = std::move(out);
+    return Status::OK();
+  }
+
+  // Anti-joins the batch against every NOT EXISTS table (batched key
+  // evaluation, one index probe per row, selection-mask compaction).
+  Status FilterNotExistsBatch(Batch* batch) const {
+    for (const NePlan& plan : ne_plans_) {
+      if (batch->rows == 0) return Status::OK();
+      if (plan.cols.empty()) {
+        if (!plan.rel->empty()) {
+          for (std::vector<Value>& col : batch->cols) col.clear();
+          batch->rows = 0;
+        }
+        continue;
+      }
+      std::deque<std::vector<Value>> scratch;
+      std::vector<BatchCol> keys;
+      keys.reserve(plan.cols.size());
+      for (const auto& [column, expr] : plan.ne->equalities) {
+        (void)column;
+        RAQLET_ASSIGN_OR_RETURN(BatchCol key,
+                                EvalExprBatch(expr, *batch, &scratch));
+        keys.push_back(key);
+      }
+      Tuple key(plan.cols.size());
+      std::vector<char> keep(batch->rows);
+      for (size_t i = 0; i < batch->rows; ++i) {
+        for (size_t k = 0; k < keys.size(); ++k) key[k] = keys[k].at(i);
+        keep[i] = plan.index->find(key) == plan.index->end();
+      }
+      CompactBatch(batch, keep);
+    }
+    return Status::OK();
+  }
+
+  // Runs the batch pipeline over `[begin, end)` of the leading step's scan
+  // (the range is ignored by a probing first step) through every join step
+  // and the NOT EXISTS filters.
+  Status RunPipeline(size_t begin, size_t end, Batch* batch,
+                     size_t* scanned) const {
+    batch->cols.resize(slot_count_);
+    batch->rows = 1;  // unit batch: no table bound yet
+    for (size_t s = 0; s < plan_.size(); ++s) {
+      RAQLET_RETURN_IF_ERROR(
+          ExtendBatch(plan_[s], s == 0 ? begin : 0,
+                      s == 0 ? end : plan_[s].rel->size(), batch, scanned));
+      if (batch->rows == 0) return Status::OK();
+    }
+    return FilterNotExistsBatch(batch);
+  }
+
+  // Projects the final batch into output tuples (appended to `out`).
+  Status ProjectBatch(const Batch& batch, std::vector<Tuple>* out) const {
+    std::deque<std::vector<Value>> scratch;
+    std::vector<BatchCol> cols;
+    cols.reserve(select_.items.size());
+    for (const SelectItem& item : select_.items) {
+      RAQLET_ASSIGN_OR_RETURN(BatchCol c,
+                              EvalExprBatch(item.expr, batch, &scratch));
+      cols.push_back(c);
+    }
+    out->reserve(out->size() + batch.rows);
+    for (size_t i = 0; i < batch.rows; ++i) {
+      Tuple t;
+      t.reserve(cols.size());
+      for (const BatchCol& c : cols) t.push_back(c.at(i));
+      out->push_back(std::move(t));
+    }
+    return Status::OK();
+  }
+
+  Status RunChunk(size_t begin, size_t end, std::vector<Tuple>* out,
+                  size_t* scanned) const {
+    Batch batch;
+    RAQLET_RETURN_IF_ERROR(RunPipeline(begin, end, &batch, scanned));
+    if (batch.rows == 0) return Status::OK();
+    return ProjectBatch(batch, out);
+  }
+
+  // Vectorized driver: single batch when serial, otherwise the leading
+  // scan is partitioned across the pool and per-chunk outputs merge in
+  // chunk order — identical rows and row order to the serial run.
+  // Leading-scan range: the delta suffix when semi-naive, else the whole
+  // table.
+  size_t LeadScanBegin() const {
+    return delta_end_ != kNoDelta ? delta_begin_ : 0;
+  }
+  size_t LeadScanEnd() const {
+    return delta_end_ != kNoDelta ? delta_end_ : plan_.front().rel->size();
+  }
+
+  Status EvaluateVectorized(Relation* out) {
+    const StepPlan& first = plan_.front();
+    const size_t scan_begin = LeadScanBegin();
+    const size_t scan_end = LeadScanEnd();
+    const size_t scan_rows = scan_end - scan_begin;
+    size_t nchunks = 1;
+    if (pool_ != nullptr && first.probes.empty()) {
+      const size_t max_chunks = static_cast<size_t>(pool_->num_threads()) * 4;
+      nchunks = std::clamp<size_t>(scan_rows / kChunkRows, 1, max_chunks);
+    }
+    if (nchunks <= 1) {
+      std::vector<Tuple> tuples;
+      size_t scanned = 0;
+      RAQLET_RETURN_IF_ERROR(
+          RunChunk(scan_begin, scan_end, &tuples, &scanned));
+      if (stats_ != nullptr) stats_->rows_scanned += scanned;
+      out->InsertBatchInPlace(&tuples);
+      return Status::OK();
+    }
+    std::vector<std::vector<Tuple>> chunk_tuples(nchunks);
+    std::vector<size_t> chunk_scanned(nchunks, 0);
+    std::vector<Status> chunk_status(nchunks);
+    const size_t per_chunk = (scan_rows + nchunks - 1) / nchunks;
+    pool_->ParallelFor(nchunks, [&](size_t c) {
+      const size_t begin = scan_begin + c * per_chunk;
+      const size_t end = std::min(scan_end, begin + per_chunk);
+      if (begin >= end) return;
+      chunk_status[c] = RunChunk(begin, end, &chunk_tuples[c],
+                                 &chunk_scanned[c]);
+    });
+    for (const Status& status : chunk_status) {
+      RAQLET_RETURN_IF_ERROR(status);
+    }
+    for (size_t c = 0; c < nchunks; ++c) {
+      if (stats_ != nullptr) stats_->rows_scanned += chunk_scanned[c];
+      out->InsertBatchInPlace(&chunk_tuples[c]);
+    }
+    return Status::OK();
+  }
+
+  // ---------------------------------------------------------------------
+  // Aggregation (both modes; the vectorized path accumulates column-wise)
+  // ---------------------------------------------------------------------
+
+  struct AggState {
+    int64_t count = 0;
+    double sum = 0.0;
+    bool any_float = false;
+    std::optional<Value> min;
+    std::optional<Value> max;
+  };
+
+  void UpdateAggState(AggState* state, const std::optional<Value>& v) const {
+    state->count += 1;
+    if (!v.has_value()) return;
+    state->any_float |= v->kind() == ValueType::kFloat;
+    state->sum += v->NumericValue();
+    if (!state->min.has_value() ||
+        CompareValues(*v, *state->min, db_->symbols()) < 0) {
+      state->min = *v;
+    }
+    if (!state->max.has_value() ||
+        CompareValues(*v, *state->max, db_->symbols()) > 0) {
+      state->max = *v;
+    }
+  }
+
+  // Final value of one aggregate; nullopt means "skip this group" (min/max
+  // of an aggregate that never saw an argument).
+  std::optional<Value> FinalizeAgg(const Expr& agg_expr,
+                                   const AggState& state) const {
+    switch (agg_expr.agg) {
+      case dlir::AggFunc::kCount:
+        return Value::Number(state.count);
+      case dlir::AggFunc::kSum:
+        return state.any_float
+                   ? Value::Float(state.sum)
+                   : Value::Number(static_cast<int64_t>(state.sum));
+      case dlir::AggFunc::kMin:
+        return state.min;
+      case dlir::AggFunc::kMax:
+        return state.max;
+      case dlir::AggFunc::kAvg:
+        return Value::Float(state.count == 0
+                                ? 0.0
+                                : state.sum /
+                                      static_cast<double>(state.count));
+    }
+    return std::nullopt;
+  }
+
+  Status EvaluateWithAggregation(Relation* out) {
+    if (agg_item_pos_.empty()) {
       return Status::Internal("aggregation context without aggregate item");
     }
-    const Expr& agg_expr = select_.items[static_cast<size_t>(agg_pos)].expr;
+    // Group key (the non-aggregate items, in item order) -> one state per
+    // aggregate item, in first-seen order for determinism.
+    std::map<Tuple, std::vector<AggState>> groups;
 
-    auto accumulate = [&](const RowBinding& row) -> Status {
-      Tuple key;
-      for (size_t i = 0; i < select_.items.size(); ++i) {
-        if (static_cast<int>(i) == agg_pos) continue;
-        RAQLET_ASSIGN_OR_RETURN(Value v, EvalExpr(select_.items[i].expr, row));
-        key.push_back(v);
-      }
-      AggState& state = groups[key];
-      state.count += 1;
-      if (!agg_expr.children.empty()) {
-        RAQLET_ASSIGN_OR_RETURN(Value v, EvalExpr(agg_expr.children[0], row));
-        state.any_float |= v.kind() == ValueType::kFloat;
-        state.sum += v.NumericValue();
-        if (!state.min.has_value() ||
-            CompareValues(v, *state.min, db_->symbols()) < 0) {
-          state.min = v;
+    std::vector<bool> is_agg(select_.items.size(), false);
+    for (size_t pos : agg_item_pos_) is_agg[pos] = true;
+
+    if (mode_ == SqlMode::kVectorized && !plan_.empty()) {
+      // Batched accumulate over the final batch. Single chunk: chunked
+      // accumulation would re-associate float sums and break the
+      // bit-identical-to-serial contract.
+      Batch batch;
+      size_t scanned = 0;
+      RAQLET_RETURN_IF_ERROR(
+          RunPipeline(LeadScanBegin(), LeadScanEnd(), &batch, &scanned));
+      if (stats_ != nullptr) stats_->rows_scanned += scanned;
+      if (batch.rows > 0) {
+        std::deque<std::vector<Value>> scratch;
+        std::vector<BatchCol> key_cols;
+        std::vector<std::optional<BatchCol>> arg_cols;
+        for (size_t i = 0; i < select_.items.size(); ++i) {
+          const Expr& e = select_.items[i].expr;
+          if (is_agg[i]) {
+            if (e.children.empty()) {
+              arg_cols.emplace_back(std::nullopt);
+            } else {
+              RAQLET_ASSIGN_OR_RETURN(
+                  BatchCol c, EvalExprBatch(e.children[0], batch, &scratch));
+              arg_cols.emplace_back(c);
+            }
+          } else {
+            RAQLET_ASSIGN_OR_RETURN(BatchCol c,
+                                    EvalExprBatch(e, batch, &scratch));
+            key_cols.push_back(c);
+          }
         }
-        if (!state.max.has_value() ||
-            CompareValues(v, *state.max, db_->symbols()) > 0) {
-          state.max = v;
+        Tuple key(key_cols.size());
+        for (size_t i = 0; i < batch.rows; ++i) {
+          for (size_t k = 0; k < key_cols.size(); ++k) {
+            key[k] = key_cols[k].at(i);
+          }
+          std::vector<AggState>& states = groups[key];
+          states.resize(agg_item_pos_.size());
+          for (size_t a = 0; a < arg_cols.size(); ++a) {
+            std::optional<Value> v;
+            if (arg_cols[a].has_value()) v = arg_cols[a]->at(i);
+            UpdateAggState(&states[a], v);
+          }
         }
       }
-      return Status::OK();
-    };
+    } else {
+      auto accumulate = [&](const RowBinding& row) -> Status {
+        Tuple key;
+        key.reserve(select_.items.size() - agg_item_pos_.size());
+        for (size_t i = 0; i < select_.items.size(); ++i) {
+          if (is_agg[i]) continue;
+          RAQLET_ASSIGN_OR_RETURN(Value v,
+                                  EvalExpr(select_.items[i].expr, row));
+          key.push_back(v);
+        }
+        std::vector<AggState>& states = groups[key];
+        states.resize(agg_item_pos_.size());
+        for (size_t a = 0; a < agg_item_pos_.size(); ++a) {
+          const Expr& e = select_.items[agg_item_pos_[a]].expr;
+          std::optional<Value> v;
+          if (!e.children.empty()) {
+            RAQLET_ASSIGN_OR_RETURN(Value val, EvalExpr(e.children[0], row));
+            v = val;
+          }
+          UpdateAggState(&states[a], v);
+        }
+        return Status::OK();
+      };
+      RowBinding binding(tables_.size(), nullptr);
+      RAQLET_RETURN_IF_ERROR(Descend(0, &binding, accumulate));
+    }
 
-    RowBinding binding(tables_.size(), nullptr);
-    RAQLET_RETURN_IF_ERROR(Descend(0, &binding, accumulate));
-
-    for (const auto& [key, state] : groups) {
-      Value result;
-      switch (agg_expr.agg) {
-        case dlir::AggFunc::kCount:
-          result = Value::Number(state.count);
-          break;
-        case dlir::AggFunc::kSum:
-          result = state.any_float
-                       ? Value::Float(state.sum)
-                       : Value::Number(static_cast<int64_t>(state.sum));
-          break;
-        case dlir::AggFunc::kMin:
-          if (!state.min.has_value()) continue;
-          result = *state.min;
-          break;
-        case dlir::AggFunc::kMax:
-          if (!state.max.has_value()) continue;
-          result = *state.max;
-          break;
-        case dlir::AggFunc::kAvg:
-          result = Value::Float(
-              state.count == 0 ? 0.0
-                               : state.sum / static_cast<double>(state.count));
-          break;
-      }
+    for (const auto& [key, states] : groups) {
       Tuple tuple;
+      tuple.reserve(select_.items.size());
       size_t ki = 0;
+      size_t ai = 0;
+      bool skip = false;
       for (size_t i = 0; i < select_.items.size(); ++i) {
-        if (static_cast<int>(i) == agg_pos) {
-          tuple.push_back(result);
+        if (is_agg[i]) {
+          std::optional<Value> result =
+              FinalizeAgg(select_.items[i].expr, states[ai++]);
+          if (!result.has_value()) {
+            skip = true;
+            break;
+          }
+          tuple.push_back(*result);
         } else {
           tuple.push_back(key[ki++]);
         }
       }
-      out->Insert(std::move(tuple));
+      if (!skip) out->Insert(std::move(tuple));
     }
     return Status::OK();
   }
@@ -429,26 +988,107 @@ class SelectEvaluator {
   Database* db_;
   SqlMode mode_;
   SqlStats* stats_;
+  runtime::ThreadPool* pool_;
+  const Relation* lead_scan_;
+  size_t delta_begin_;
+  size_t delta_end_;  // kNoDelta: no scan-range restriction
 
   std::vector<BoundTable> tables_;
   std::map<std::string, size_t> alias_index_;
   std::vector<StepPlan> plan_;
+  std::vector<NePlan> ne_plans_;
+  std::vector<size_t> agg_item_pos_;  // item positions that are aggregates
+  bool trivially_false_ = false;
+  // Pre-interned constants, keyed by Expr node (stable: the SQIR program
+  // outlives the evaluator). Read-only during (possibly parallel)
+  // evaluation.
+  std::unordered_map<const Expr*, Value> const_values_;
+  std::vector<std::map<int, size_t>> slot_of_;  // [table] column -> slot
+  size_t slot_count_ = 0;
+  Tuple probe_key_;  // tuple-mode probe scratch
 };
 
-RelationSchema CteSchema(const Cte& cte) {
+// Best-effort static type of a select expression, resolving column
+// references through the branch's FROM list.
+ValueType InferExprType(const Expr& e, const Select& select,
+                        const TableResolver& resolver) {
+  switch (e.kind) {
+    case Expr::kColumn: {
+      for (const TableRef& ref : select.from) {
+        if (ref.alias != e.table) continue;
+        Result<const Relation*> rel = resolver(ref.table);
+        if (!rel.ok()) break;
+        int col = (*rel)->schema().ColumnIndex(e.column);
+        if (col >= 0) return (*rel)->schema().columns[col].type;
+        break;
+      }
+      return ValueType::kNumber;
+    }
+    case Expr::kConst:
+      return e.constant.type;
+    case Expr::kArith: {
+      ValueType lhs = InferExprType(e.children[0], select, resolver);
+      ValueType rhs = InferExprType(e.children[1], select, resolver);
+      return (lhs == ValueType::kFloat || rhs == ValueType::kFloat)
+                 ? ValueType::kFloat
+                 : ValueType::kNumber;
+    }
+    case Expr::kAgg:
+      switch (e.agg) {
+        case dlir::AggFunc::kCount:
+          return ValueType::kNumber;
+        case dlir::AggFunc::kAvg:
+          return ValueType::kFloat;
+        default:
+          return e.children.empty()
+                     ? ValueType::kNumber
+                     : InferExprType(e.children[0], select, resolver);
+      }
+  }
+  return ValueType::kNumber;
+}
+
+// Column types come from the SQIR plan metadata when present (the DLIR
+// declaration's types), otherwise they are inferred from the first base
+// branch's select items; kNumber is the last-resort default.
+RelationSchema CteSchema(const Cte& cte,
+                         const std::vector<const Select*>& base,
+                         const TableResolver& resolver) {
   RelationSchema schema;
   schema.name = cte.name;
-  for (const std::string& col : cte.columns) {
-    schema.columns.push_back(Column{col, ValueType::kNumber});
+  const bool typed =
+      cte.column_types.size() == cte.columns.size() && !cte.columns.empty();
+  const Select* infer_from =
+      (!typed && !base.empty() &&
+       base.front()->items.size() == cte.columns.size())
+          ? base.front()
+          : nullptr;
+  for (size_t i = 0; i < cte.columns.size(); ++i) {
+    ValueType type = ValueType::kNumber;
+    if (typed) {
+      type = cte.column_types[i];
+    } else if (infer_from != nullptr) {
+      type = InferExprType(infer_from->items[i].expr, *infer_from, resolver);
+    }
+    schema.columns.push_back(Column{cte.columns[i], type});
   }
   return schema;
 }
 
 }  // namespace
 
+SqlEngine::SqlEngine(SqlOptions options) : options_(options) {
+  if (options_.num_threads > 1) {
+    context_ =
+        std::make_unique<runtime::ExecutionContext>(options_.num_threads);
+  }
+}
+
 Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
                                    SqlStats* stats) const {
   std::map<std::string, std::unique_ptr<Relation>> cte_store;
+  runtime::ThreadPool* pool =
+      context_ != nullptr ? context_->pool() : nullptr;
 
   TableResolver resolver =
       [&](const std::string& name) -> Result<const Relation*> {
@@ -459,16 +1099,24 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
   };
 
   for (const Cte& cte : program.ctes) {
-    auto rel = std::make_unique<Relation>(CteSchema(cte));
-
     // Partition branches: a branch is recursive iff it references the CTE
-    // itself in its FROM list.
+    // itself in its FROM list. A self-reference through NOT EXISTS is
+    // non-monotonic recursion, which SQL:1999 forbids — reject it rather
+    // than silently resolving against a same-named base table.
     std::vector<const Select*> base;
     std::vector<const Select*> recursive;
     for (const Select& branch : cte.branches) {
       bool self_ref = false;
       for (const TableRef& ref : branch.from) {
         if (ref.table == cte.name) self_ref = true;
+      }
+      for (const NotExists& ne : branch.not_exists) {
+        if (ne.table == cte.name) {
+          return Status::Unsupported(
+              "CTE '" + cte.name +
+              "' references itself inside NOT EXISTS; non-monotonic "
+              "recursion is not supported");
+        }
       }
       (self_ref ? recursive : base).push_back(&branch);
     }
@@ -478,19 +1126,31 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
                                      "recursive");
     }
 
+    RelationSchema schema = CteSchema(cte, base, resolver);
+    auto rel = std::make_unique<Relation>(schema);
+
     for (const Select* branch : base) {
-      SelectEvaluator eval(*branch, resolver, db, options_.mode, stats);
+      SelectEvaluator eval(*branch, resolver, db, options_.mode, stats,
+                           pool);
       RAQLET_RETURN_IF_ERROR(eval.Evaluate(rel.get()));
     }
 
     if (!recursive.empty()) {
-      // SQL:1999 working-table iteration.
-      RelationSchema working_schema = CteSchema(cte);
-      auto working = std::make_unique<Relation>(working_schema);
-      for (const Tuple& row : rel->rows()) working->Insert(row);
+      // Linear recursion (each recursive branch references the CTE exactly
+      // once) lets the vectorized mode run true semi-naive iteration: the
+      // "working table" is the suffix of `rel` appended last round,
+      // scanned in place — no per-round copy, no re-deduplication.
+      bool linear = true;
+      for (const Select* branch : recursive) {
+        size_t refs = 0;
+        for (const TableRef& ref : branch->from) {
+          if (ref.table == cte.name) ++refs;
+        }
+        if (refs != 1) linear = false;
+      }
 
       size_t iterations = 0;
-      while (!working->empty()) {
+      auto check_cap = [&]() -> Status {
         ++iterations;
         if (stats != nullptr) ++stats->recursive_iterations;
         if (options_.max_recursive_iterations != 0 &&
@@ -500,22 +1160,61 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
               std::to_string(options_.max_recursive_iterations) +
               " iterations");
         }
+        return Status::OK();
+      };
+
+      if (options_.mode == SqlMode::kVectorized && linear) {
         TableResolver rec_resolver =
             [&](const std::string& name) -> Result<const Relation*> {
-          if (name == cte.name) return working.get();
+          if (name == cte.name) return rel.get();
           return resolver(name);
         };
-        Relation produced(working_schema);
-        for (const Select* branch : recursive) {
-          SelectEvaluator eval(*branch, rec_resolver, db, options_.mode,
-                               stats);
-          RAQLET_RETURN_IF_ERROR(eval.Evaluate(&produced));
+        size_t delta_begin = 0;
+        size_t delta_end = rel->size();
+        while (delta_begin < delta_end) {
+          RAQLET_RETURN_IF_ERROR(check_cap());
+          // All branches of a round see the same delta; rows a branch
+          // appends join in the next round (SQL:1999 working-table
+          // semantics). Reads of the delta finish before the round's
+          // results merge into `rel`, so scanning and emitting into the
+          // same relation is safe.
+          for (const Select* branch : recursive) {
+            SelectEvaluator eval(*branch, rec_resolver, db, options_.mode,
+                                 stats, pool, rel.get(), delta_begin,
+                                 delta_end);
+            RAQLET_RETURN_IF_ERROR(eval.Evaluate(rel.get()));
+          }
+          delta_begin = delta_end;
+          delta_end = rel->size();
         }
-        auto next_working = std::make_unique<Relation>(working_schema);
-        for (const Tuple& row : produced.rows()) {
-          if (rel->Insert(row)) next_working->Insert(row);
+      } else {
+        // SQL:1999 working-table iteration (tuple mode, and non-linear
+        // recursion in either mode).
+        auto working = std::make_unique<Relation>(schema);
+        working->InsertBatch(rel->rows());
+        while (!working->empty()) {
+          RAQLET_RETURN_IF_ERROR(check_cap());
+          TableResolver rec_resolver =
+              [&](const std::string& name) -> Result<const Relation*> {
+            if (name == cte.name) return working.get();
+            return resolver(name);
+          };
+          // Recursive branches never read the CTE total (only the working
+          // table), so they can emit straight into `rel`: its dedup is the
+          // union-distinct, and this round's additions are exactly the
+          // insertion-order suffix.
+          const size_t before = rel->size();
+          for (const Select* branch : recursive) {
+            SelectEvaluator eval(*branch, rec_resolver, db, options_.mode,
+                                 stats, pool, working.get());
+            RAQLET_RETURN_IF_ERROR(eval.Evaluate(rel.get()));
+          }
+          auto next_working = std::make_unique<Relation>(schema);
+          next_working->InsertBatch(std::vector<Tuple>(
+              rel->rows().begin() + static_cast<ptrdiff_t>(before),
+              rel->rows().end()));
+          working = std::move(next_working);
         }
-        working = std::move(next_working);
       }
     }
 
@@ -527,17 +1226,47 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
   RelationSchema out_schema;
   out_schema.name = "__result__";
   for (const sqir::SelectItem& item : program.final_select.items) {
-    out_schema.columns.push_back(Column{item.alias, ValueType::kNumber});
+    out_schema.columns.push_back(
+        Column{item.alias,
+               InferExprType(item.expr, program.final_select, resolver)});
   }
+  ResultTable result;
+  for (const Column& col : out_schema.columns) {
+    result.columns.push_back(col.name);
+    result.column_types.push_back(col.type);
+  }
+
+  // Identity fast path: the shape every translated program ends with —
+  // SELECT (DISTINCT) every column of one table, in order, with no
+  // predicates — returns the source rows directly. They are already
+  // distinct (relations are sets) and already in the order the evaluator
+  // would produce, so this skips a full re-deduplication of the result.
+  const Select& fs = program.final_select;
+  if (fs.from.size() == 1 && fs.where.empty() && fs.not_exists.empty() &&
+      fs.group_by.empty()) {
+    Result<const Relation*> src = resolver(fs.from[0].table);
+    if (src.ok() && fs.items.size() == (*src)->schema().columns.size()) {
+      bool identity = true;
+      for (size_t i = 0; i < fs.items.size(); ++i) {
+        const sqir::Expr& e = fs.items[i].expr;
+        if (e.kind != sqir::Expr::kColumn || e.table != fs.from[0].alias ||
+            (*src)->schema().ColumnIndex(e.column) != static_cast<int>(i)) {
+          identity = false;
+          break;
+        }
+      }
+      if (identity) {
+        if (stats != nullptr) stats->rows_scanned += (*src)->size();
+        result.rows = (*src)->rows();
+        return result;
+      }
+    }
+  }
+
   Relation out_rel(out_schema);
   SelectEvaluator eval(program.final_select, resolver, db, options_.mode,
-                       stats);
+                       stats, pool);
   RAQLET_RETURN_IF_ERROR(eval.Evaluate(&out_rel));
-
-  ResultTable result;
-  for (const sqir::SelectItem& item : program.final_select.items) {
-    result.columns.push_back(item.alias);
-  }
   result.rows = out_rel.rows();
   return result;
 }

@@ -7,20 +7,36 @@
 // CTEs materialize in dependency order. WITH RECURSIVE follows SQL:1999
 // semantics: the recursive term sees the *working table* (rows added in
 // the previous iteration), results union (distinct) into the total until
-// the working table empties.
+// the working table empties. A recursive reference inside NOT EXISTS is
+// rejected (non-monotonic recursion).
 //
 // Two execution modes exercise genuinely different join code paths:
-//  * kVectorized (DuckDB stand-in): breadth-first — each join step
-//    extends a materialized batch of intermediate bindings.
+//  * kVectorized (DuckDB stand-in): column-batched execution in the
+//    MonetDB/X100 lineage. Intermediate join state is a BindingBatch —
+//    one Value column per referenced table column — and every plan step
+//    is a batch operator: probe keys are evaluated column-at-a-time, the
+//    hash index is probed once per batch of keys appending match row
+//    indexes, filters produce a selection mask that compacts the whole
+//    batch, and projection feeds the output relation through
+//    Relation::InsertBatch. Aggregation accumulates column-wise over the
+//    final batch. With SqlOptions::num_threads > 1 the leading scan is
+//    partitioned across the runtime's ThreadPool; per-chunk outputs merge
+//    in chunk order, so results are bit-identical to serial execution at
+//    any thread count.
 //  * kTuplePipeline (HyPer stand-in): depth-first — a binding flows
-//    through the whole join pipeline before the next one starts.
-// Both probe hash indexes for equality predicates.
+//    through the whole join pipeline one row at a time before the next
+//    one starts.
+// Both modes probe hash indexes for equality predicates; indexes are
+// prebuilt per plan step (Relation::EnsureIndex), so the inner loops pay
+// neither a lock nor an index-cache lookup.
 
 #include <cstddef>
+#include <memory>
 #include <string>
 
 #include "common/status.h"
 #include "engine/value_ops.h"
+#include "runtime/execution_context.h"
 #include "sqir/sqir.h"
 #include "storage/database.h"
 
@@ -32,6 +48,11 @@ struct SqlOptions {
   SqlMode mode = SqlMode::kVectorized;
   /// Safety valve for runaway recursive CTEs (0 = unlimited).
   size_t max_recursive_iterations = 0;
+  /// Worker threads for the vectorized batch pipeline (clamped to >= 1).
+  /// 1 means strictly serial; results are identical for every value.
+  int num_threads = 1;
+
+  bool operator==(const SqlOptions&) const = default;
 };
 
 struct SqlStats {
@@ -42,7 +63,7 @@ struct SqlStats {
 
 class SqlEngine {
  public:
-  explicit SqlEngine(SqlOptions options = {}) : options_(options) {}
+  explicit SqlEngine(SqlOptions options = {});
 
   /// Executes `program` against `db`. The database is non-const only to
   /// intern string literals appearing in the query.
@@ -51,6 +72,9 @@ class SqlEngine {
 
  private:
   SqlOptions options_;
+  // Owns the thread pool when num_threads > 1; the pool is reused across
+  // Run calls on the same engine. Makes SqlEngine move-only.
+  std::unique_ptr<runtime::ExecutionContext> context_;
 };
 
 }  // namespace raqlet::engine

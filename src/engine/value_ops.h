@@ -37,6 +37,9 @@ Value ConstantToValue(const dlir::Constant& c, SymbolTable* symbols);
 /// engine.
 struct ResultTable {
   std::vector<std::string> columns;
+  /// Logical type per column when the producing engine knows it (the SQL
+  /// engine fills this from its inferred output schema); may be empty.
+  std::vector<ValueType> column_types;
   std::vector<Tuple> rows;
 
   /// Canonical (sorted, rendered) form for cross-engine comparison.

@@ -151,16 +151,28 @@ Result<engine::ResultTable> Compiler::RunOnDatalog(
   return result;
 }
 
+const engine::SqlEngine& Compiler::SqlEngineFor(
+    const engine::SqlOptions& options) const {
+  std::lock_guard<std::mutex> lock(engine_cache_mutex_);
+  for (const auto& [cached_options, engine] : sql_engine_cache_) {
+    if (cached_options == options) return *engine;
+  }
+  sql_engine_cache_.emplace_back(
+      options, std::make_unique<engine::SqlEngine>(options));
+  return *sql_engine_cache_.back().second;
+}
+
 Result<engine::ResultTable> Compiler::RunOnSql(const dlir::Program& program,
                                                Database* db,
                                                engine::SqlMode mode,
-                                               engine::SqlStats* stats) const {
+                                               engine::SqlStats* stats,
+                                               int num_threads) const {
   RAQLET_ASSIGN_OR_RETURN(sqir::SqirProgram sqir_program,
                           sqir::TranslateToSqir(program));
   engine::SqlOptions options;
   options.mode = mode;
-  engine::SqlEngine eng(options);
-  return eng.Run(sqir_program, db, stats);
+  options.num_threads = num_threads;
+  return SqlEngineFor(options).Run(sqir_program, db, stats);
 }
 
 Result<engine::ResultTable> Compiler::RunOnGraph(

@@ -120,10 +120,12 @@ class Compiler {
       const engine::EvalOptions& options = {}) const;
 
   /// Recursive-SQL evaluation (DuckDB/HyPer stand-ins via `mode`).
+  /// `num_threads > 1` partitions the vectorized mode's column batches
+  /// across the runtime's thread pool (identical results at any count).
   Result<engine::ResultTable> RunOnSql(
       const dlir::Program& program, Database* db,
       engine::SqlMode mode = engine::SqlMode::kVectorized,
-      engine::SqlStats* stats = nullptr) const;
+      engine::SqlStats* stats = nullptr, int num_threads = 1) const;
 
   /// Graph-traversal evaluation of PGIR (Neo4j stand-in) over a prebuilt
   /// store (use BuildGraphStore; building is the analogue of data load).
@@ -142,6 +144,10 @@ class Compiler {
   // to run concurrently; the mutex only guards cache lookup/insert.
   const engine::DatalogEngine& DatalogEngineFor(
       const engine::EvalOptions& options) const;
+  // Same pattern for the SQL engine (its vectorized mode owns a thread
+  // pool when num_threads > 1).
+  const engine::SqlEngine& SqlEngineFor(
+      const engine::SqlOptions& options) const;
 
   schema::PgSchema pg_schema_;
   schema::DlSchema dl_schema_;
@@ -150,6 +156,9 @@ class Compiler {
   mutable std::vector<
       std::pair<engine::EvalOptions, std::unique_ptr<engine::DatalogEngine>>>
       engine_cache_;
+  mutable std::vector<
+      std::pair<engine::SqlOptions, std::unique_ptr<engine::SqlEngine>>>
+      sql_engine_cache_;
 };
 
 }  // namespace raqlet

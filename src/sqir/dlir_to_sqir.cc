@@ -262,7 +262,10 @@ Result<SqirProgram> TranslateToSqir(const Program& program,
     Cte cte;
     cte.name = cte_names[pred];
     cte.source_predicate = pred;
-    for (const Column& col : decl->columns) cte.columns.push_back(col.name);
+    for (const Column& col : decl->columns) {
+      cte.columns.push_back(col.name);
+      cte.column_types.push_back(col.type);
+    }
     cte.recursive = graph.IsRecursivePredicate(pred);
 
     // Base branches first (recursive CTE grammar requires it).

@@ -74,6 +74,10 @@ struct Cte {
   std::string name;
   std::string source_predicate;  // DLIR predicate this CTE implements
   std::vector<std::string> columns;
+  /// Logical type per column, parallel to `columns` (plan metadata carried
+  /// from the DLIR declaration). May be empty for hand-built programs; the
+  /// SQL executor then infers types from the base branch's select items.
+  std::vector<ValueType> column_types;
   bool recursive = false;
   std::vector<Select> branches;
 };

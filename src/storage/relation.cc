@@ -60,12 +60,14 @@ void Relation::DedupReserve(size_t want) {
                  schema_.name.c_str());
     std::abort();
   }
-  // Max load factor 7/8: linear probing stays short and a slot is 8 bytes,
-  // so the table is still far smaller than the node-based set it replaces.
+  // Max load factor 1/2: at 7/8 the expected linear-probe chain for a miss
+  // (every genuinely-new tuple) is ~32 slot touches; at 1/2 it is ~2.5. A
+  // slot is 8 bytes, so even the doubled table stays far smaller than the
+  // tuple storage it guards.
   size_t capacity = dedup_slots_.size();
-  if (capacity >= 16 && want * 8 <= capacity * 7) return;
+  if (capacity >= 16 && want * 2 <= capacity) return;
   size_t new_capacity = capacity == 0 ? 16 : capacity;
-  while (want * 8 > new_capacity * 7) new_capacity *= 2;
+  while (want * 2 > new_capacity) new_capacity *= 2;
   std::vector<DedupSlot> old = std::move(dedup_slots_);
   dedup_slots_.assign(new_capacity, DedupSlot{});
   size_t mask = new_capacity - 1;

@@ -198,6 +198,137 @@ tc(x, y) :- tc(x, z), edge(z, y).
   EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
 }
 
+TEST_P(SqlEngineModeTest, StringKeyedRecursiveCte) {
+  Database db;
+  RelationSchema s;
+  s.name = "edge";
+  s.columns = {{"x", ValueType::kSymbol}, {"y", ValueType::kSymbol}};
+  Relation* rel = *db.CreateRelation(s);
+  rel->Insert({db.Str("a"), db.Str("b")});
+  rel->Insert({db.Str("b"), db.Str("c")});
+  auto sqir = Translate(R"(
+.decl edge(x: symbol, y: symbol)
+.input edge
+.decl tc(x: symbol, y: symbol)
+.output tc
+tc(x, y) :- edge(x, y).
+tc(x, y) :- tc(x, z), edge(z, y).
+)");
+  const std::set<std::string> expected{"(\"a\", \"b\")", "(\"a\", \"c\")",
+                                       "(\"b\", \"c\")"};
+  auto result = Engine().Run(sqir, &db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->ToStringSet(db.symbols()), expected);
+  // The CTE columns carry the declared symbol type end to end.
+  ASSERT_EQ(result->column_types.size(), 2u);
+  EXPECT_EQ(result->column_types[0], ValueType::kSymbol);
+  EXPECT_EQ(result->column_types[1], ValueType::kSymbol);
+
+  // Executor-side fallback: without the SQIR type metadata the schema is
+  // inferred from the base branch's select items (regression: it used to
+  // be hardcoded to kNumber).
+  for (auto& cte : sqir.ctes) cte.column_types.clear();
+  auto inferred = Engine().Run(sqir, &db);
+  ASSERT_TRUE(inferred.ok()) << inferred.status().ToString();
+  EXPECT_EQ(inferred->ToStringSet(db.symbols()), expected);
+  ASSERT_EQ(inferred->column_types.size(), 2u);
+  EXPECT_EQ(inferred->column_types[0], ValueType::kSymbol);
+  EXPECT_EQ(inferred->column_types[1], ValueType::kSymbol);
+}
+
+TEST_P(SqlEngineModeTest, MultipleAggregatesInOneSelect) {
+  Database db = MakeGraphDb({{1, 2}, {1, 3}, {2, 3}});
+  // SELECT x, count(*), sum(y) FROM edge GROUP BY x — not expressible in
+  // the Datalog frontend (one aggregate per head), so built directly.
+  // Regression: the executor used to keep only the *last* aggregate item
+  // and die with an Internal error on the first one.
+  sqir::SqirProgram program;
+  sqir::Select sel;
+  sel.distinct = false;
+  sel.items.push_back(sqir::SelectItem{sqir::Expr::Column("R1", "x"), "x"});
+  sel.items.push_back(
+      sqir::SelectItem{sqir::Expr::Agg(dlir::AggFunc::kCount, {}), "c"});
+  sel.items.push_back(sqir::SelectItem{
+      sqir::Expr::Agg(dlir::AggFunc::kSum, {sqir::Expr::Column("R1", "y")}),
+      "s"});
+  sel.from.push_back(sqir::TableRef{"edge", "R1"});
+  sel.group_by.push_back(sqir::Expr::Column("R1", "x"));
+  program.final_select = std::move(sel);
+  program.output_columns = {"x", "c", "s"};
+  auto result = Engine().Run(program, &db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->ToStringSet(db.symbols()),
+            (std::set<std::string>{"(1, 2, 5)", "(2, 1, 3)"}));
+}
+
+TEST_P(SqlEngineModeTest, RecursiveSelfReferenceInNotExistsRejected) {
+  Database db = MakeGraphDb({{1, 2}, {2, 3}});
+  // A base table named like the CTE: before the fix, the NOT EXISTS
+  // self-reference was not detected and silently resolved against it.
+  RelationSchema s;
+  s.name = "tc";
+  s.columns = {{"x", ValueType::kNumber}, {"y", ValueType::kNumber}};
+  (void)*db.CreateRelation(s);
+
+  sqir::SqirProgram program;
+  sqir::Cte cte;
+  cte.name = "tc";
+  cte.columns = {"x", "y"};
+  cte.recursive = true;
+  sqir::Select base;
+  base.items.push_back(sqir::SelectItem{sqir::Expr::Column("R1", "x"), "x"});
+  base.items.push_back(sqir::SelectItem{sqir::Expr::Column("R1", "y"), "y"});
+  base.from.push_back(sqir::TableRef{"edge", "R1"});
+  sqir::Select guarded = base;
+  sqir::NotExists ne;
+  ne.table = "tc";
+  ne.equalities.emplace_back("x", sqir::Expr::Column("R1", "x"));
+  ne.equalities.emplace_back("y", sqir::Expr::Column("R1", "y"));
+  guarded.not_exists.push_back(std::move(ne));
+  cte.branches.push_back(std::move(base));
+  cte.branches.push_back(std::move(guarded));
+  program.ctes.push_back(std::move(cte));
+  sqir::Select final_select;
+  final_select.items.push_back(
+      sqir::SelectItem{sqir::Expr::Column("R1", "x"), "x"});
+  final_select.items.push_back(
+      sqir::SelectItem{sqir::Expr::Column("R1", "y"), "y"});
+  final_select.from.push_back(sqir::TableRef{"tc", "R1"});
+  program.final_select = std::move(final_select);
+  program.output_columns = {"x", "y"};
+
+  auto result = Engine().Run(program, &db);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+  EXPECT_NE(result.status().ToString().find("NOT EXISTS"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_P(SqlEngineModeTest, ConstantOnlyPredicateWithEmptyFrom) {
+  // Regression: with no FROM tables there are no join steps, so the
+  // alias-free predicate was never attached anywhere and Plan() failed
+  // with Internal("predicate references unknown alias").
+  Database db;
+  auto holds = Translate(R"(
+.decl out(x: number)
+.output out
+out(7) :- 1 < 2.
+)");
+  auto result = Engine().Run(holds, &db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->ToStringSet(db.symbols()),
+            (std::set<std::string>{"(7)"}));
+
+  auto fails = Translate(R"(
+.decl out(x: number)
+.output out
+out(7) :- 1 > 2.
+)");
+  auto empty = Engine().Run(fails, &db);
+  ASSERT_TRUE(empty.ok()) << empty.status().ToString();
+  EXPECT_TRUE(empty->rows.empty());
+}
+
 TEST_P(SqlEngineModeTest, MissingTableFails) {
   Database db;
   auto program = Parse(R"(
