@@ -131,6 +131,7 @@ void BM_TcSqlParallel(benchmark::State& state) {
   state.SetLabel("whole-graph TC, SQL vectorized, batches across threads");
 }
 
+// Default column-batch binding table (gathered expansions, batch DISTINCT).
 void BM_TcGraph(benchmark::State& state) {
   Instance& inst = GetInstance(static_cast<int>(state.range(0)));
   for (auto _ : state) {
@@ -140,6 +141,22 @@ void BM_TcGraph(benchmark::State& state) {
     benchmark::DoNotOptimize(result);
   }
   state.SetLabel("whole-graph TC, graph engine BFS (Neo4j stand-in)");
+}
+
+// The historical per-binding row interpreter (the paper's critique target);
+// results are bit-identical to BM_TcGraph, only the binding-table
+// representation differs.
+void BM_TcGraphRows(benchmark::State& state) {
+  Instance& inst = GetInstance(static_cast<int>(state.range(0)));
+  raqlet::engine::GraphOptions options;
+  options.mode = raqlet::engine::GraphMode::kRowBinding;
+  for (auto _ : state) {
+    auto result = inst.compiler.RunOnGraph(inst.cypher_unit.pgir, *inst.store,
+                                           &inst.db, nullptr, options);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("whole-graph TC, graph engine, per-binding row interpreter");
 }
 
 BENCHMARK(BM_TcDatalog)->Arg(100)->Arg(300)->Arg(1000)->Unit(benchmark::kMillisecond);
@@ -153,6 +170,7 @@ BENCHMARK(BM_TcSqlParallel)
     ->Args({1000, 4})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TcGraph)->Arg(100)->Arg(300)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TcGraphRows)->Arg(100)->Arg(300)->Arg(1000)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -44,7 +44,8 @@ int Usage() {
       "usage: raqlet_cli --schema FILE --query FILE\n"
       "                  [--frontend cypher|gql|datalog] [--opt 0|1|2]\n"
       "                  [--emit pgir|dlir|optimized|datalog|sql|report|plan]\n"
-      "                  [--run datalog|sql|sql-tuple|graph] [--facts DIR]\n"
+      "                  [--run datalog|sql|sql-tuple|graph|graph-rows]\n"
+      "                  [--facts DIR]\n"
       "                  [--threads N] [--param name=value]...\n"
       "       raqlet_cli --demo\n";
   return 2;
@@ -238,10 +239,18 @@ int main(int argc, char** argv) {
     } else if (options.run == "sql-tuple") {
       result = compiler.RunOnSql(program, &db,
                                  raqlet::engine::SqlMode::kTuplePipeline);
-    } else if (options.run == "graph" && have_pgir) {
+    } else if ((options.run == "graph" || options.run == "graph-rows") &&
+               have_pgir) {
       auto store = compiler.BuildGraphStore(db);
       if (!store.ok()) return Fail(store.status());
-      result = compiler.RunOnGraph(unit.pgir, *store, &db);
+      raqlet::engine::GraphOptions graph_options;
+      if (options.run == "graph-rows") {
+        // The historical per-binding interpreter, kept for benchmarking
+        // against the default column-batch executor (same results).
+        graph_options.mode = raqlet::engine::GraphMode::kRowBinding;
+      }
+      result = compiler.RunOnGraph(unit.pgir, *store, &db, nullptr,
+                                   graph_options);
     } else {
       return Usage();
     }

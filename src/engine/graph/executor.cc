@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -9,6 +10,8 @@
 #include <tuple>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "storage/relation.h"
 
 namespace raqlet::engine {
 
@@ -34,67 +37,47 @@ struct ColumnMeta {
   int row_column = -1;     // kEdge: index of the hidden edge-row column
 };
 
-// The clause-by-clause binding table.
-struct BindingTable {
-  std::vector<std::string> columns;
-  std::map<std::string, size_t> index;
-  std::vector<ColumnMeta> meta;
-  std::vector<Tuple> rows;
-
-  int Find(const std::string& name) const {
-    auto it = index.find(name);
-    return it == index.end() ? -1 : static_cast<int>(it->second);
+dlir::CmpOp ToCmpOp(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+      return dlir::CmpOp::kEq;
+    case BinOp::kNe:
+      return dlir::CmpOp::kNe;
+    case BinOp::kLt:
+      return dlir::CmpOp::kLt;
+    case BinOp::kLe:
+      return dlir::CmpOp::kLe;
+    case BinOp::kGt:
+      return dlir::CmpOp::kGt;
+    default:
+      return dlir::CmpOp::kGe;
   }
-  size_t AddColumn(const std::string& name, ColumnMeta m) {
-    index[name] = columns.size();
-    columns.push_back(name);
-    meta.push_back(m);
-    return columns.size() - 1;
-  }
-};
+}
 
-class Execution {
+dlir::ArithOp ToArithOp(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return dlir::ArithOp::kAdd;
+    case BinOp::kSub:
+      return dlir::ArithOp::kSub;
+    case BinOp::kMul:
+      return dlir::ArithOp::kMul;
+    case BinOp::kDiv:
+      return dlir::ArithOp::kDiv;
+    default:
+      return dlir::ArithOp::kMod;
+  }
+}
+
+// Traversal machinery shared by both binding-table representations:
+// direction-aware neighbour walks, the memoized >=1-step reachability
+// closure, and the BFS variants for bounded/shortest variable-length
+// patterns. Memoization lives here so a query pays for each closure once
+// regardless of which executor asked for it.
+class Traversals {
  public:
-  Execution(const GraphStore& store, const schema::DlSchema& dl, Database* db,
-            GraphStats* stats)
-      : store_(store), dl_(dl), db_(db), stats_(stats) {}
-
-  Result<ResultTable> Run(const PgirQuery& query) {
-    table_.rows.push_back({});  // one empty binding
-    for (const pgir::Op& op : query.ops) {
-      if (const auto* match = std::get_if<MatchOp>(&op)) {
-        RAQLET_RETURN_IF_ERROR(ExecMatch(*match));
-      } else if (const auto* where = std::get_if<WhereOp>(&op)) {
-        RAQLET_RETURN_IF_ERROR(ExecWhere(*where));
-      } else if (const auto* with = std::get_if<WithOp>(&op)) {
-        RAQLET_RETURN_IF_ERROR(ExecProjection(with->items, with->distinct,
-                                              /*is_return=*/false));
-      } else if (const auto* ret = std::get_if<ReturnOp>(&op)) {
-        RAQLET_RETURN_IF_ERROR(
-            ExecProjection(ret->items, ret->distinct, /*is_return=*/true));
-      }
-    }
-    ResultTable result;
-    result.columns = table_.columns;
-    result.rows = std::move(table_.rows);
-    return result;
-  }
-
- private:
-  // ---- MATCH ----
-
-  Status CheckNode(const NodePat& node, bool* known) {
-    int col = table_.Find(node.id);
-    *known = col >= 0;
-    if (!*known && node.label.empty()) {
-      return Status::Unsupported("unlabeled node pattern introduces '" +
-                                 node.id + "'");
-    }
-    if (!node.label.empty() && dl_.FindNode(node.label) == nullptr) {
-      return Status::NotFound("no node type with label '" + node.label + "'");
-    }
-    return Status::OK();
-  }
+  Traversals(const GraphStore& store, GraphStats* stats)
+      : store_(store), stats_(stats) {}
 
   // Neighbour expansion respecting direction.
   void ForEachNeighbor(const std::string& edge_label, int64_t node,
@@ -115,174 +98,11 @@ class Execution {
     }
   }
 
-  Status ExecMatch(const MatchOp& match) {
-    for (const EdgePat& edge : match.edges) {
-      if (edge.variable_length || edge.shortest) {
-        RAQLET_RETURN_IF_ERROR(ExpandRecursive(edge));
-      } else {
-        RAQLET_RETURN_IF_ERROR(ExpandSimple(edge));
-      }
-    }
-    for (const NodePat& node : match.nodes) {
-      RAQLET_RETURN_IF_ERROR(ExpandLoneNode(node));
-    }
-    return Status::OK();
-  }
-
-  Status ExpandLoneNode(const NodePat& node) {
-    bool known = false;
-    RAQLET_RETURN_IF_ERROR(CheckNode(node, &known));
-    if (known) {
-      // Label filter on the existing binding.
-      if (node.label.empty()) return Status::OK();
-      size_t col = static_cast<size_t>(table_.Find(node.id));
-      std::vector<Tuple> kept;
-      for (Tuple& row : table_.rows) {
-        if (store_.HasLabel(node.label, row[col].AsNumber())) {
-          kept.push_back(std::move(row));
-        }
-      }
-      table_.rows = std::move(kept);
-      return Status::OK();
-    }
-    size_t col = table_.AddColumn(node.id, {ColumnMeta::kNode, node.label, -1});
-    (void)col;
-    std::vector<Tuple> next;
-    for (const Tuple& row : table_.rows) {
-      for (int64_t id : store_.NodesWithLabel(node.label)) {
-        Tuple extended = row;
-        extended.push_back(Value::Number(id));
-        next.push_back(std::move(extended));
-        if (stats_ != nullptr) ++stats_->rows_expanded;
-      }
-    }
-    table_.rows = std::move(next);
-    return Status::OK();
-  }
-
-  // Resolves endpoint label checks after traversal.
-  bool EndpointOk(const NodePat& node, int64_t id) const {
-    return node.label.empty() || store_.HasLabel(node.label, id);
-  }
-
-  Status ExpandSimple(const EdgePat& edge) {
-    const schema::EdgeRelationInfo* info = dl_.FindEdge(edge.label);
-    if (info == nullptr) {
-      return Status::NotFound("no edge type with label '" + edge.label + "'");
-    }
-    bool src_known = false;
-    bool dst_known = false;
-    RAQLET_RETURN_IF_ERROR(CheckNode(edge.src, &src_known));
-    RAQLET_RETURN_IF_ERROR(CheckNode(edge.dst, &dst_known));
-
-    int src_col = table_.Find(edge.src.id);
-    int dst_col = table_.Find(edge.dst.id);
-
-    // New columns for unbound endpoints and the edge binding.
-    std::vector<std::string> new_cols;
-    if (!src_known) {
-      table_.AddColumn(edge.src.id, {ColumnMeta::kNode, edge.src.label, -1});
-    }
-    if (!dst_known && edge.dst.id != edge.src.id) {
-      table_.AddColumn(edge.dst.id, {ColumnMeta::kNode, edge.dst.label, -1});
-    }
-    bool bind_edge = info->PropertyColumn("id") >= 0 &&
-                     edge.direction != EdgeDirection::kUndirected &&
-                     table_.Find(edge.id) < 0;
-    int edge_row_col = -1;
-    if (bind_edge) {
-      edge_row_col = static_cast<int>(table_.columns.size()) + 1;
-      table_.AddColumn(edge.id,
-                       {ColumnMeta::kEdge, edge.label, edge_row_col});
-      table_.AddColumn("__row_" + edge.id, {ColumnMeta::kValue, "", -1});
-    }
-
-    const std::string upper = schema::ToUpperSnake(edge.label);
-    int id_prop_col = info->PropertyColumn("id");
-    std::vector<Tuple> next;
-    auto emit = [&](const Tuple& base, int64_t src_id, int64_t dst_id,
-                    uint32_t edge_row) {
-      if (!EndpointOk(edge.src, src_id) || !EndpointOk(edge.dst, dst_id)) {
-        return;
-      }
-      Tuple row = base;
-      if (!src_known) row.push_back(Value::Number(src_id));
-      if (!dst_known && edge.dst.id != edge.src.id) {
-        row.push_back(Value::Number(dst_id));
-      } else if (!dst_known && edge.dst.id == edge.src.id &&
-                 src_id != dst_id) {
-        return;  // (a)-[:X]->(a): self loop required
-      }
-      if (dst_known || edge.dst.id == edge.src.id) {
-        // endpoint equality enforced by caller checks below
-      }
-      if (bind_edge) {
-        const Tuple& edge_tuple = *store_.EdgeRow(upper, edge_row).value();
-        row.push_back(edge_tuple[static_cast<size_t>(id_prop_col)]);
-        row.push_back(Value::Number(edge_row));
-      }
-      next.push_back(std::move(row));
-      if (stats_ != nullptr) ++stats_->rows_expanded;
-    };
-
-    for (const Tuple& row : table_.rows) {
-      std::optional<int64_t> src_val;
-      std::optional<int64_t> dst_val;
-      if (src_known) src_val = row[static_cast<size_t>(src_col)].AsNumber();
-      if (dst_known) dst_val = row[static_cast<size_t>(dst_col)].AsNumber();
-
-      // Deduplicate undirected self-loop double visits.
-      std::set<std::pair<int64_t, uint32_t>> seen;
-      auto visit = [&](int64_t from, const GraphStore::Neighbor& nb) {
-        if (!seen.insert({nb.node, nb.edge_row}).second) return;
-        if (dst_val.has_value() && nb.node != *dst_val) return;
-        if (edge.dst.id == edge.src.id && !dst_known && nb.node != from) {
-          return;  // repeated identifier within the pattern
-        }
-        emit(row, from, nb.node, nb.edge_row);
-      };
-
-      if (src_val.has_value()) {
-        ForEachNeighbor(upper, *src_val, edge.direction, /*reverse=*/false,
-                        [&](const GraphStore::Neighbor& nb) {
-                          visit(*src_val, nb);
-                        });
-      } else if (dst_val.has_value()) {
-        // Traverse backwards, binding the source.
-        ForEachNeighbor(upper, *dst_val, edge.direction, /*reverse=*/true,
-                        [&](const GraphStore::Neighbor& nb) {
-                          seen.clear();
-                          if (dst_val.has_value()) {
-                            // nb.node is the source here.
-                            emit(row, nb.node, *dst_val, nb.edge_row);
-                          }
-                        });
-      } else {
-        // Neither endpoint bound: scan source label (or all labeled nodes
-        // of the schema endpoint).
-        std::string scan_label = !edge.src.label.empty()
-                                     ? edge.src.label
-                                     : info->src_label;
-        for (int64_t id : store_.NodesWithLabel(scan_label)) {
-          seen.clear();
-          ForEachNeighbor(upper, id, edge.direction, /*reverse=*/false,
-                          [&](const GraphStore::Neighbor& nb) {
-                            visit(id, nb);
-                          });
-        }
-      }
-    }
-    table_.rows = std::move(next);
-    return Status::OK();
-  }
-
   // Memoized >=1-step reachability closure, keyed per (edge label,
   // direction, reverse) traversal and shared across every start node of
-  // the query — the ROADMAP "shared visited-set frontier" quick win that
-  // replaces the per-binding BFS restart. Once closure(m) is complete,
-  // any later traversal that reaches m unions the cached set instead of
-  // re-walking m's out-edges (closure sets are transitively closed, so
-  // their members never need expanding either).
+  // the query — a traversal that reaches an already-closed node unions
+  // the cached set instead of re-walking (closure sets are transitively
+  // closed, so their members never need expanding either).
   using NodeSet = std::unordered_set<int64_t>;
   const NodeSet& Closure(const std::string& upper, EdgeDirection direction,
                          bool reverse, int64_t start) const {
@@ -311,6 +131,23 @@ class Execution {
     return *memo.emplace(start, std::move(result)).first->second;
   }
 
+  // Sorted view of Closure(start), cached so repeated bindings with the
+  // same start do not re-sort (the deterministic emit order of unbounded
+  // reachability is ascending node id).
+  const std::vector<int64_t>& SortedClosure(const std::string& upper,
+                                            EdgeDirection direction,
+                                            bool reverse,
+                                            int64_t start) const {
+    auto& memo =
+        sorted_memos_[{upper, static_cast<int>(direction), reverse}];
+    auto hit = memo.find(start);
+    if (hit != memo.end()) return hit->second;
+    const NodeSet& closed = Closure(upper, direction, reverse, start);
+    std::vector<int64_t> sorted(closed.begin(), closed.end());
+    std::sort(sorted.begin(), sorted.end());
+    return memo.emplace(start, std::move(sorted)).first->second;
+  }
+
   // BFS over (node, depth) states, mirroring the DLIR walk semantics.
   // Returns reachable nodes with qualifying depths in [min_hops, max_hops]
   // (max < 0 = unbounded), or min distances when `shortest`.
@@ -325,10 +162,10 @@ class Execution {
       // Plain unbounded reachability: no caller consumes the depths (the
       // emit path only reads them for shortest-path length bindings), so
       // serve the memoized closure. Sorted for a deterministic row order.
-      const NodeSet& closed = Closure(upper, direction, reverse, start);
+      const std::vector<int64_t>& closed =
+          SortedClosure(upper, direction, reverse, start);
       out.reserve(closed.size() + 1);
       for (int64_t node : closed) out.emplace_back(node, 1);
-      std::sort(out.begin(), out.end());
       if (min_hops == 0) out.emplace_back(start, 0);
       return out;
     }
@@ -405,6 +242,247 @@ class Execution {
     return {result.begin(), result.end()};
   }
 
+ private:
+  const GraphStore& store_;
+  GraphStats* stats_;
+  // Completed reachability closures per traversal signature; see Closure.
+  mutable std::map<std::tuple<std::string, int, bool>,
+                   std::unordered_map<int64_t, std::unique_ptr<NodeSet>>>
+      closure_memos_;
+  mutable std::map<std::tuple<std::string, int, bool>,
+                   std::unordered_map<int64_t, std::vector<int64_t>>>
+      sorted_memos_;
+};
+
+// ---------------------------------------------------------------------------
+// kRowBinding: the historical per-binding interpreter. The binding table is
+// a vector of row tuples; every MATCH step copies and extends whole rows one
+// binding at a time. Kept verbatim as the paper's Table 1 per-binding
+// stand-in and as the reference the batch mode is differentially tested
+// against (cross_engine_test.cc asserts exact row-order equality).
+// ---------------------------------------------------------------------------
+
+// The clause-by-clause binding table.
+struct BindingTable {
+  std::vector<std::string> columns;
+  std::map<std::string, size_t> index;
+  std::vector<ColumnMeta> meta;
+  std::vector<Tuple> rows;
+
+  int Find(const std::string& name) const {
+    auto it = index.find(name);
+    return it == index.end() ? -1 : static_cast<int>(it->second);
+  }
+  size_t AddColumn(const std::string& name, ColumnMeta m) {
+    index[name] = columns.size();
+    columns.push_back(name);
+    meta.push_back(m);
+    return columns.size() - 1;
+  }
+};
+
+class RowExecution {
+ public:
+  RowExecution(const GraphStore& store, const schema::DlSchema& dl,
+               Database* db, GraphStats* stats)
+      : store_(store), dl_(dl), db_(db), stats_(stats), trav_(store, stats) {}
+
+  Result<ResultTable> Run(const PgirQuery& query) {
+    table_.rows.push_back({});  // one empty binding
+    for (const pgir::Op& op : query.ops) {
+      if (const auto* match = std::get_if<MatchOp>(&op)) {
+        RAQLET_RETURN_IF_ERROR(ExecMatch(*match));
+      } else if (const auto* where = std::get_if<WhereOp>(&op)) {
+        RAQLET_RETURN_IF_ERROR(ExecWhere(*where));
+      } else if (const auto* with = std::get_if<WithOp>(&op)) {
+        RAQLET_RETURN_IF_ERROR(ExecProjection(with->items, with->distinct,
+                                              /*is_return=*/false));
+      } else if (const auto* ret = std::get_if<ReturnOp>(&op)) {
+        RAQLET_RETURN_IF_ERROR(
+            ExecProjection(ret->items, ret->distinct, /*is_return=*/true));
+      }
+    }
+    ResultTable result;
+    result.columns = table_.columns;
+    result.rows = std::move(table_.rows);
+    return result;
+  }
+
+ private:
+  // ---- MATCH ----
+
+  Status CheckNode(const NodePat& node, bool* known) {
+    int col = table_.Find(node.id);
+    *known = col >= 0;
+    if (!*known && node.label.empty()) {
+      return Status::Unsupported("unlabeled node pattern introduces '" +
+                                 node.id + "'");
+    }
+    if (!node.label.empty() && dl_.FindNode(node.label) == nullptr) {
+      return Status::NotFound("no node type with label '" + node.label + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ExecMatch(const MatchOp& match) {
+    for (const EdgePat& edge : match.edges) {
+      if (edge.variable_length || edge.shortest) {
+        RAQLET_RETURN_IF_ERROR(ExpandRecursive(edge));
+      } else {
+        RAQLET_RETURN_IF_ERROR(ExpandSimple(edge));
+      }
+    }
+    for (const NodePat& node : match.nodes) {
+      RAQLET_RETURN_IF_ERROR(ExpandLoneNode(node));
+    }
+    return Status::OK();
+  }
+
+  Status ExpandLoneNode(const NodePat& node) {
+    bool known = false;
+    RAQLET_RETURN_IF_ERROR(CheckNode(node, &known));
+    if (known) {
+      // Label filter on the existing binding.
+      if (node.label.empty()) return Status::OK();
+      size_t col = static_cast<size_t>(table_.Find(node.id));
+      std::vector<Tuple> kept;
+      for (Tuple& row : table_.rows) {
+        if (store_.HasLabel(node.label, row[col].AsNumber())) {
+          kept.push_back(std::move(row));
+        }
+      }
+      table_.rows = std::move(kept);
+      return Status::OK();
+    }
+    size_t col = table_.AddColumn(node.id, {ColumnMeta::kNode, node.label, -1});
+    (void)col;
+    std::vector<Tuple> next;
+    for (const Tuple& row : table_.rows) {
+      for (int64_t id : store_.NodesWithLabel(node.label)) {
+        Tuple extended = row;
+        extended.push_back(Value::Number(id));
+        next.push_back(std::move(extended));
+        if (stats_ != nullptr) ++stats_->rows_expanded;
+      }
+    }
+    table_.rows = std::move(next);
+    return Status::OK();
+  }
+
+  // Resolves endpoint label checks after traversal.
+  bool EndpointOk(const NodePat& node, int64_t id) const {
+    return node.label.empty() || store_.HasLabel(node.label, id);
+  }
+
+  Status ExpandSimple(const EdgePat& edge) {
+    const schema::EdgeRelationInfo* info = dl_.FindEdge(edge.label);
+    if (info == nullptr) {
+      return Status::NotFound("no edge type with label '" + edge.label + "'");
+    }
+    bool src_known = false;
+    bool dst_known = false;
+    RAQLET_RETURN_IF_ERROR(CheckNode(edge.src, &src_known));
+    RAQLET_RETURN_IF_ERROR(CheckNode(edge.dst, &dst_known));
+
+    int src_col = table_.Find(edge.src.id);
+    int dst_col = table_.Find(edge.dst.id);
+
+    // New columns for unbound endpoints and the edge binding.
+    if (!src_known) {
+      table_.AddColumn(edge.src.id, {ColumnMeta::kNode, edge.src.label, -1});
+    }
+    if (!dst_known && edge.dst.id != edge.src.id) {
+      table_.AddColumn(edge.dst.id, {ColumnMeta::kNode, edge.dst.label, -1});
+    }
+    bool bind_edge = info->PropertyColumn("id") >= 0 &&
+                     edge.direction != EdgeDirection::kUndirected &&
+                     table_.Find(edge.id) < 0;
+    int edge_row_col = -1;
+    if (bind_edge) {
+      edge_row_col = static_cast<int>(table_.columns.size()) + 1;
+      table_.AddColumn(edge.id,
+                       {ColumnMeta::kEdge, edge.label, edge_row_col});
+      table_.AddColumn("__row_" + edge.id, {ColumnMeta::kValue, "", -1});
+    }
+
+    const std::string upper = schema::ToUpperSnake(edge.label);
+    int id_prop_col = info->PropertyColumn("id");
+    std::vector<Tuple> next;
+    auto emit = [&](const Tuple& base, int64_t src_id, int64_t dst_id,
+                    uint32_t edge_row) {
+      if (!EndpointOk(edge.src, src_id) || !EndpointOk(edge.dst, dst_id)) {
+        return;
+      }
+      Tuple row = base;
+      if (!src_known) row.push_back(Value::Number(src_id));
+      if (!dst_known && edge.dst.id != edge.src.id) {
+        row.push_back(Value::Number(dst_id));
+      } else if (!dst_known && edge.dst.id == edge.src.id &&
+                 src_id != dst_id) {
+        return;  // (a)-[:X]->(a): self loop required
+      }
+      if (bind_edge) {
+        const Tuple& edge_tuple = *store_.EdgeRow(upper, edge_row).value();
+        row.push_back(edge_tuple[static_cast<size_t>(id_prop_col)]);
+        row.push_back(Value::Number(edge_row));
+      }
+      next.push_back(std::move(row));
+      if (stats_ != nullptr) ++stats_->rows_expanded;
+    };
+
+    for (const Tuple& row : table_.rows) {
+      std::optional<int64_t> src_val;
+      std::optional<int64_t> dst_val;
+      if (src_known) src_val = row[static_cast<size_t>(src_col)].AsNumber();
+      if (dst_known) dst_val = row[static_cast<size_t>(dst_col)].AsNumber();
+
+      // Deduplicate undirected self-loop double visits.
+      std::set<std::pair<int64_t, uint32_t>> seen;
+      auto visit = [&](int64_t from, const GraphStore::Neighbor& nb) {
+        if (!seen.insert({nb.node, nb.edge_row}).second) return;
+        if (dst_val.has_value() && nb.node != *dst_val) return;
+        if (edge.dst.id == edge.src.id && !dst_known && nb.node != from) {
+          return;  // repeated identifier within the pattern
+        }
+        emit(row, from, nb.node, nb.edge_row);
+      };
+
+      if (src_val.has_value()) {
+        trav_.ForEachNeighbor(upper, *src_val, edge.direction,
+                              /*reverse=*/false,
+                              [&](const GraphStore::Neighbor& nb) {
+                                visit(*src_val, nb);
+                              });
+      } else if (dst_val.has_value()) {
+        // Traverse backwards, binding the source.
+        trav_.ForEachNeighbor(upper, *dst_val, edge.direction,
+                              /*reverse=*/true,
+                              [&](const GraphStore::Neighbor& nb) {
+                                seen.clear();
+                                if (dst_val.has_value()) {
+                                  // nb.node is the source here.
+                                  emit(row, nb.node, *dst_val, nb.edge_row);
+                                }
+                              });
+      } else {
+        // Neither endpoint bound: scan source label (or all labeled nodes
+        // of the schema endpoint).
+        std::string scan_label = !edge.src.label.empty()
+                                     ? edge.src.label
+                                     : info->src_label;
+        for (int64_t id : store_.NodesWithLabel(scan_label)) {
+          seen.clear();
+          trav_.ForEachNeighbor(upper, id, edge.direction, /*reverse=*/false,
+                                [&](const GraphStore::Neighbor& nb) {
+                                  visit(id, nb);
+                                });
+        }
+      }
+    }
+    table_.rows = std::move(next);
+    return Status::OK();
+  }
+
   Status ExpandRecursive(const EdgePat& edge) {
     const schema::EdgeRelationInfo* info = dl_.FindEdge(edge.label);
     if (info == nullptr) {
@@ -451,8 +529,9 @@ class Execution {
       if (dst_known) dst_val = row[static_cast<size_t>(dst_col)].AsNumber();
 
       auto run_from = [&](int64_t start) {
-        auto reached = Bfs(upper, start, edge.direction, /*reverse=*/false,
-                           edge.min_hops, edge.max_hops, edge.shortest);
+        auto reached = trav_.Bfs(upper, start, edge.direction,
+                                 /*reverse=*/false, edge.min_hops,
+                                 edge.max_hops, edge.shortest);
         std::set<std::pair<int64_t, int64_t>> dedup;
         for (const auto& [node, d] : reached) {
           if (dst_val.has_value() && node != *dst_val) continue;
@@ -468,8 +547,9 @@ class Execution {
         run_from(*src_val);
       } else if (dst_val.has_value()) {
         // Reverse BFS from the destination.
-        auto reached = Bfs(upper, *dst_val, edge.direction, /*reverse=*/true,
-                           edge.min_hops, edge.max_hops, edge.shortest);
+        auto reached = trav_.Bfs(upper, *dst_val, edge.direction,
+                                 /*reverse=*/true, edge.min_hops,
+                                 edge.max_hops, edge.shortest);
         std::set<int64_t> dedup;
         for (const auto& [node, d] : reached) {
           if (edge.shortest) {
@@ -546,51 +626,13 @@ class Execution {
           case BinOp::kGe: {
             RAQLET_ASSIGN_OR_RETURN(Value lhs, Eval(expr.children[0], row));
             RAQLET_ASSIGN_OR_RETURN(Value rhs, Eval(expr.children[1], row));
-            dlir::CmpOp op;
-            switch (expr.bin_op) {
-              case BinOp::kEq:
-                op = dlir::CmpOp::kEq;
-                break;
-              case BinOp::kNe:
-                op = dlir::CmpOp::kNe;
-                break;
-              case BinOp::kLt:
-                op = dlir::CmpOp::kLt;
-                break;
-              case BinOp::kLe:
-                op = dlir::CmpOp::kLe;
-                break;
-              case BinOp::kGt:
-                op = dlir::CmpOp::kGt;
-                break;
-              default:
-                op = dlir::CmpOp::kGe;
-                break;
-            }
-            return Value::Bool(CheckCmp(op, lhs, rhs, db_->symbols()));
+            return Value::Bool(
+                CheckCmp(ToCmpOp(expr.bin_op), lhs, rhs, db_->symbols()));
           }
           default: {
             RAQLET_ASSIGN_OR_RETURN(Value lhs, Eval(expr.children[0], row));
             RAQLET_ASSIGN_OR_RETURN(Value rhs, Eval(expr.children[1], row));
-            dlir::ArithOp op;
-            switch (expr.bin_op) {
-              case BinOp::kAdd:
-                op = dlir::ArithOp::kAdd;
-                break;
-              case BinOp::kSub:
-                op = dlir::ArithOp::kSub;
-                break;
-              case BinOp::kMul:
-                op = dlir::ArithOp::kMul;
-                break;
-              case BinOp::kDiv:
-                op = dlir::ArithOp::kDiv;
-                break;
-              default:
-                op = dlir::ArithOp::kMod;
-                break;
-            }
-            return EvalArith(op, lhs, rhs);
+            return EvalArith(ToArithOp(expr.bin_op), lhs, rhs);
           }
         }
       }
@@ -783,17 +825,975 @@ class Execution {
   Database* db_;
   GraphStats* stats_;
   BindingTable table_;
-  // Completed reachability closures per traversal signature; see Closure.
-  mutable std::map<std::tuple<std::string, int, bool>,
-                   std::unordered_map<int64_t, std::unique_ptr<NodeSet>>>
-      closure_memos_;
+  Traversals trav_;
+};
+
+// ---------------------------------------------------------------------------
+// kColumnBatch: the columnar binding table. One Value column per bound
+// variable; MATCH expansion records, per emitted binding, only the index of
+// its source row plus the newly-bound values, then gathers every prior
+// column through that selection in one pass per column — no per-match row
+// copy, no per-row allocation. WHERE compacts via a selection mask,
+// projection evaluates items column-at-a-time, and DISTINCT dedups once per
+// batch through Relation::InsertBatch. Row order is bit-identical to the
+// row-binding interpreter (asserted by cross_engine_test.cc).
+// ---------------------------------------------------------------------------
+
+struct BindingBatch {
+  std::vector<std::string> columns;
+  std::map<std::string, size_t> index;
+  std::vector<ColumnMeta> meta;
+  std::vector<std::vector<Value>> cols;  // one vector per column
+  size_t rows = 0;
+
+  int Find(const std::string& name) const {
+    auto it = index.find(name);
+    return it == index.end() ? -1 : static_cast<int>(it->second);
+  }
+  size_t AddColumn(const std::string& name, ColumnMeta m) {
+    index[name] = columns.size();
+    columns.push_back(name);
+    meta.push_back(m);
+    cols.emplace_back();
+    return columns.size() - 1;
+  }
+};
+
+class BatchExecution {
+ public:
+  BatchExecution(const GraphStore& store, const schema::DlSchema& dl,
+                 Database* db, GraphStats* stats)
+      : store_(store), dl_(dl), db_(db), stats_(stats), trav_(store, stats) {}
+
+  Result<ResultTable> Run(const PgirQuery& query) {
+    table_.rows = 1;  // one empty binding
+    for (const pgir::Op& op : query.ops) {
+      EnsureColumnar();
+      if (const auto* match = std::get_if<MatchOp>(&op)) {
+        RAQLET_RETURN_IF_ERROR(ExecMatch(*match));
+      } else if (const auto* where = std::get_if<WhereOp>(&op)) {
+        RAQLET_RETURN_IF_ERROR(ExecWhere(*where));
+      } else if (const auto* with = std::get_if<WithOp>(&op)) {
+        RAQLET_RETURN_IF_ERROR(ExecProjection(with->items, with->distinct,
+                                              /*is_return=*/false));
+      } else if (const auto* ret = std::get_if<ReturnOp>(&op)) {
+        RAQLET_RETURN_IF_ERROR(
+            ExecProjection(ret->items, ret->distinct, /*is_return=*/true));
+      }
+    }
+    ResultTable result;
+    result.columns = table_.columns;
+    if (have_result_rows_) {
+      result.rows = std::move(result_rows_);
+    } else {
+      result.rows = Materialize();
+    }
+    return result;
+  }
+
+ private:
+  // A column expression over the batch: either a borrowed column (one
+  // value per batch row) or a broadcast scalar. Computed intermediates
+  // live in an EvalScratch deque so borrowed pointers stay stable.
+  struct BCol {
+    const std::vector<Value>* col = nullptr;
+    Value scalar;
+    const Value& at(size_t i) const {
+      return col != nullptr ? (*col)[i] : scalar;
+    }
+  };
+  using EvalScratch = std::deque<std::vector<Value>>;
+
+  // ---- batch plumbing ----
+
+  // Projection/aggregation paths that dedup through a Relation hand the
+  // result back as row tuples; re-transpose lazily if another clause
+  // follows (RETURN is last in every real query, so this is free).
+  void EnsureColumnar() {
+    if (!have_result_rows_) return;
+    table_.cols.assign(table_.columns.size(), {});
+    for (size_t c = 0; c < table_.columns.size(); ++c) {
+      std::vector<Value>& col = table_.cols[c];
+      col.resize(result_rows_.size());
+      for (size_t i = 0; i < result_rows_.size(); ++i) {
+        col[i] = c < result_rows_[i].size() ? result_rows_[i][c] : Value();
+      }
+    }
+    table_.rows = result_rows_.size();
+    result_rows_.clear();
+    have_result_rows_ = false;
+  }
+
+  std::vector<Tuple> Materialize() const {
+    std::vector<Tuple> rows(table_.rows);
+    for (size_t i = 0; i < table_.rows; ++i) {
+      Tuple& t = rows[i];
+      t.reserve(table_.cols.size());
+      for (const std::vector<Value>& col : table_.cols) {
+        t.push_back(i < col.size() ? col[i] : Value());
+      }
+    }
+    return rows;
+  }
+
+  // Gathers the pre-expansion columns through the match selection `src`
+  // (one pass per column) and installs the columns this clause appended.
+  // `appended` must hold exactly the vectors for columns registered after
+  // `prior_ncols`, in registration order.
+  void InstallExpansion(size_t prior_ncols, const std::vector<uint32_t>& src,
+                        std::vector<std::vector<Value>> appended) {
+    for (size_t c = 0; c < prior_ncols; ++c) {
+      const std::vector<Value>& old = table_.cols[c];
+      std::vector<Value> gathered(src.size());
+      for (size_t k = 0; k < src.size(); ++k) gathered[k] = old[src[k]];
+      table_.cols[c] = std::move(gathered);
+    }
+    for (size_t k = 0; k < appended.size(); ++k) {
+      table_.cols[prior_ncols + k] = std::move(appended[k]);
+    }
+    table_.rows = src.size();
+  }
+
+  // Drops batch rows whose keep flag is 0, compacting every column in
+  // place (stable).
+  void CompactBatch(const std::vector<char>& keep) {
+    size_t kept = 0;
+    for (size_t i = 0; i < table_.rows; ++i) kept += keep[i] != 0;
+    if (kept == table_.rows) return;
+    for (std::vector<Value>& col : table_.cols) {
+      if (col.size() != table_.rows) continue;
+      size_t w = 0;
+      for (size_t i = 0; i < col.size(); ++i) {
+        if (keep[i]) col[w++] = col[i];
+      }
+      col.resize(w);
+    }
+    table_.rows = kept;
+  }
+
+  // ---- MATCH ----
+
+  Status CheckNode(const NodePat& node, bool* known) {
+    int col = table_.Find(node.id);
+    *known = col >= 0;
+    if (!*known && node.label.empty()) {
+      return Status::Unsupported("unlabeled node pattern introduces '" +
+                                 node.id + "'");
+    }
+    if (!node.label.empty() && dl_.FindNode(node.label) == nullptr) {
+      return Status::NotFound("no node type with label '" + node.label + "'");
+    }
+    return Status::OK();
+  }
+
+  bool EndpointOk(const NodePat& node, int64_t id) const {
+    return node.label.empty() || store_.HasLabel(node.label, id);
+  }
+
+  Status ExecMatch(const MatchOp& match) {
+    for (const EdgePat& edge : match.edges) {
+      if (edge.variable_length || edge.shortest) {
+        RAQLET_RETURN_IF_ERROR(ExpandRecursive(edge));
+      } else {
+        RAQLET_RETURN_IF_ERROR(ExpandSimple(edge));
+      }
+    }
+    for (const NodePat& node : match.nodes) {
+      RAQLET_RETURN_IF_ERROR(ExpandLoneNode(node));
+    }
+    return Status::OK();
+  }
+
+  Status ExpandLoneNode(const NodePat& node) {
+    bool known = false;
+    RAQLET_RETURN_IF_ERROR(CheckNode(node, &known));
+    if (known) {
+      // Label filter on the existing binding: selection-mask compaction.
+      if (node.label.empty()) return Status::OK();
+      const std::vector<Value>& col =
+          table_.cols[static_cast<size_t>(table_.Find(node.id))];
+      std::vector<char> keep(table_.rows);
+      for (size_t i = 0; i < table_.rows; ++i) {
+        keep[i] = store_.HasLabel(node.label, col[i].AsNumber());
+      }
+      CompactBatch(keep);
+      return Status::OK();
+    }
+    const size_t prior_ncols = table_.cols.size();
+    table_.AddColumn(node.id, {ColumnMeta::kNode, node.label, -1});
+    const std::vector<int64_t>& nodes = store_.NodesWithLabel(node.label);
+    std::vector<uint32_t> src;
+    std::vector<Value> vals;
+    src.reserve(table_.rows * nodes.size());
+    vals.reserve(table_.rows * nodes.size());
+    for (size_t i = 0; i < table_.rows; ++i) {
+      for (int64_t id : nodes) {
+        src.push_back(static_cast<uint32_t>(i));
+        vals.push_back(Value::Number(id));
+        if (stats_ != nullptr) ++stats_->rows_expanded;
+      }
+    }
+    std::vector<std::vector<Value>> appended;
+    appended.push_back(std::move(vals));
+    InstallExpansion(prior_ncols, src, std::move(appended));
+    return Status::OK();
+  }
+
+  Status ExpandSimple(const EdgePat& edge) {
+    const schema::EdgeRelationInfo* info = dl_.FindEdge(edge.label);
+    if (info == nullptr) {
+      return Status::NotFound("no edge type with label '" + edge.label + "'");
+    }
+    bool src_known = false;
+    bool dst_known = false;
+    RAQLET_RETURN_IF_ERROR(CheckNode(edge.src, &src_known));
+    RAQLET_RETURN_IF_ERROR(CheckNode(edge.dst, &dst_known));
+
+    int src_col = table_.Find(edge.src.id);
+    int dst_col = table_.Find(edge.dst.id);
+
+    const size_t prior_ncols = table_.cols.size();
+    if (!src_known) {
+      table_.AddColumn(edge.src.id, {ColumnMeta::kNode, edge.src.label, -1});
+    }
+    if (!dst_known && edge.dst.id != edge.src.id) {
+      table_.AddColumn(edge.dst.id, {ColumnMeta::kNode, edge.dst.label, -1});
+    }
+    bool bind_edge = info->PropertyColumn("id") >= 0 &&
+                     edge.direction != EdgeDirection::kUndirected &&
+                     table_.Find(edge.id) < 0;
+    if (bind_edge) {
+      int edge_row_col = static_cast<int>(table_.columns.size()) + 1;
+      table_.AddColumn(edge.id,
+                       {ColumnMeta::kEdge, edge.label, edge_row_col});
+      table_.AddColumn("__row_" + edge.id, {ColumnMeta::kValue, "", -1});
+    }
+
+    const std::string upper = schema::ToUpperSnake(edge.label);
+    int id_prop_col = info->PropertyColumn("id");
+
+    // Per-match output: the source-row selection plus one vector per
+    // newly-bound column. Prior columns are gathered once at the end.
+    std::vector<uint32_t> match_src;
+    std::vector<Value> col_src;
+    std::vector<Value> col_dst;
+    std::vector<Value> col_edge;
+    std::vector<Value> col_erow;
+    auto emit = [&](size_t row_i, int64_t src_id, int64_t dst_id,
+                    uint32_t edge_row) {
+      if (!EndpointOk(edge.src, src_id) || !EndpointOk(edge.dst, dst_id)) {
+        return;
+      }
+      if (!dst_known && edge.dst.id == edge.src.id && src_id != dst_id) {
+        return;  // (a)-[:X]->(a): self loop required
+      }
+      match_src.push_back(static_cast<uint32_t>(row_i));
+      if (!src_known) col_src.push_back(Value::Number(src_id));
+      if (!dst_known && edge.dst.id != edge.src.id) {
+        col_dst.push_back(Value::Number(dst_id));
+      }
+      if (bind_edge) {
+        const Tuple& edge_tuple = *store_.EdgeRow(upper, edge_row).value();
+        col_edge.push_back(edge_tuple[static_cast<size_t>(id_prop_col)]);
+        col_erow.push_back(Value::Number(edge_row));
+      }
+      if (stats_ != nullptr) ++stats_->rows_expanded;
+    };
+
+    std::set<std::pair<int64_t, uint32_t>> seen;
+    for (size_t i = 0; i < table_.rows; ++i) {
+      std::optional<int64_t> src_val;
+      std::optional<int64_t> dst_val;
+      if (src_known) {
+        src_val = table_.cols[static_cast<size_t>(src_col)][i].AsNumber();
+      }
+      if (dst_known) {
+        dst_val = table_.cols[static_cast<size_t>(dst_col)][i].AsNumber();
+      }
+
+      // Deduplicate undirected self-loop double visits.
+      seen.clear();
+      auto visit = [&](int64_t from, const GraphStore::Neighbor& nb) {
+        if (!seen.insert({nb.node, nb.edge_row}).second) return;
+        if (dst_val.has_value() && nb.node != *dst_val) return;
+        if (edge.dst.id == edge.src.id && !dst_known && nb.node != from) {
+          return;  // repeated identifier within the pattern
+        }
+        emit(i, from, nb.node, nb.edge_row);
+      };
+
+      if (src_val.has_value()) {
+        trav_.ForEachNeighbor(upper, *src_val, edge.direction,
+                              /*reverse=*/false,
+                              [&](const GraphStore::Neighbor& nb) {
+                                visit(*src_val, nb);
+                              });
+      } else if (dst_val.has_value()) {
+        // Traverse backwards, binding the source.
+        trav_.ForEachNeighbor(upper, *dst_val, edge.direction,
+                              /*reverse=*/true,
+                              [&](const GraphStore::Neighbor& nb) {
+                                // nb.node is the source here.
+                                emit(i, nb.node, *dst_val, nb.edge_row);
+                              });
+      } else {
+        // Neither endpoint bound: scan source label (or all labeled nodes
+        // of the schema endpoint).
+        std::string scan_label = !edge.src.label.empty()
+                                     ? edge.src.label
+                                     : info->src_label;
+        for (int64_t id : store_.NodesWithLabel(scan_label)) {
+          seen.clear();
+          trav_.ForEachNeighbor(upper, id, edge.direction, /*reverse=*/false,
+                                [&](const GraphStore::Neighbor& nb) {
+                                  visit(id, nb);
+                                });
+        }
+      }
+    }
+
+    std::vector<std::vector<Value>> appended;
+    if (!src_known) appended.push_back(std::move(col_src));
+    if (!dst_known && edge.dst.id != edge.src.id) {
+      appended.push_back(std::move(col_dst));
+    }
+    if (bind_edge) {
+      appended.push_back(std::move(col_edge));
+      appended.push_back(std::move(col_erow));
+    }
+    InstallExpansion(prior_ncols, match_src, std::move(appended));
+    return Status::OK();
+  }
+
+  Status ExpandRecursive(const EdgePat& edge) {
+    const schema::EdgeRelationInfo* info = dl_.FindEdge(edge.label);
+    if (info == nullptr) {
+      return Status::NotFound("no edge type with label '" + edge.label + "'");
+    }
+    const std::string upper = schema::ToUpperSnake(edge.label);
+    bool src_known = false;
+    bool dst_known = false;
+    RAQLET_RETURN_IF_ERROR(CheckNode(edge.src, &src_known));
+    RAQLET_RETURN_IF_ERROR(CheckNode(edge.dst, &dst_known));
+    int src_col = table_.Find(edge.src.id);
+    int dst_col = table_.Find(edge.dst.id);
+
+    const size_t prior_ncols = table_.cols.size();
+    if (!src_known) {
+      table_.AddColumn(edge.src.id, {ColumnMeta::kNode, edge.src.label, -1});
+    }
+    if (!dst_known) {
+      table_.AddColumn(edge.dst.id, {ColumnMeta::kNode, edge.dst.label, -1});
+    }
+    bool bind_len = edge.shortest && !edge.path_id.empty();
+    if (bind_len) {
+      table_.AddColumn(edge.path_id + "_len",
+                       {ColumnMeta::kPathLength, "", -1});
+    }
+
+    std::vector<uint32_t> match_src;
+    std::vector<Value> col_src;
+    std::vector<Value> col_dst;
+    std::vector<Value> col_len;
+    auto emit = [&](size_t row_i, int64_t src_id, int64_t dst_id,
+                    int64_t len) {
+      if (!EndpointOk(edge.src, src_id) || !EndpointOk(edge.dst, dst_id)) {
+        return;
+      }
+      match_src.push_back(static_cast<uint32_t>(row_i));
+      if (!src_known) col_src.push_back(Value::Number(src_id));
+      if (!dst_known) col_dst.push_back(Value::Number(dst_id));
+      if (bind_len) col_len.push_back(Value::Number(len));
+      if (stats_ != nullptr) ++stats_->rows_expanded;
+    };
+
+    // Unbounded non-shortest reachability skips the per-row (node, depth)
+    // materialization and set-based dedup entirely: the memoized closure
+    // is already a set, so its sorted members union straight into the
+    // destination column. Equivalent to (and ordered like) the generic
+    // path below.
+    const bool closure_fast =
+        !edge.shortest && edge.max_hops < 0 && edge.min_hops <= 1;
+
+    for (size_t i = 0; i < table_.rows; ++i) {
+      std::optional<int64_t> src_val;
+      std::optional<int64_t> dst_val;
+      if (src_known) {
+        src_val = table_.cols[static_cast<size_t>(src_col)][i].AsNumber();
+      }
+      if (dst_known) {
+        dst_val = table_.cols[static_cast<size_t>(dst_col)][i].AsNumber();
+      }
+
+      auto closure_from = [&](int64_t start) {
+        for (int64_t node :
+             trav_.SortedClosure(upper, edge.direction, false, start)) {
+          if (dst_val.has_value() && node != *dst_val) continue;
+          emit(i, start, node, 1);
+        }
+        if (edge.min_hops == 0 &&
+            (!dst_val.has_value() || *dst_val == start) &&
+            trav_.Closure(upper, edge.direction, false, start)
+                    .count(start) == 0) {
+          emit(i, start, start, 0);
+        }
+      };
+
+      auto run_from = [&](int64_t start) {
+        if (closure_fast) {
+          closure_from(start);
+          return;
+        }
+        auto reached = trav_.Bfs(upper, start, edge.direction,
+                                 /*reverse=*/false, edge.min_hops,
+                                 edge.max_hops, edge.shortest);
+        std::set<std::pair<int64_t, int64_t>> dedup;
+        for (const auto& [node, d] : reached) {
+          if (dst_val.has_value() && node != *dst_val) continue;
+          if (edge.shortest) {
+            emit(i, start, node, d);
+          } else if (dedup.insert({node, 0}).second) {
+            emit(i, start, node, d);  // pair once, any qualifying depth
+          }
+        }
+      };
+
+      if (src_val.has_value()) {
+        run_from(*src_val);
+      } else if (dst_val.has_value()) {
+        // Reverse traversal from the destination, binding sources.
+        if (closure_fast) {
+          for (int64_t node :
+               trav_.SortedClosure(upper, edge.direction, true, *dst_val)) {
+            emit(i, node, *dst_val, 1);
+          }
+          if (edge.min_hops == 0 &&
+              trav_.Closure(upper, edge.direction, true, *dst_val)
+                      .count(*dst_val) == 0) {
+            emit(i, *dst_val, *dst_val, 0);
+          }
+          continue;
+        }
+        auto reached = trav_.Bfs(upper, *dst_val, edge.direction,
+                                 /*reverse=*/true, edge.min_hops,
+                                 edge.max_hops, edge.shortest);
+        std::set<int64_t> dedup;
+        for (const auto& [node, d] : reached) {
+          if (edge.shortest) {
+            emit(i, node, *dst_val, d);
+          } else if (dedup.insert(node).second) {
+            emit(i, node, *dst_val, d);
+          }
+        }
+      } else {
+        std::string scan_label = !edge.src.label.empty()
+                                     ? edge.src.label
+                                     : info->src_label;
+        for (int64_t start : store_.NodesWithLabel(scan_label)) {
+          run_from(start);
+        }
+      }
+    }
+
+    std::vector<std::vector<Value>> appended;
+    if (!src_known) appended.push_back(std::move(col_src));
+    if (!dst_known) appended.push_back(std::move(col_dst));
+    if (bind_len) appended.push_back(std::move(col_len));
+    InstallExpansion(prior_ncols, match_src, std::move(appended));
+    return Status::OK();
+  }
+
+  // ---- expressions (column-at-a-time) ----
+
+  Result<BCol> EvalBatch(const Expr& expr, EvalScratch* scratch) const {
+    const size_t n = table_.rows;
+    auto make_scalar = [](Value v) {
+      BCol out;
+      out.scalar = v;
+      return out;
+    };
+    auto make_owned = [&](std::vector<Value> vals) {
+      scratch->push_back(std::move(vals));
+      BCol out;
+      out.col = &scratch->back();
+      return out;
+    };
+    switch (expr.kind) {
+      case ExprKind::kLiteral:
+        return make_scalar(ConstantToValue(expr.literal, &db_->symbols()));
+      case ExprKind::kVariable: {
+        int col = table_.Find(expr.var);
+        if (col < 0) {
+          return Status::NotFound("unknown identifier '" + expr.var + "'");
+        }
+        BCol out;
+        out.col = &table_.cols[static_cast<size_t>(col)];
+        return out;
+      }
+      case ExprKind::kProperty: {
+        int col = table_.Find(expr.var);
+        if (col < 0) {
+          return Status::NotFound("unknown identifier '" + expr.var + "'");
+        }
+        const ColumnMeta& meta = table_.meta[static_cast<size_t>(col)];
+        if (meta.kind == ColumnMeta::kNode) {
+          const std::vector<Value>& ids =
+              table_.cols[static_cast<size_t>(col)];
+          if (expr.property == "id") {
+            BCol out;
+            out.col = &ids;
+            return out;
+          }
+          std::vector<Value> vals(n);
+          for (size_t i = 0; i < n; ++i) {
+            RAQLET_ASSIGN_OR_RETURN(
+                vals[i], store_.NodeProperty(meta.label, ids[i].AsNumber(),
+                                             expr.property));
+          }
+          return make_owned(std::move(vals));
+        }
+        if (meta.kind == ColumnMeta::kEdge) {
+          if (expr.property == "id") {
+            BCol out;
+            out.col = &table_.cols[static_cast<size_t>(col)];
+            return out;
+          }
+          const std::vector<Value>& edge_rows =
+              table_.cols[static_cast<size_t>(meta.row_column)];
+          std::vector<Value> vals(n);
+          for (size_t i = 0; i < n; ++i) {
+            RAQLET_ASSIGN_OR_RETURN(
+                vals[i],
+                store_.EdgeProperty(
+                    meta.label,
+                    static_cast<uint32_t>(edge_rows[i].AsNumber()),
+                    expr.property));
+          }
+          return make_owned(std::move(vals));
+        }
+        return Status::Unsupported("property access on value identifier '" +
+                                   expr.var + "'");
+      }
+      case ExprKind::kParameter:
+        return Status::Internal("unresolved parameter");
+      case ExprKind::kBinary: {
+        RAQLET_ASSIGN_OR_RETURN(BCol lhs,
+                                EvalBatch(expr.children[0], scratch));
+        RAQLET_ASSIGN_OR_RETURN(BCol rhs,
+                                EvalBatch(expr.children[1], scratch));
+        const bool scalar = lhs.col == nullptr && rhs.col == nullptr;
+        switch (expr.bin_op) {
+          case BinOp::kAnd:
+          case BinOp::kOr: {
+            auto apply = [&](const Value& l, const Value& r) {
+              bool lb = l.AsBool();
+              bool rb = r.AsBool();
+              return Value::Bool(expr.bin_op == BinOp::kAnd ? (lb && rb)
+                                                            : (lb || rb));
+            };
+            if (scalar) return make_scalar(apply(lhs.scalar, rhs.scalar));
+            std::vector<Value> vals(n);
+            for (size_t i = 0; i < n; ++i) {
+              vals[i] = apply(lhs.at(i), rhs.at(i));
+            }
+            return make_owned(std::move(vals));
+          }
+          case BinOp::kEq:
+          case BinOp::kNe:
+          case BinOp::kLt:
+          case BinOp::kLe:
+          case BinOp::kGt:
+          case BinOp::kGe: {
+            dlir::CmpOp op = ToCmpOp(expr.bin_op);
+            if (scalar) {
+              return make_scalar(Value::Bool(
+                  CheckCmp(op, lhs.scalar, rhs.scalar, db_->symbols())));
+            }
+            std::vector<Value> vals(n);
+            for (size_t i = 0; i < n; ++i) {
+              vals[i] = Value::Bool(
+                  CheckCmp(op, lhs.at(i), rhs.at(i), db_->symbols()));
+            }
+            return make_owned(std::move(vals));
+          }
+          default: {
+            dlir::ArithOp op = ToArithOp(expr.bin_op);
+            if (scalar) {
+              RAQLET_ASSIGN_OR_RETURN(Value v,
+                                      EvalArith(op, lhs.scalar, rhs.scalar));
+              return make_scalar(v);
+            }
+            std::vector<Value> vals(n);
+            for (size_t i = 0; i < n; ++i) {
+              RAQLET_ASSIGN_OR_RETURN(vals[i],
+                                      EvalArith(op, lhs.at(i), rhs.at(i)));
+            }
+            return make_owned(std::move(vals));
+          }
+        }
+      }
+      case ExprKind::kUnary: {
+        RAQLET_ASSIGN_OR_RETURN(BCol inner,
+                                EvalBatch(expr.children[0], scratch));
+        if (expr.un_op == cypher::UnOp::kNot) {
+          if (inner.col == nullptr) {
+            return make_scalar(Value::Bool(!inner.scalar.AsBool()));
+          }
+          std::vector<Value> vals(n);
+          for (size_t i = 0; i < n; ++i) {
+            vals[i] = Value::Bool(!inner.at(i).AsBool());
+          }
+          return make_owned(std::move(vals));
+        }
+        if (inner.col == nullptr) {
+          RAQLET_ASSIGN_OR_RETURN(
+              Value v, EvalArith(dlir::ArithOp::kSub, Value::Number(0),
+                                 inner.scalar));
+          return make_scalar(v);
+        }
+        std::vector<Value> vals(n);
+        for (size_t i = 0; i < n; ++i) {
+          RAQLET_ASSIGN_OR_RETURN(
+              vals[i],
+              EvalArith(dlir::ArithOp::kSub, Value::Number(0), inner.at(i)));
+        }
+        return make_owned(std::move(vals));
+      }
+      case ExprKind::kCall: {
+        if (expr.function == "id" && expr.children.size() == 1) {
+          return EvalBatch(expr.children[0], scratch);
+        }
+        if (expr.function == "length" && expr.children.size() == 1 &&
+            expr.children[0].kind == ExprKind::kVariable) {
+          int col = table_.Find(expr.children[0].var + "_len");
+          if (col >= 0) {
+            BCol out;
+            out.col = &table_.cols[static_cast<size_t>(col)];
+            return out;
+          }
+          return Status::Unsupported("length() of a non-shortest-path "
+                                     "variable");
+        }
+        return Status::Unsupported("function '" + expr.function + "'");
+      }
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  Status ExecWhere(const WhereOp& where) {
+    if (table_.rows == 0) return Status::OK();
+    EvalScratch scratch;
+    RAQLET_ASSIGN_OR_RETURN(BCol pred, EvalBatch(where.predicate, &scratch));
+    std::vector<char> keep(table_.rows);
+    for (size_t i = 0; i < table_.rows; ++i) {
+      keep[i] = pred.at(i).AsBool();
+    }
+    CompactBatch(keep);
+    return Status::OK();
+  }
+
+  // ---- WITH / RETURN ----
+
+  static RelationSchema ScratchSchema(size_t ncols) {
+    RelationSchema schema;
+    schema.name = "__graph_distinct__";
+    schema.columns.resize(ncols);
+    return schema;
+  }
+
+  // Drops "__row_" columns from a projection result. `rows`, when given,
+  // holds the row-major form of the table (hidden columns are always
+  // registered last by ExecProjection, so dropping is a truncation).
+  static void DropHidden(BindingBatch* table, std::vector<Tuple>* rows) {
+    std::vector<size_t> keep;
+    for (size_t i = 0; i < table->columns.size(); ++i) {
+      if (table->columns[i].rfind("__row_", 0) != 0) keep.push_back(i);
+    }
+    if (keep.size() == table->columns.size()) return;
+    bool prefix = true;
+    for (size_t k = 0; k < keep.size(); ++k) prefix &= keep[k] == k;
+    BindingBatch trimmed;
+    for (size_t i : keep) {
+      trimmed.AddColumn(table->columns[i], table->meta[i]);
+      trimmed.cols.back() = std::move(table->cols[i]);
+    }
+    trimmed.rows = table->rows;
+    *table = std::move(trimmed);
+    if (rows == nullptr) return;
+    for (Tuple& row : *rows) {
+      if (prefix) {
+        if (row.size() > keep.size()) row.resize(keep.size());
+        continue;
+      }
+      Tuple out;
+      out.reserve(keep.size());
+      for (size_t i : keep) {
+        if (i < row.size()) out.push_back(row[i]);
+      }
+      row = std::move(out);
+    }
+  }
+
+  Status ExecProjection(const std::vector<Item>& items, bool distinct,
+                        bool is_return) {
+    int agg_pos = -1;
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (items[i].expr.IsAggregateCall()) {
+        if (agg_pos >= 0) {
+          return Status::Unsupported("at most one aggregate per projection");
+        }
+        agg_pos = static_cast<int>(i);
+      }
+    }
+
+    BindingBatch next;
+    for (const Item& item : items) {
+      ColumnMeta meta{ColumnMeta::kValue, "", -1};
+      if (item.expr.kind == ExprKind::kVariable) {
+        int col = table_.Find(item.expr.var);
+        if (col >= 0) meta = table_.meta[static_cast<size_t>(col)];
+      }
+      next.AddColumn(item.alias, meta);
+    }
+    // Preserve hidden edge-row columns for identifiers that survive.
+    std::map<size_t, size_t> row_col_remap;
+    for (size_t i = 0; i < items.size(); ++i) {
+      const ColumnMeta& meta = next.meta[i];
+      if (meta.kind == ColumnMeta::kEdge && meta.row_column >= 0) {
+        size_t hidden =
+            next.AddColumn("__row_" + items[i].alias,
+                           {ColumnMeta::kValue, "", -1});
+        row_col_remap[i] = hidden;
+        next.meta[i].row_column = static_cast<int>(hidden);
+      }
+    }
+
+    if (agg_pos < 0) {
+      return ProjectPlain(items, distinct, is_return, row_col_remap, &next);
+    }
+    return ProjectAggregate(items, static_cast<size_t>(agg_pos), is_return,
+                            &next);
+  }
+
+  Status ProjectPlain(const std::vector<Item>& items, bool distinct,
+                      bool is_return,
+                      const std::map<size_t, size_t>& row_col_remap,
+                      BindingBatch* next) {
+    const size_t n = table_.rows;
+    const size_t out_cols = next->columns.size();
+    if (n == 0) {
+      if (is_return) DropHidden(next, nullptr);
+      table_ = std::move(*next);
+      table_.rows = 0;
+      have_result_rows_ = false;
+      return Status::OK();
+    }
+
+    // Evaluate every item column-at-a-time; hidden edge-row columns
+    // borrow their source column directly.
+    EvalScratch scratch;
+    std::vector<BCol> out(out_cols);
+    for (size_t i = 0; i < items.size(); ++i) {
+      RAQLET_ASSIGN_OR_RETURN(out[i], EvalBatch(items[i].expr, &scratch));
+    }
+    for (const auto& [item_idx, hidden_idx] : row_col_remap) {
+      int old_col = table_.Find(items[item_idx].expr.var);
+      const ColumnMeta& old_meta = table_.meta[static_cast<size_t>(old_col)];
+      out[hidden_idx].col =
+          &table_.cols[static_cast<size_t>(old_meta.row_column)];
+    }
+
+    if (distinct) {
+      // Materialize once, dedup once per batch in Relation's flat
+      // open-addressing table (first occurrence wins, batch order kept —
+      // the same policy the per-tuple hash set implemented).
+      std::vector<Tuple> tuples;
+      tuples.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        Tuple t;
+        t.reserve(out_cols);
+        for (size_t c = 0; c < out_cols; ++c) t.push_back(out[c].at(i));
+        tuples.push_back(std::move(t));
+      }
+      Relation dedup_rel(ScratchSchema(out_cols));
+      dedup_rel.InsertBatchInPlace(&tuples);
+      std::vector<Tuple> rows = dedup_rel.ReleaseRows();
+      if (is_return) {
+        DropHidden(next, &rows);
+        table_ = std::move(*next);
+        table_.rows = rows.size();
+        result_rows_ = std::move(rows);
+        have_result_rows_ = true;
+        return Status::OK();
+      }
+      // Intermediate WITH DISTINCT: back to columns.
+      next->cols.assign(out_cols, {});
+      for (size_t c = 0; c < out_cols; ++c) {
+        std::vector<Value>& col = next->cols[c];
+        col.resize(rows.size());
+        for (size_t i = 0; i < rows.size(); ++i) col[i] = rows[i][c];
+      }
+      next->rows = rows.size();
+      table_ = std::move(*next);
+      have_result_rows_ = false;
+      return Status::OK();
+    }
+
+    // No dedup: install the evaluated columns directly. Both borrow
+    // sources — the old binding table and the scratch deque — are
+    // discarded right after, so a column borrowed by exactly one output
+    // is moved, not copied (a second borrow of the same source copies).
+    std::map<const std::vector<Value>*, size_t> borrows;
+    for (size_t c = 0; c < out_cols; ++c) {
+      if (out[c].col != nullptr) ++borrows[out[c].col];
+    }
+    auto find_mutable =
+        [&](const std::vector<Value>* src) -> std::vector<Value>* {
+      for (std::vector<Value>& col : table_.cols) {
+        if (&col == src) return &col;
+      }
+      for (std::vector<Value>& col : scratch) {
+        if (&col == src) return &col;
+      }
+      return nullptr;
+    };
+    for (size_t c = 0; c < out_cols; ++c) {
+      if (out[c].col == nullptr) {
+        next->cols[c].assign(n, out[c].scalar);
+        continue;
+      }
+      std::vector<Value>* source =
+          borrows[out[c].col] == 1 ? find_mutable(out[c].col) : nullptr;
+      if (source != nullptr) {
+        next->cols[c] = std::move(*source);
+      } else {
+        next->cols[c] = *out[c].col;
+      }
+    }
+    next->rows = n;
+    if (is_return) DropHidden(next, nullptr);
+    table_ = std::move(*next);
+    have_result_rows_ = false;
+    return Status::OK();
+  }
+
+  Status ProjectAggregate(const std::vector<Item>& items, size_t agg_pos,
+                          bool is_return, BindingBatch* next) {
+    // Aggregation (bag semantics over the binding table, Cypher-style):
+    // group keys and the aggregate argument are evaluated column-wise,
+    // then accumulated in one pass over the batch.
+    const Expr& agg_call = items[agg_pos].expr;
+    struct AggState {
+      int64_t count = 0;
+      double sum = 0.0;
+      bool any_float = false;
+      std::optional<Value> min;
+      std::optional<Value> max;
+      std::unordered_set<Tuple, TupleHash> distinct_args;
+    };
+    std::map<Tuple, AggState> groups;
+    const size_t n = table_.rows;
+    if (n > 0) {
+      EvalScratch scratch;
+      std::vector<BCol> key_cols;
+      key_cols.reserve(items.size() - 1);
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i == agg_pos) continue;
+        RAQLET_ASSIGN_OR_RETURN(BCol c, EvalBatch(items[i].expr, &scratch));
+        key_cols.push_back(c);
+      }
+      std::optional<BCol> arg_col;
+      if (!agg_call.children.empty()) {
+        RAQLET_ASSIGN_OR_RETURN(BCol c,
+                                EvalBatch(agg_call.children[0], &scratch));
+        arg_col = c;
+      }
+      Tuple key(key_cols.size());
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t k = 0; k < key_cols.size(); ++k) {
+          key[k] = key_cols[k].at(i);
+        }
+        AggState& state = groups[key];
+        Value arg =
+            arg_col.has_value() ? arg_col->at(i) : Value::Number(0);
+        if (agg_call.distinct_arg &&
+            !state.distinct_args.insert(Tuple{arg}).second) {
+          continue;
+        }
+        state.count += 1;
+        state.any_float |= arg.kind() == ValueType::kFloat;
+        state.sum += arg.NumericValue();
+        if (!state.min.has_value() ||
+            CompareValues(arg, *state.min, db_->symbols()) < 0) {
+          state.min = arg;
+        }
+        if (!state.max.has_value() ||
+            CompareValues(arg, *state.max, db_->symbols()) > 0) {
+          state.max = arg;
+        }
+      }
+    }
+
+    std::vector<Tuple> out_rows;
+    out_rows.reserve(groups.size());
+    for (const auto& [key, state] : groups) {
+      Value result;
+      if (agg_call.function == "count") {
+        result = Value::Number(state.count);
+      } else if (agg_call.function == "sum") {
+        result = state.any_float
+                     ? Value::Float(state.sum)
+                     : Value::Number(static_cast<int64_t>(state.sum));
+      } else if (agg_call.function == "min") {
+        result = state.min.value_or(Value::Null());
+      } else if (agg_call.function == "max") {
+        result = state.max.value_or(Value::Null());
+      } else {  // avg
+        result = Value::Float(state.count == 0
+                                  ? 0.0
+                                  : state.sum /
+                                        static_cast<double>(state.count));
+      }
+      Tuple out;
+      size_t ki = 0;
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i == agg_pos) {
+          out.push_back(result);
+        } else {
+          out.push_back(key[ki++]);
+        }
+      }
+      out_rows.push_back(std::move(out));
+    }
+    if (is_return) DropHidden(next, &out_rows);
+    table_ = std::move(*next);
+    table_.rows = out_rows.size();
+    result_rows_ = std::move(out_rows);
+    have_result_rows_ = true;
+    return Status::OK();
+  }
+
+  const GraphStore& store_;
+  const schema::DlSchema& dl_;
+  Database* db_;
+  GraphStats* stats_;
+  BindingBatch table_;
+  Traversals trav_;
+  // Row-major form of the latest projection when it went through a dedup
+  // relation or aggregation; see EnsureColumnar.
+  std::vector<Tuple> result_rows_;
+  bool have_result_rows_ = false;
 };
 
 }  // namespace
 
 Result<ResultTable> GraphEngine::Run(const pgir::PgirQuery& query,
                                      GraphStats* stats) const {
-  Execution exec(*store_, *dl_, db_, stats);
+  if (options_.mode == GraphMode::kRowBinding) {
+    RowExecution exec(*store_, *dl_, db_, stats);
+    return exec.Run(query);
+  }
+  BatchExecution exec(*store_, *dl_, db_, stats);
   return exec.Run(query);
 }
 

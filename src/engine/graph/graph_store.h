@@ -5,6 +5,13 @@
 // lookup by id, and forward/backward adjacency lists per edge type. Built
 // from the same Database the other engines query, so all three paradigms
 // see identical data (DESIGN.md §2: Neo4j stand-in substrate).
+//
+// The store is immutable after Build and holds no locks: the graph
+// executor (either binding-table mode, see engine/graph/executor.h) only
+// ever reads it. Property tuples are referenced out of the source
+// Database's relations, not copied — an edge is identified across the
+// engine by its row index in the edge relation (Neighbor::edge_row),
+// which is also how edge property access and edge-id binding resolve.
 
 #include <cstdint>
 #include <map>
@@ -32,13 +39,16 @@ class GraphStore {
   };
 
   /// Outgoing / incoming neighbours of `node` over `edge_label`
-  /// (UPPER_SNAKE). Empty when the node has none.
+  /// (UPPER_SNAKE). Empty when the node has none. Neighbour lists are in
+  /// edge-relation insertion order — the executors' deterministic emit
+  /// order (bit-identical across binding-table modes) depends on it.
   const std::vector<Neighbor>& OutNeighbors(const std::string& edge_label,
                                             int64_t node) const;
   const std::vector<Neighbor>& InNeighbors(const std::string& edge_label,
                                            int64_t node) const;
 
-  /// All node ids carrying `label`, in insertion order.
+  /// All node ids carrying `label`, in insertion order (the scan order of
+  /// unbound node patterns, load-bearing for determinism like the above).
   const std::vector<int64_t>& NodesWithLabel(const std::string& label) const;
 
   bool HasLabel(const std::string& label, int64_t node) const;

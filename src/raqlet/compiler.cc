@@ -177,8 +177,9 @@ Result<engine::ResultTable> Compiler::RunOnSql(const dlir::Program& program,
 
 Result<engine::ResultTable> Compiler::RunOnGraph(
     const pgir::PgirQuery& query, const engine::GraphStore& store,
-    Database* db, engine::GraphStats* stats) const {
-  engine::GraphEngine eng(&store, &dl_schema_, db);
+    Database* db, engine::GraphStats* stats,
+    const engine::GraphOptions& options) const {
+  engine::GraphEngine eng(&store, &dl_schema_, db, options);
   return eng.Run(query, stats);
 }
 

@@ -129,9 +129,13 @@ class Compiler {
 
   /// Graph-traversal evaluation of PGIR (Neo4j stand-in) over a prebuilt
   /// store (use BuildGraphStore; building is the analogue of data load).
+  /// `options.mode` selects the binding-table representation: the default
+  /// column-batch executor, or the per-binding row interpreter it is
+  /// differentially tested against (identical rows, identical order).
   Result<engine::ResultTable> RunOnGraph(
       const pgir::PgirQuery& query, const engine::GraphStore& store,
-      Database* db, engine::GraphStats* stats = nullptr) const;
+      Database* db, engine::GraphStats* stats = nullptr,
+      const engine::GraphOptions& options = {}) const;
 
   /// Builds the adjacency-list property graph from the EDBs in `db`.
   Result<engine::GraphStore> BuildGraphStore(const Database& db) const;

@@ -124,6 +124,12 @@ size_t Relation::InsertBatchInPlace(std::vector<Tuple>* batch) {
   return inserted;
 }
 
+std::vector<Tuple> Relation::ReleaseRows() {
+  std::vector<Tuple> out = std::move(rows_);
+  Clear();
+  return out;
+}
+
 void Relation::ReplaceRows(std::vector<Tuple> rows) {
   Clear();
   InsertBatch(std::move(rows));

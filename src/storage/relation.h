@@ -66,12 +66,16 @@ class Relation {
   bool Insert(Tuple t);
 
   /// Bulk insert: appends every tuple of `batch` not already present (in
-  /// the relation or earlier in the batch), preserving batch order.
-  /// Reserves rows_ and the dedup table once for the whole batch and folds
-  /// the new row suffix into every cached index in a single pass per
-  /// index, so a batch costs one scan where per-tuple insertion paid a
-  /// probe-site fold and amortized rehashes. Returns the number of tuples
-  /// actually inserted.
+  /// the relation or earlier in the batch), preserving batch order — the
+  /// first occurrence of a duplicate wins, exactly as a per-tuple Insert
+  /// loop would decide. Reserves rows_ and the dedup table once for the
+  /// whole batch and folds the new row suffix into every cached index in
+  /// a single pass per index, so a batch costs one scan where per-tuple
+  /// insertion paid a probe-site fold and amortized rehashes. Returns the
+  /// number of tuples actually inserted. This is the dedup primitive of
+  /// every batched producer: the Datalog engine's sharded merge, the SQL
+  /// engine's vectorized projection, and the graph engine's column-batch
+  /// DISTINCT all land here.
   size_t InsertBatch(std::vector<Tuple> batch);
 
   /// In-place variant: consumes the tuples but leaves `*batch` cleared
@@ -79,6 +83,12 @@ class Relation {
   /// buffers (the engine's pooled EmitBuffers) keep their allocation
   /// across rounds.
   size_t InsertBatchInPlace(std::vector<Tuple>* batch);
+
+  /// Moves the row storage out and leaves the relation empty (schema
+  /// kept; dedup table and cached indexes dropped). For callers that use
+  /// a scratch Relation purely as a batch deduplicator — InsertBatch,
+  /// then take the surviving rows without copying them back out.
+  std::vector<Tuple> ReleaseRows();
 
   bool Contains(const Tuple& t) const;
 

@@ -71,6 +71,10 @@ class CrossEngineTest : public ::testing::TestWithParam<int> {
   // Compiles `query` and runs it on every engine/configuration. SQL runs
   // are skipped (left empty, flagged) when the backend rejects the query
   // class; everything else must agree.
+  //
+  // Determinism invariants asserted inside (exact rows, exact order):
+  //  * graph column-batch executor == graph row-binding interpreter
+  //  * Datalog at 1 thread == Datalog at 4 threads
   EngineRuns RunEverywhere(const std::string& query, bool* sql_supported) {
     Compiler compiler;
     EXPECT_TRUE(compiler.LoadPgSchema(kSchema).ok());
@@ -87,18 +91,39 @@ class CrossEngineTest : public ::testing::TestWithParam<int> {
     EXPECT_TRUE(optimized.ok()) << optimized.status().ToString();
 
     EngineRuns runs;
-    // Graph engine.
+    // Graph engine: the column-batch executor must be bit-identical —
+    // same rows, same order — to the per-binding row interpreter it
+    // replaced on the default path.
     auto store = compiler.BuildGraphStore(db);
     EXPECT_TRUE(store.ok()) << store.status().ToString();
     auto graph = compiler.RunOnGraph(unit->pgir, *store, &db);
     EXPECT_TRUE(graph.ok()) << graph.status().ToString();
     if (graph.ok()) runs.graph = graph->ToStringSet(db.symbols());
+    engine::GraphOptions row_mode;
+    row_mode.mode = engine::GraphMode::kRowBinding;
+    auto graph_rows =
+        compiler.RunOnGraph(unit->pgir, *store, &db, nullptr, row_mode);
+    EXPECT_TRUE(graph_rows.ok()) << graph_rows.status().ToString();
+    if (graph.ok() && graph_rows.ok()) {
+      EXPECT_EQ(graph->columns, graph_rows->columns) << query;
+      EXPECT_EQ(graph->rows, graph_rows->rows)
+          << "column-batch vs row-binding row order diverged: " << query;
+    }
 
-    // Datalog engine, unoptimized and aggressively optimized.
+    // Datalog engine, unoptimized and aggressively optimized; the
+    // parallel runtime must reproduce the serial rows exactly.
     auto dl1 = compiler.RunOnDatalog(unit->dlir, &db);
     EXPECT_TRUE(dl1.ok()) << dl1.status().ToString() << "\n"
                           << unit->dlir.ToString();
     if (dl1.ok()) runs.datalog_unopt = dl1->ToStringSet(db.symbols());
+    engine::EvalOptions four_threads;
+    four_threads.num_threads = 4;
+    auto dl4 = compiler.RunOnDatalog(unit->dlir, &db, nullptr, four_threads);
+    EXPECT_TRUE(dl4.ok()) << dl4.status().ToString();
+    if (dl1.ok() && dl4.ok()) {
+      EXPECT_EQ(dl1->rows, dl4->rows)
+          << "1-thread vs 4-thread row order diverged: " << query;
+    }
     auto dl2 = compiler.RunOnDatalog(*optimized, &db);
     EXPECT_TRUE(dl2.ok()) << dl2.status().ToString() << "\n"
                           << optimized->ToString();
@@ -192,6 +217,61 @@ TEST_P(CrossEngineTest, AggregationCounts) {
       "MATCH (a:Person)-[:KNOWS]->(b:Person) "
       "WITH a, count(b) AS friends "
       "RETURN DISTINCT a.id AS id, friends");
+}
+
+// The shapes below exercise the graph engine's batched projection path
+// specifically: DISTINCT over high-duplication joins, column-wise
+// aggregation, and variable-length expansion feeding batch dedup.
+
+TEST_P(CrossEngineTest, DistinctHeavyTwoHop) {
+  // Every two-hop pair appears once per connecting path; DISTINCT has to
+  // collapse a much larger intermediate batch.
+  ExpectAllAgree(
+      "MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person) "
+      "RETURN DISTINCT a.id AS a, c.id AS c");
+}
+
+TEST_P(CrossEngineTest, DistinctProjectionCollapsesColumns) {
+  // Projecting only the city collapses the per-person join result to a
+  // handful of distinct rows.
+  ExpectAllAgree(
+      "MATCH (n:Person)-[:IS_LOCATED_IN]->(c:City) "
+      "RETURN DISTINCT c.id AS cityId");
+}
+
+TEST_P(CrossEngineTest, AllPairsReachability) {
+  // The BM_TcGraph shape: unbounded closure unioned per start node, then
+  // batch-DISTINCT over the full pair set.
+  ExpectAllAgree(
+      "MATCH (a:Person)-[:KNOWS*]->(b:Person) "
+      "RETURN DISTINCT a.id AS src, b.id AS dst");
+}
+
+TEST_P(CrossEngineTest, VariableLengthDistinct) {
+  ExpectAllAgree(
+      "MATCH (a:Person)-[:KNOWS*1..3]->(b:Person) WHERE a.id < 10 "
+      "RETURN DISTINCT a.id AS a, b.id AS b");
+}
+
+TEST_P(CrossEngineTest, VariableLengthIntoAggregation) {
+  ExpectAllAgree(
+      "MATCH (a:Person)-[:KNOWS*1..2]->(b:Person) "
+      "WITH a, count(b) AS reach "
+      "RETURN DISTINCT a.id AS id, reach");
+}
+
+TEST_P(CrossEngineTest, MinAggregation) {
+  ExpectAllAgree(
+      "MATCH (a:Person)-[:KNOWS]->(b:Person) "
+      "WITH a, min(b.age) AS youngest "
+      "RETURN DISTINCT a.id AS id, youngest");
+}
+
+TEST_P(CrossEngineTest, MaxAggregation) {
+  ExpectAllAgree(
+      "MATCH (a:Person)-[:KNOWS]->(b:Person) "
+      "WITH a, max(b.age) AS oldest "
+      "RETURN DISTINCT a.id AS id, oldest");
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, CrossEngineTest, ::testing::Range(0, 6));

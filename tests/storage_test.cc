@@ -122,6 +122,26 @@ TEST(RelationTest, InsertBatchDedupsWithinAndAcrossBatches) {
   EXPECT_EQ(r.size(), 3u);
 }
 
+TEST(RelationTest, ReleaseRowsHandsOverStorageAndResets) {
+  // The graph engine's batch DISTINCT uses a scratch Relation purely as a
+  // deduplicator: InsertBatch, then take the surviving rows by move.
+  Relation r(EdgeSchema());
+  r.InsertBatch({
+      {Value::Number(1), Value::Number(2)},
+      {Value::Number(3), Value::Number(4)},
+      {Value::Number(1), Value::Number(2)},  // duplicate, dropped
+  });
+  std::vector<Tuple> rows = r.ReleaseRows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].AsNumber(), 1);
+  EXPECT_EQ(rows[1][0].AsNumber(), 3);
+  // The relation is empty and fully reusable afterwards.
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_FALSE(r.Contains({Value::Number(1), Value::Number(2)}));
+  EXPECT_TRUE(r.Insert({Value::Number(1), Value::Number(2)}));
+  EXPECT_EQ(r.size(), 1u);
+}
+
 TEST(RelationTest, InsertBatchMatchesTupleAtATimeInsertion) {
   // Randomized equivalence: feeding the same (duplicate-heavy) stream
   // through Insert and through chunked InsertBatch must produce identical

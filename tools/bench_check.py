@@ -2,17 +2,20 @@
 """Guard against perf regressions on the semi-naive hot path.
 
 Compares a fresh Google-Benchmark JSON run against the committed baseline
-(BENCH_pr4.json) and fails if any benchmark matching the filter regressed
+(BENCH_pr5.json) and fails if any benchmark matching the filter regressed
 by more than the tolerance. Benchmarks present in only one file are
 reported but never fail the check (sizes and cases may evolve).
 
-The default filter gates both engine hot paths: the semi-naive Datalog
-closure (BM_TcDatalog) and the SQL engine's column-batched recursive CTE
-(BM_TcSql, which also matches the BM_TcSqlTuple pipeline mode).
+The default filter gates every engine hot path: the semi-naive Datalog
+closure (BM_TcDatalog), the SQL engine's column-batched recursive CTE
+(BM_TcSql, which also matches the BM_TcSqlTuple pipeline mode), and the
+graph engine's column-batch executor (BM_TcGraph; the deliberately
+unbatched BM_TcGraphRows reference is not gated).
 
 Usage:
   bench_check.py CURRENT.json BASELINE.json [--suite bench_tc]
-                 [--filter 'BM_TcDatalog|BM_TcSql'] [--max-regress 0.25]
+                 [--filter 'BM_TcDatalog|BM_TcSql|BM_TcGraph/']
+                 [--max-regress 0.25]
 
 CURRENT.json is a raw `--benchmark_format=json` dump. BASELINE.json is
 either a raw dump or the committed multi-suite file {"bench_tc": {...},
@@ -51,7 +54,8 @@ def main():
     parser.add_argument("current")
     parser.add_argument("baseline")
     parser.add_argument("--suite", default="bench_tc")
-    parser.add_argument("--filter", default="BM_TcDatalog|BM_TcSql")
+    parser.add_argument("--filter",
+                        default="BM_TcDatalog|BM_TcSql|BM_TcGraph/")
     parser.add_argument("--max-regress", type=float, default=0.25)
     args = parser.parse_args()
 
