@@ -91,6 +91,19 @@ void BM_TcDatalog(benchmark::State& state) {
     if (!st.ok()) state.SkipWithError(st.ToString().c_str());
   }
   state.SetLabel("whole-graph TC, Datalog engine (Soufflé stand-in)");
+  // Storage density of the derived closure: heap bytes held by the tc
+  // relation (columns + kind sidecars + dedup table) per stored tuple.
+  // The columnar layout targets ~24 B/tuple for the 2-column numeric
+  // shape (2×8 B payload + amortized dedup slots); the previous boxed-row
+  // layout paid ~80 B/tuple before allocator overhead.
+  auto tc = inst.db.GetRelation("tc");
+  if (tc.ok() && (*tc)->size() > 0) {
+    state.counters["tc_rows"] =
+        benchmark::Counter(static_cast<double>((*tc)->size()));
+    state.counters["bytes_per_tuple"] = benchmark::Counter(
+        static_cast<double>((*tc)->MemoryBytes()) /
+        static_cast<double>((*tc)->size()));
+  }
 }
 
 void BM_TcSql(benchmark::State& state) {

@@ -53,6 +53,17 @@ class Value {
   }
   static Value Null() { return Value(); }
 
+  /// Reassembles a value from a kind tag and the raw 64-bit payload word
+  /// returned by RawBits(). Floats round-trip bit-exactly. This is the
+  /// boxing boundary of the columnar Relation storage, which keeps payload
+  /// words and kind tags in separate arrays.
+  static Value FromRaw(ValueType kind, int64_t bits) {
+    return Value(kind, bits);
+  }
+
+  /// The payload as a raw 64-bit word (floats bit-cast, not truncated).
+  int64_t RawBits() const { return int_; }
+
   ValueType kind() const { return kind_; }
   bool is_null() const { return kind_ == ValueType::kNull; }
 

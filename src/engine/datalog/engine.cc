@@ -150,6 +150,11 @@ struct PlanStep {
   // before execution fans out (null iff probe_cols is empty). Probing it
   // is lock- and lookup-free.
   const Relation::KeyIndex* index = nullptr;
+  // Borrowed storage columns of the joined relation (kJoinAtom only),
+  // resolved alongside `index` before the fan-out. Valid for the round:
+  // plans are rebuilt (and columns re-borrowed) every round, and no
+  // relation mutates while tasks run.
+  std::vector<Relation::ColumnView> cols;
 };
 
 struct VariantPlan {
@@ -357,21 +362,32 @@ struct AggState {
 // outer join range) writes: derived tuples, stat counters, and — for
 // aggregate rules — the group accumulator. A task emits only to its
 // rule's head relation, so the buffer carries a single `target` and the
-// staged tuples are a plain run for that relation. After a fan-out
-// completes, runs are applied per relation in deterministic task order
-// (see Evaluation::ApplyStaged); workers never touch a Relation's mutable
+// staged values form a plain run for that relation, held column-wise
+// (one vector per head column, `staged_rows` rows) so emitting a derived
+// tuple appends values without allocating a row vector, and the merge
+// feeds Relation::InsertColumns directly. After a fan-out completes, runs
+// are applied per relation in deterministic task order (see
+// Evaluation::ApplyStaged); workers never touch a Relation's mutable
 // state. Buffers are recycled through an ObjectPool so their capacity
 // survives across fixpoint rounds.
 struct EmitBuffer {
   Relation* target = nullptr;
-  std::vector<Tuple> staged;
+  std::vector<std::vector<Value>> staged;  // staged[col][row]
+  size_t staged_rows = 0;
   EvalStats stats;
   std::map<Tuple, AggState>* agg = nullptr;
 
-  // Back to logically-empty, keeping staged's capacity for reuse.
+  // Sizes the staging columns for an arity (keeping surviving columns'
+  // capacity when the pooled buffer is reused across rules).
+  void PrepareStaging(size_t arity) {
+    if (staged.size() != arity) staged.resize(arity);
+  }
+
+  // Back to logically-empty, keeping the columns' capacity for reuse.
   void Reset() {
     target = nullptr;
-    staged.clear();
+    for (std::vector<Value>& col : staged) col.clear();
+    staged_rows = 0;
     stats = EvalStats{};
     agg = nullptr;
   }
@@ -431,13 +447,13 @@ class Evaluation {
 
   // Applies the staged runs to their target relations — the single-writer
   // phase of a round — and recycles the buffers. Runs are grouped per
-  // relation and each group is fed through Relation::InsertBatch in task
+  // relation and each group is fed through Relation::InsertColumns in task
   // order; lattice relations get a batched best-map pass first. When a
   // thread pool is available the merge is sharded one task per relation
   // (each relation keeps exactly one writer, so shards never contend),
   // which parallelizes the merge while keeping contents and insertion
   // order bit-identical at any thread count. Returns #tuples inserted.
-  size_t ApplyStaged(std::vector<EmitBuffer>* buffers);
+  Result<size_t> ApplyStaged(std::vector<EmitBuffer>* buffers);
 
   // Evaluates one task into `out`. `delta_begin` names relations whose
   // rows are restricted to [delta_begin, snapshot) at the delta atom.
@@ -559,6 +575,16 @@ Status Evaluation::PrepareRelations() {
       }
       RAQLET_ASSIGN_OR_RETURN(Relation * rel, db_->GetRelation(decl.name));
       rel->Clear();
+      if (rel->arity() != decl.arity()) {
+        // A previous program left this IDB name behind with a different
+        // shape; adopt this program's declaration so column borrowing
+        // (which trusts arity()) sees the width the rules will insert.
+        RelationSchema schema;
+        schema.name = decl.name;
+        schema.columns = decl.columns;
+        schema.primary_key = decl.primary_key;
+        rel->ResetSchema(std::move(schema));
+      }
       relations_[decl.name] = rel;
     } else {
       RelationSchema schema;
@@ -733,13 +759,16 @@ Status Evaluation::EmitHead(const CompiledRule& rule, Env* env,
     return Status::OK();
   }
 
-  Tuple derived;
-  derived.reserve(rule.head_args.size());
-  for (const CompiledTerm& arg : rule.head_args) {
-    RAQLET_ASSIGN_OR_RETURN(Value v, EvalCompiledTerm(arg, *env));
-    derived.push_back(v);
+  // Stage column-wise: no per-derived-tuple row allocation. A failed term
+  // evaluation can leave the columns ragged, but errors abandon the whole
+  // fan-out (buffers are Reset before reuse), so ragged staging never
+  // reaches the merge.
+  out->PrepareStaging(rule.head_args.size());
+  for (size_t i = 0; i < rule.head_args.size(); ++i) {
+    RAQLET_ASSIGN_OR_RETURN(Value v, EvalCompiledTerm(rule.head_args[i], *env));
+    out->staged[i].push_back(v);
   }
-  out->staged.push_back(std::move(derived));
+  ++out->staged_rows;
   return Status::OK();
 }
 
@@ -768,17 +797,16 @@ Status Evaluation::FinalizeAggregates(const CompiledRule& rule,
                                   : state.sum / static_cast<double>(state.count));
         break;
     }
-    Tuple derived;
-    derived.reserve(group.size() + 1);
+    out->PrepareStaging(rule.head_args.size());
     size_t gi = 0;
     for (size_t i = 0; i < rule.head_args.size(); ++i) {
       if (static_cast<int>(i) == rule.agg_pos) {
-        derived.push_back(result);
+        out->staged[i].push_back(result);
       } else {
-        derived.push_back(group[gi++]);
+        out->staged[i].push_back(group[gi++]);
       }
     }
-    out->staged.push_back(std::move(derived));
+    ++out->staged_rows;
   }
   return Status::OK();
 }
@@ -846,7 +874,6 @@ Status Evaluation::ExecuteStep(
     }
     case PlanStep::kJoinAtom: {
       const CompiledAtom& atom = rule.atoms[static_cast<size_t>(step.atom_index)];
-      const std::vector<Tuple>& rows = atom.relation->rows();
       size_t begin = 0;
       size_t end = snapshot.count(atom.predicate) ? snapshot.at(atom.predicate)
                                                   : atom.relation->size();
@@ -872,10 +899,11 @@ Status Evaluation::ExecuteStep(
       }
 
       std::vector<size_t>& newly_bound = env->bound_scratch[step_index];
-      auto try_row = [&](const Tuple& row) -> Status {
+      auto try_row = [&](size_t row_idx) -> Status {
         ++out->stats.tuples_considered;
-        // Unify unbound argument variables against the row; repeated
-        // variables within the atom compare on second occurrence.
+        // Unify unbound argument variables against the stored row, read
+        // per-column through the borrowed views; repeated variables within
+        // the atom compare on second occurrence.
         newly_bound.clear();
         bool matches = true;
         for (size_t i = 0; i < atom.args.size() && matches; ++i) {
@@ -884,14 +912,15 @@ Status Evaluation::ExecuteStep(
             case CompiledTerm::kWildcard:
               break;
             case CompiledTerm::kConst:
-              matches = arg.constant == row[i];
+              matches = arg.constant == step.cols[i].at(row_idx);
               break;
             case CompiledTerm::kVar: {
               size_t slot = static_cast<size_t>(arg.var);
+              Value v = step.cols[i].at(row_idx);
               if (env->bound[slot]) {
-                matches = env->values[slot] == row[i];
+                matches = env->values[slot] == v;
               } else {
-                env->values[slot] = row[i];
+                env->values[slot] = v;
                 env->bound[slot] = true;
                 newly_bound.push_back(slot);
               }
@@ -899,7 +928,7 @@ Status Evaluation::ExecuteStep(
             }
             case CompiledTerm::kBinary: {
               RAQLET_ASSIGN_OR_RETURN(Value v, EvalCompiledTerm(arg, *env));
-              matches = v == row[i];
+              matches = v == step.cols[i].at(row_idx);
               break;
             }
           }
@@ -920,12 +949,12 @@ Status Evaluation::ExecuteStep(
         // emit order within a chunk matches the serial scan order.
         for (uint32_t row_idx : it->second) {
           if (row_idx < begin || row_idx >= end) continue;
-          RAQLET_RETURN_IF_ERROR(try_row(rows[row_idx]));
+          RAQLET_RETURN_IF_ERROR(try_row(row_idx));
         }
         return Status::OK();
       }
       for (size_t row_idx = begin; row_idx < end; ++row_idx) {
-        RAQLET_RETURN_IF_ERROR(try_row(rows[row_idx]));
+        RAQLET_RETURN_IF_ERROR(try_row(row_idx));
       }
       return Status::OK();
     }
@@ -960,9 +989,19 @@ Status Evaluation::EvaluateVariants(
     RAQLET_ASSIGN_OR_RETURN(
         VariantPlan plan, PlanVariant(*rule, delta_atom, options_.reorder_atoms));
     for (PlanStep& step : plan.steps) {
-      if (step.probe_cols.empty()) continue;
+      if (step.atom_index < 0) continue;
       const Relation* rel =
           rule->atoms[static_cast<size_t>(step.atom_index)].relation;
+      if (step.kind == PlanStep::kJoinAtom) {
+        // Borrow the joined relation's storage columns now, while still
+        // single-threaded: workers then scan without materializing rows
+        // (and without racing on the lazily-folded rows() cache).
+        step.cols.reserve(rel->arity());
+        for (size_t c = 0; c < rel->arity(); ++c) {
+          step.cols.push_back(rel->Column(c));
+        }
+      }
+      if (step.probe_cols.empty()) continue;
       step.index = rel->EnsureIndex(step.probe_cols);
     }
     plans.push_back(std::move(plan));
@@ -1052,71 +1091,82 @@ Status Evaluation::EvaluateVariants(
   return Status::OK();
 }
 
-size_t Evaluation::ApplyStaged(std::vector<EmitBuffer>* buffers) {
+Result<size_t> Evaluation::ApplyStaged(std::vector<EmitBuffer>* buffers) {
   // Group staged runs by target relation, preserving first-appearance
   // (task) order both across groups and within each group.
   std::vector<std::pair<Relation*, std::vector<size_t>>> groups;
   std::unordered_map<Relation*, size_t> group_of;
   for (size_t i = 0; i < buffers->size(); ++i) {
-    if ((*buffers)[i].staged.empty()) continue;
+    if ((*buffers)[i].staged_rows == 0) continue;
     auto [it, fresh] = group_of.emplace((*buffers)[i].target, groups.size());
     if (fresh) groups.emplace_back((*buffers)[i].target, std::vector<size_t>{});
     groups[it->second].second.push_back(i);
   }
 
   std::vector<size_t> inserted(groups.size(), 0);
+  std::vector<Status> statuses(groups.size(), Status::OK());
   auto apply_group = [&](size_t g) {
     Relation* rel = groups[g].first;
     const std::vector<size_t>& runs = groups[g].second;
-    std::vector<Tuple> batch;
     auto lk = lattice_kind_.find(rel->name());
     if (lk == lattice_kind_.end()) {
-      if (runs.size() == 1) {
-        // Common case (one variant task for this relation this round):
-        // insert in place — no copy loop, and the pooled buffer keeps
-        // its staged capacity for the next round.
-        inserted[g] = rel->InsertBatchInPlace(&(*buffers)[runs[0]].staged);
-        return;
-      } else {
-        size_t total = 0;
-        for (size_t i : runs) total += (*buffers)[i].staged.size();
-        batch.reserve(total);
-        for (size_t i : runs) {
-          for (Tuple& tuple : (*buffers)[i].staged) {
-            batch.push_back(std::move(tuple));
-          }
+      // Concatenate later runs onto the first, column by column, in task
+      // order (a no-op in the common one-task case), then hand the run to
+      // the columnar dedup primitive — no row tuples are built. The first
+      // buffer keeps its column capacity for the next round.
+      std::vector<std::vector<Value>>& base = (*buffers)[runs[0]].staged;
+      size_t total = 0;
+      for (size_t i : runs) total += (*buffers)[i].staged_rows;
+      for (std::vector<Value>& col : base) col.reserve(total);
+      for (size_t k = 1; k < runs.size(); ++k) {
+        std::vector<std::vector<Value>>& more = (*buffers)[runs[k]].staged;
+        for (size_t c = 0; c < base.size(); ++c) {
+          base[c].insert(base[c].end(), more[c].begin(), more[c].end());
         }
       }
-    } else {
-      // Batched lattice pass: a staged tuple survives only if it improves
-      // the best value for its key prefix, with the best map advancing
-      // through the run so intra-batch supersedes work exactly like the
-      // old tuple-at-a-time merge.
-      size_t total = 0;
-      for (size_t i : runs) total += (*buffers)[i].staged.size();
-      batch.reserve(total);
-      auto& best = lattice_best_.find(rel->name())->second;
-      for (size_t i : runs) {
-        for (Tuple& tuple : (*buffers)[i].staged) {
-          Tuple prefix(tuple.begin(), tuple.end() - 1);
-          Value candidate = tuple.back();
-          auto it = best.find(prefix);
-          bool improves =
-              it == best.end() ||
-              (lk->second == LatticeKind::kMin
-                   ? CompareValues(candidate, it->second, db_->symbols()) < 0
-                   : CompareValues(candidate, it->second, db_->symbols()) > 0);
-          if (!improves) continue;
-          if (it == best.end()) {
-            best.emplace(std::move(prefix), candidate);
-          } else {
-            it->second = candidate;
-          }
-          batch.push_back(std::move(tuple));
+      Result<size_t> r = rel->InsertColumns(&base);
+      if (r.ok()) {
+        inserted[g] = *r;
+      } else {
+        statuses[g] = r.status();
+      }
+      return;
+    }
+    // Batched lattice pass: a staged row survives only if it improves the
+    // best value for its key prefix, with the best map advancing through
+    // the run so intra-batch supersedes work exactly like the old
+    // tuple-at-a-time merge. Survivors are staged column-wise.
+    const size_t arity = (*buffers)[runs[0]].staged.size();
+    std::vector<std::vector<Value>> batch(arity);
+    auto& best = lattice_best_.find(rel->name())->second;
+    for (size_t i : runs) {
+      const std::vector<std::vector<Value>>& cols = (*buffers)[i].staged;
+      for (size_t row = 0; row < (*buffers)[i].staged_rows; ++row) {
+        Tuple prefix;
+        prefix.reserve(arity - 1);
+        for (size_t c = 0; c + 1 < arity; ++c) prefix.push_back(cols[c][row]);
+        Value candidate = cols[arity - 1][row];
+        auto it = best.find(prefix);
+        bool improves =
+            it == best.end() ||
+            (lk->second == LatticeKind::kMin
+                 ? CompareValues(candidate, it->second, db_->symbols()) < 0
+                 : CompareValues(candidate, it->second, db_->symbols()) > 0);
+        if (!improves) continue;
+        if (it == best.end()) {
+          best.emplace(std::move(prefix), candidate);
+        } else {
+          it->second = candidate;
         }
+        for (size_t c = 0; c < arity; ++c) batch[c].push_back(cols[c][row]);
       }
     }
-    inserted[g] = rel->InsertBatch(std::move(batch));
+    Result<size_t> r = rel->InsertColumns(&batch);
+    if (r.ok()) {
+      inserted[g] = *r;
+    } else {
+      statuses[g] = r.status();
+    }
   };
 
   // Sharded deterministic merge: one task per relation. Each relation has
@@ -1136,6 +1186,9 @@ size_t Evaluation::ApplyStaged(std::vector<EmitBuffer>* buffers) {
     buffer_pool_->Release(std::move(buffer));
   }
   buffers->clear();
+  for (Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
   return total_inserted;
 }
 
@@ -1147,10 +1200,10 @@ Status Evaluation::EvaluateScc(SccWork* work) {
 
   // The single-writer phase of each round: per-relation batched (and,
   // with a pool, sharded) merge of the staged runs.
-  auto apply_staged = [&]() -> size_t {
-    size_t inserted = ApplyStaged(&staged);
+  auto apply_staged = [&]() -> Status {
+    RAQLET_ASSIGN_OR_RETURN(size_t inserted, ApplyStaged(&staged));
     scc_stats.tuples_inserted += inserted;
-    return inserted;
+    return Status::OK();
   };
 
   // Only the predicates this SCC's rules mention: sizes of unrelated
@@ -1179,7 +1232,7 @@ Status Evaluation::EvaluateScc(SccWork* work) {
     std::vector<std::pair<const CompiledRule*, int>> variants;
     for (const CompiledRule& rule : rules) variants.emplace_back(&rule, -1);
     Status s = EvaluateVariants(variants, snapshot, {}, &staged, &scc_stats);
-    if (s.ok()) apply_staged();
+    if (s.ok()) s = apply_staged();
     merge_stats();
     return s;
   }
@@ -1197,11 +1250,11 @@ Status Evaluation::EvaluateScc(SccWork* work) {
       if (rule.recursive_atoms.empty()) variants.emplace_back(&rule, -1);
     }
     Status s = EvaluateVariants(variants, snapshot, {}, &staged, &scc_stats);
+    if (s.ok()) s = apply_staged();
     if (!s.ok()) {
       merge_stats();
       return s;
     }
-    apply_staged();
   }
 
   // Phase 2: fixpoint. Each round evaluates one variant per recursive
@@ -1249,7 +1302,11 @@ Status Evaluation::EvaluateScc(SccWork* work) {
     for (const std::string& pred : scc_preds) {
       delta_begin[pred] = snapshot[pred];
     }
-    apply_staged();
+    s = apply_staged();
+    if (!s.ok()) {
+      merge_stats();
+      return s;
+    }
   }
 
   // Compact lattice relations: drop rows superseded by better values.

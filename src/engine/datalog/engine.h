@@ -25,7 +25,7 @@
 //    pool. Workers emit into per-task buffers (recycled through the
 //    context's object pool across rounds); the merge is sharded per
 //    target relation — each relation's staged runs apply in task order
-//    through Relation::InsertBatch on one pool task — so derived
+//    through Relation::InsertColumns on one pool task — so derived
 //    relations are bit-identical to a 1-thread run at any thread count.
 
 #include <cstddef>

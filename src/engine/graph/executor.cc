@@ -407,6 +407,13 @@ class RowExecution {
 
     const std::string upper = schema::ToUpperSnake(edge.label);
     int id_prop_col = info->PropertyColumn("id");
+    // Borrow the edge-id column once for the whole expansion.
+    Relation::ColumnView edge_id_col;
+    if (bind_edge) {
+      Result<Relation::ColumnView> c = store_.EdgeColumn(upper, id_prop_col);
+      RAQLET_RETURN_IF_ERROR(c.status());
+      edge_id_col = *c;
+    }
     std::vector<Tuple> next;
     auto emit = [&](const Tuple& base, int64_t src_id, int64_t dst_id,
                     uint32_t edge_row) {
@@ -422,8 +429,7 @@ class RowExecution {
         return;  // (a)-[:X]->(a): self loop required
       }
       if (bind_edge) {
-        const Tuple& edge_tuple = *store_.EdgeRow(upper, edge_row).value();
-        row.push_back(edge_tuple[static_cast<size_t>(id_prop_col)]);
+        row.push_back(edge_id_col.at(edge_row));
         row.push_back(Value::Number(edge_row));
       }
       next.push_back(std::move(row));
@@ -835,7 +841,7 @@ class RowExecution {
 // column through that selection in one pass per column — no per-match row
 // copy, no per-row allocation. WHERE compacts via a selection mask,
 // projection evaluates items column-at-a-time, and DISTINCT dedups once per
-// batch through Relation::InsertBatch. Row order is bit-identical to the
+// batch through Relation::InsertColumns. Row order is bit-identical to the
 // row-binding interpreter (asserted by cross_engine_test.cc).
 // ---------------------------------------------------------------------------
 
@@ -1071,6 +1077,13 @@ class BatchExecution {
 
     const std::string upper = schema::ToUpperSnake(edge.label);
     int id_prop_col = info->PropertyColumn("id");
+    // Borrow the edge-id column once for the whole expansion.
+    Relation::ColumnView edge_id_col;
+    if (bind_edge) {
+      Result<Relation::ColumnView> c = store_.EdgeColumn(upper, id_prop_col);
+      RAQLET_RETURN_IF_ERROR(c.status());
+      edge_id_col = *c;
+    }
 
     // Per-match output: the source-row selection plus one vector per
     // newly-bound column. Prior columns are gathered once at the end.
@@ -1093,8 +1106,7 @@ class BatchExecution {
         col_dst.push_back(Value::Number(dst_id));
       }
       if (bind_edge) {
-        const Tuple& edge_tuple = *store_.EdgeRow(upper, edge_row).value();
-        col_edge.push_back(edge_tuple[static_cast<size_t>(id_prop_col)]);
+        col_edge.push_back(edge_id_col.at(edge_row));
         col_erow.push_back(Value::Number(edge_row));
       }
       if (stats_ != nullptr) ++stats_->rows_expanded;
@@ -1604,21 +1616,19 @@ class BatchExecution {
     }
 
     if (distinct) {
-      // Materialize once, dedup once per batch in Relation's flat
-      // open-addressing table (first occurrence wins, batch order kept —
-      // the same policy the per-tuple hash set implemented).
-      std::vector<Tuple> tuples;
-      tuples.reserve(n);
-      for (size_t i = 0; i < n; ++i) {
-        Tuple t;
-        t.reserve(out_cols);
-        for (size_t c = 0; c < out_cols; ++c) t.push_back(out[c].at(i));
-        tuples.push_back(std::move(t));
+      // Stage the evaluated columns and dedup once per batch through
+      // Relation::InsertColumns (first occurrence wins, batch order kept —
+      // the same policy the per-tuple hash set implemented). Columnar in,
+      // columnar out; rows are only boxed for the final RETURN.
+      std::vector<std::vector<Value>> staged(out_cols);
+      for (size_t c = 0; c < out_cols; ++c) {
+        staged[c].reserve(n);
+        for (size_t i = 0; i < n; ++i) staged[c].push_back(out[c].at(i));
       }
       Relation dedup_rel(ScratchSchema(out_cols));
-      dedup_rel.InsertBatchInPlace(&tuples);
-      std::vector<Tuple> rows = dedup_rel.ReleaseRows();
+      RAQLET_RETURN_IF_ERROR(dedup_rel.InsertColumns(&staged).status());
       if (is_return) {
+        std::vector<Tuple> rows = dedup_rel.ReleaseRows();
         DropHidden(next, &rows);
         table_ = std::move(*next);
         table_.rows = rows.size();
@@ -1626,14 +1636,10 @@ class BatchExecution {
         have_result_rows_ = true;
         return Status::OK();
       }
-      // Intermediate WITH DISTINCT: back to columns.
-      next->cols.assign(out_cols, {});
-      for (size_t c = 0; c < out_cols; ++c) {
-        std::vector<Value>& col = next->cols[c];
-        col.resize(rows.size());
-        for (size_t i = 0; i < rows.size(); ++i) col[i] = rows[i][c];
-      }
-      next->rows = rows.size();
+      // Intermediate WITH DISTINCT: stay columnar.
+      const size_t kept = dedup_rel.size();
+      next->cols = dedup_rel.ReleaseColumns();
+      next->rows = kept;
       table_ = std::move(*next);
       have_result_rows_ = false;
       return Status::OK();

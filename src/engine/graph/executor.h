@@ -17,8 +17,10 @@
 //    row copy), WHERE filters compact via selection masks, the memoized
 //    reachability closure unions straight into a column, and RETURN/WITH
 //    projection evaluates items column-at-a-time with DISTINCT deduped
-//    once per batch through Relation::InsertBatch's flat open-addressing
-//    table. Aggregates (count/sum/min/max/avg) accumulate column-wise.
+//    once per batch through Relation::InsertColumns' flat open-addressing
+//    table (columnar in, columnar out; edge-id binding borrows the edge
+//    relation's column storage zero-copy). Aggregates (count/sum/min/max/
+//    avg) accumulate column-wise.
 //  * kRowBinding: the historical per-binding interpreter — every MATCH
 //    step copies and extends whole rows, one binding at a time, and
 //    DISTINCT rehashes tuple by tuple. Kept as the faithful per-binding

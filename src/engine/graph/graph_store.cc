@@ -23,8 +23,9 @@ Result<GraphStore> GraphStore::Build(const schema::DlSchema& dl,
     data.info = &info;
     data.relation = rel;
     data.node_ids.reserve(rel->size());
+    Relation::ColumnView ids = rel->Column(0);
     for (uint32_t i = 0; i < rel->size(); ++i) {
-      int64_t id = rel->rows()[i][0].AsNumber();
+      int64_t id = ids.at(i).AsNumber();
       data.node_ids.push_back(id);
       data.row_of.emplace(id, i);
     }
@@ -36,9 +37,11 @@ Result<GraphStore> GraphStore::Build(const schema::DlSchema& dl,
     EdgeData data;
     data.info = &info;
     data.relation = rel;
+    Relation::ColumnView srcs = rel->Column(0);
+    Relation::ColumnView dsts = rel->Column(1);
     for (uint32_t i = 0; i < rel->size(); ++i) {
-      int64_t src = rel->rows()[i][0].AsNumber();
-      int64_t dst = rel->rows()[i][1].AsNumber();
+      int64_t src = srcs.at(i).AsNumber();
+      int64_t dst = dsts.at(i).AsNumber();
       data.forward[src].push_back(Neighbor{dst, i});
       data.backward[dst].push_back(Neighbor{src, i});
     }
@@ -92,7 +95,7 @@ Result<Value> GraphStore::NodeProperty(const std::string& label, int64_t node,
     return Status::NotFound("label '" + label + "' has no property '" +
                             property + "'");
   }
-  return data.relation->rows()[row->second][static_cast<size_t>(col)];
+  return data.relation->ValueAt(row->second, static_cast<size_t>(col));
 }
 
 Result<Value> GraphStore::EdgeProperty(const std::string& edge_label,
@@ -107,16 +110,16 @@ Result<Value> GraphStore::EdgeProperty(const std::string& edge_label,
     return Status::NotFound("edge '" + edge_label + "' has no property '" +
                             property + "'");
   }
-  return it->second.relation->rows()[edge_row][static_cast<size_t>(col)];
+  return it->second.relation->ValueAt(edge_row, static_cast<size_t>(col));
 }
 
-Result<const Tuple*> GraphStore::EdgeRow(const std::string& edge_label,
-                                         uint32_t edge_row) const {
+Result<Relation::ColumnView> GraphStore::EdgeColumn(
+    const std::string& edge_label, int col) const {
   auto it = edges_.find(schema::ToUpperSnake(edge_label));
   if (it == edges_.end()) {
     return Status::NotFound("no edge label '" + edge_label + "'");
   }
-  return &it->second.relation->rows()[edge_row];
+  return it->second.relation->Column(static_cast<size_t>(col));
 }
 
 }  // namespace raqlet::engine

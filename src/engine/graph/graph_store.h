@@ -8,10 +8,11 @@
 //
 // The store is immutable after Build and holds no locks: the graph
 // executor (either binding-table mode, see engine/graph/executor.h) only
-// ever reads it. Property tuples are referenced out of the source
-// Database's relations, not copied — an edge is identified across the
-// engine by its row index in the edge relation (Neighbor::edge_row),
-// which is also how edge property access and edge-id binding resolve.
+// ever reads it. Property values are read straight out of the source
+// Database's columnar relation storage, not copied — an edge is
+// identified across the engine by its row index in the edge relation
+// (Neighbor::edge_row), which is also how edge property access and
+// edge-id binding resolve (zero-copy column borrows via EdgeColumn).
 
 #include <cstdint>
 #include <map>
@@ -61,9 +62,12 @@ class GraphStore {
   Result<Value> EdgeProperty(const std::string& edge_label, uint32_t edge_row,
                              const std::string& property) const;
 
-  /// The edge relation row (for binding edge ids).
-  Result<const Tuple*> EdgeRow(const std::string& edge_label,
-                               uint32_t edge_row) const;
+  /// Zero-copy view of one column of the edge relation (used to bind edge
+  /// ids for a whole expansion without materializing row tuples). Valid
+  /// until the underlying relation is next mutated — i.e. for the full
+  /// lifetime of a query against an immutable store.
+  Result<Relation::ColumnView> EdgeColumn(const std::string& edge_label,
+                                          int col) const;
 
   size_t NodeCount() const { return total_nodes_; }
   size_t EdgeCount() const { return total_edges_; }

@@ -55,6 +55,10 @@ struct StepPlan {
   // slot) pairs this step's table materializes.
   std::vector<size_t> prior_slots;
   std::vector<std::pair<int, size_t>> new_cols;
+  // Zero-copy views of every column of `rel`, borrowed at plan time.
+  // Valid for the whole evaluation: the only relation mutated during it is
+  // the output, and merges happen after the pipeline's reads complete.
+  std::vector<Relation::ColumnView> rel_cols;
 };
 
 // Prebuilt NOT EXISTS anti-join: resolved relation, key columns, index.
@@ -65,22 +69,39 @@ struct NePlan {
   const Relation::KeyIndex* index = nullptr;  // null when cols is empty
 };
 
-// Columnar batch of intermediate join bindings: one Value column per
-// referenced table column (assigned a dense "slot"), rows are implicit.
-// Slots of tables not yet joined hold empty vectors.
+// One column of intermediate join bindings: either values the pipeline
+// owns (gathered through a match selection or computed) or a zero-copy
+// view borrowed straight from a Relation's column storage (the leading
+// full-table scan). The flag is explicit — an empty owned vector is a
+// legal filled column of zero rows, not a view marker.
+struct BatchColumn {
+  std::vector<Value> owned;
+  Relation::ColumnView view;
+  bool is_view = false;
+  size_t size() const { return is_view ? view.size() : owned.size(); }
+  Value at(size_t i) const { return is_view ? view.at(i) : owned[i]; }
+  void clear() {
+    owned.clear();
+    view = Relation::ColumnView();
+    is_view = false;
+  }
+};
+
+// Columnar batch of intermediate join bindings: one column per referenced
+// table column (assigned a dense "slot"), rows are implicit. Slots of
+// tables not yet joined hold unfilled (zero-size, non-view) columns.
 struct Batch {
-  std::vector<std::vector<Value>> cols;  // indexed by slot
+  std::vector<BatchColumn> cols;  // indexed by slot
   size_t rows = 0;
 };
 
-// An expression evaluated over a Batch: either a borrowed column (one
-// value per batch row) or a broadcast scalar.
+// An expression evaluated over a Batch: either a borrowed batch column
+// (one value per batch row) or a broadcast scalar. `at` re-boxes by value
+// — the underlying column may be an unboxed storage view.
 struct BatchCol {
-  const std::vector<Value>* col = nullptr;
+  const BatchColumn* col = nullptr;
   Value scalar;
-  const Value& at(size_t i) const {
-    return col != nullptr ? (*col)[i] : scalar;
-  }
+  Value at(size_t i) const { return col != nullptr ? col->at(i) : scalar; }
 };
 
 // Minimum step-0 scan rows per parallel chunk; below this the pipeline
@@ -329,6 +350,16 @@ class SelectEvaluator {
     PreinternConstants();
 
     if (mode_ == SqlMode::kVectorized && !plan_.empty()) {
+      // Borrow every table's column storage once, up front (cheap view
+      // handles; see the Relation borrowing contract). The pipeline reads
+      // finish before results merge into the output relation, so the
+      // views stay valid even when a recursive CTE scans itself.
+      for (StepPlan& step : plan_) {
+        step.rel_cols.reserve(step.rel->arity());
+        for (size_t c = 0; c < step.rel->arity(); ++c) {
+          step.rel_cols.push_back(step.rel->Column(c));
+        }
+      }
       return BuildBatchSlots();
     }
     return Status::OK();
@@ -540,8 +571,7 @@ class SelectEvaluator {
   // ---------------------------------------------------------------------
 
   Result<BatchCol> EvalExprBatch(const Expr& e, const Batch& b,
-                                 std::deque<std::vector<Value>>* scratch)
-      const {
+                                 std::deque<BatchColumn>* scratch) const {
     switch (e.kind) {
       case Expr::kColumn: {
         auto it = alias_index_.find(e.table);
@@ -584,10 +614,10 @@ class SelectEvaluator {
           return out;
         }
         scratch->emplace_back();
-        std::vector<Value>& dst = scratch->back();
-        dst.resize(b.rows);
+        BatchColumn& dst = scratch->back();
+        dst.owned.resize(b.rows);
         for (size_t i = 0; i < b.rows; ++i) {
-          RAQLET_ASSIGN_OR_RETURN(dst[i],
+          RAQLET_ASSIGN_OR_RETURN(dst.owned[i],
                                   EvalArith(e.op, lhs.at(i), rhs.at(i)));
         }
         BatchCol out;
@@ -601,18 +631,30 @@ class SelectEvaluator {
   }
 
   // Drops batch rows whose keep flag is 0, compacting every live column
-  // in place (stable).
+  // (stable). Owned columns compact in place; borrowed storage views
+  // materialize their survivors into owned values (first copy those rows
+  // ever see).
   void CompactBatch(Batch* b, const std::vector<char>& keep) const {
     size_t kept = 0;
     for (size_t i = 0; i < b->rows; ++i) kept += keep[i] != 0;
     if (kept == b->rows) return;
-    for (std::vector<Value>& col : b->cols) {
-      if (col.empty()) continue;
+    for (BatchColumn& col : b->cols) {
+      if (col.size() == 0) continue;  // unfilled slot
+      if (col.is_view) {
+        col.owned.clear();
+        col.owned.reserve(kept);
+        for (size_t i = 0; i < b->rows; ++i) {
+          if (keep[i]) col.owned.push_back(col.view.at(i));
+        }
+        col.view = Relation::ColumnView();
+        col.is_view = false;
+        continue;
+      }
       size_t w = 0;
       for (size_t i = 0; i < b->rows; ++i) {
-        if (keep[i]) col[w++] = col[i];
+        if (keep[i]) col.owned[w++] = col.owned[i];
       }
-      col.resize(w);
+      col.owned.resize(w);
     }
     b->rows = kept;
   }
@@ -621,15 +663,19 @@ class SelectEvaluator {
   // the prebuilt hash index once per batch of keys (or scan `[begin,end)`
   // of the table when there are no probes), gather the surviving prior
   // columns through the match selection, materialize this table's
-  // columns, and apply the step's filters as selection masks.
+  // columns, and apply the step's filters as selection masks. A leading
+  // scan does not gather at all: it borrows the table's column storage as
+  // zero-copy views — values are first copied only when a filter compacts
+  // or a later step gathers through its match selection.
   Status ExtendBatch(const StepPlan& step, size_t begin, size_t end,
                      Batch* batch, size_t* scanned) const {
-    const std::vector<Tuple>& rows = step.rel->rows();
     Batch in = std::move(*batch);
-    std::vector<uint32_t> src;    // batch row of each match
-    std::vector<uint32_t> match;  // table row of each match
-    std::deque<std::vector<Value>> scratch;
+    Batch out;
+    out.cols.resize(slot_count_);
+    std::deque<BatchColumn> scratch;
     if (!step.probes.empty()) {
+      std::vector<uint32_t> src;    // batch row of each match
+      std::vector<uint32_t> match;  // table row of each match
       std::vector<BatchCol> keys;
       keys.reserve(step.probes.size());
       for (const ProbeSpec& probe : step.probes) {
@@ -648,34 +694,52 @@ class SelectEvaluator {
           match.push_back(row_idx);
         }
       }
+      out.rows = src.size();
+      for (size_t slot : step.prior_slots) {
+        const BatchColumn& sv = in.cols[slot];
+        std::vector<Value>& dst = out.cols[slot].owned;
+        dst.resize(src.size());
+        for (size_t k = 0; k < src.size(); ++k) dst[k] = sv.at(src[k]);
+      }
+      for (const auto& [col, slot] : step.new_cols) {
+        const Relation::ColumnView& cv =
+            step.rel_cols[static_cast<size_t>(col)];
+        std::vector<Value>& dst = out.cols[slot].owned;
+        dst.resize(match.size());
+        for (size_t k = 0; k < match.size(); ++k) dst[k] = cv.at(match[k]);
+      }
     } else {
-      const size_t limit = std::min(end, rows.size());
+      const size_t limit = std::min(end, step.rel->size());
       const size_t count = limit > begin ? limit - begin : 0;
       *scanned += in.rows * count;
-      src.reserve(in.rows * count);
-      match.reserve(in.rows * count);
-      for (size_t i = 0; i < in.rows; ++i) {
-        for (size_t r = begin; r < limit; ++r) {
-          src.push_back(static_cast<uint32_t>(i));
-          match.push_back(static_cast<uint32_t>(r));
+      if (in.rows == 1 && step.prior_slots.empty()) {
+        // Leading scan over the unit batch: zero-copy column borrow.
+        out.rows = count;
+        for (const auto& [col, slot] : step.new_cols) {
+          out.cols[slot].view =
+              step.rel->ColumnSlice(static_cast<size_t>(col), begin, limit);
+          out.cols[slot].is_view = true;
         }
-      }
-    }
-
-    Batch out;
-    out.cols.resize(slot_count_);
-    out.rows = src.size();
-    for (size_t slot : step.prior_slots) {
-      const std::vector<Value>& sv = in.cols[slot];
-      std::vector<Value>& dst = out.cols[slot];
-      dst.resize(src.size());
-      for (size_t k = 0; k < src.size(); ++k) dst[k] = sv[src[k]];
-    }
-    for (const auto& [col, slot] : step.new_cols) {
-      std::vector<Value>& dst = out.cols[slot];
-      dst.resize(match.size());
-      for (size_t k = 0; k < match.size(); ++k) {
-        dst[k] = rows[match[k]][static_cast<size_t>(col)];
+      } else {
+        // Cross-join step: every batch row pairs with every table row.
+        out.rows = in.rows * count;
+        for (size_t slot : step.prior_slots) {
+          const BatchColumn& sv = in.cols[slot];
+          std::vector<Value>& dst = out.cols[slot].owned;
+          dst.reserve(out.rows);
+          for (size_t i = 0; i < in.rows; ++i) {
+            for (size_t r = 0; r < count; ++r) dst.push_back(sv.at(i));
+          }
+        }
+        for (const auto& [col, slot] : step.new_cols) {
+          const Relation::ColumnView& cv =
+              step.rel_cols[static_cast<size_t>(col)];
+          std::vector<Value>& dst = out.cols[slot].owned;
+          dst.reserve(out.rows);
+          for (size_t i = 0; i < in.rows; ++i) {
+            for (size_t r = begin; r < limit; ++r) dst.push_back(cv.at(r));
+          }
+        }
       }
     }
 
@@ -684,7 +748,7 @@ class SelectEvaluator {
     // same short-circuit the tuple pipeline gets per row.
     for (const Predicate* pred : step.filters) {
       if (out.rows == 0) break;
-      std::deque<std::vector<Value>> fscratch;
+      std::deque<BatchColumn> fscratch;
       RAQLET_ASSIGN_OR_RETURN(BatchCol lhs,
                               EvalExprBatch(pred->lhs, out, &fscratch));
       RAQLET_ASSIGN_OR_RETURN(BatchCol rhs,
@@ -706,12 +770,12 @@ class SelectEvaluator {
       if (batch->rows == 0) return Status::OK();
       if (plan.cols.empty()) {
         if (!plan.rel->empty()) {
-          for (std::vector<Value>& col : batch->cols) col.clear();
+          for (BatchColumn& col : batch->cols) col.clear();
           batch->rows = 0;
         }
         continue;
       }
-      std::deque<std::vector<Value>> scratch;
+      std::deque<BatchColumn> scratch;
       std::vector<BatchCol> keys;
       keys.reserve(plan.cols.size());
       for (const auto& [column, expr] : plan.ne->equalities) {
@@ -747,9 +811,12 @@ class SelectEvaluator {
     return FilterNotExistsBatch(batch);
   }
 
-  // Projects the final batch into output tuples (appended to `out`).
-  Status ProjectBatch(const Batch& batch, std::vector<Tuple>* out) const {
-    std::deque<std::vector<Value>> scratch;
+  // Projects the final batch column-wise: one staged output column per
+  // select item, appended to `out_cols` — the columnar merge shape
+  // Relation::InsertColumns consumes without ever boxing a row tuple.
+  Status ProjectBatch(const Batch& batch,
+                      std::vector<std::vector<Value>>* out_cols) const {
+    std::deque<BatchColumn> scratch;
     std::vector<BatchCol> cols;
     cols.reserve(select_.items.size());
     for (const SelectItem& item : select_.items) {
@@ -757,22 +824,22 @@ class SelectEvaluator {
                               EvalExprBatch(item.expr, batch, &scratch));
       cols.push_back(c);
     }
-    out->reserve(out->size() + batch.rows);
-    for (size_t i = 0; i < batch.rows; ++i) {
-      Tuple t;
-      t.reserve(cols.size());
-      for (const BatchCol& c : cols) t.push_back(c.at(i));
-      out->push_back(std::move(t));
+    out_cols->resize(cols.size());
+    for (size_t j = 0; j < cols.size(); ++j) {
+      std::vector<Value>& dst = (*out_cols)[j];
+      dst.reserve(dst.size() + batch.rows);
+      for (size_t i = 0; i < batch.rows; ++i) dst.push_back(cols[j].at(i));
     }
     return Status::OK();
   }
 
-  Status RunChunk(size_t begin, size_t end, std::vector<Tuple>* out,
+  Status RunChunk(size_t begin, size_t end,
+                  std::vector<std::vector<Value>>* out_cols,
                   size_t* scanned) const {
     Batch batch;
     RAQLET_RETURN_IF_ERROR(RunPipeline(begin, end, &batch, scanned));
     if (batch.rows == 0) return Status::OK();
-    return ProjectBatch(batch, out);
+    return ProjectBatch(batch, out_cols);
   }
 
   // Vectorized driver: single batch when serial, otherwise the leading
@@ -798,15 +865,13 @@ class SelectEvaluator {
       nchunks = std::clamp<size_t>(scan_rows / kChunkRows, 1, max_chunks);
     }
     if (nchunks <= 1) {
-      std::vector<Tuple> tuples;
+      std::vector<std::vector<Value>> cols;
       size_t scanned = 0;
-      RAQLET_RETURN_IF_ERROR(
-          RunChunk(scan_begin, scan_end, &tuples, &scanned));
+      RAQLET_RETURN_IF_ERROR(RunChunk(scan_begin, scan_end, &cols, &scanned));
       if (stats_ != nullptr) stats_->rows_scanned += scanned;
-      out->InsertBatchInPlace(&tuples);
-      return Status::OK();
+      return out->InsertColumns(&cols).status();
     }
-    std::vector<std::vector<Tuple>> chunk_tuples(nchunks);
+    std::vector<std::vector<std::vector<Value>>> chunk_cols(nchunks);
     std::vector<size_t> chunk_scanned(nchunks, 0);
     std::vector<Status> chunk_status(nchunks);
     const size_t per_chunk = (scan_rows + nchunks - 1) / nchunks;
@@ -814,7 +879,7 @@ class SelectEvaluator {
       const size_t begin = scan_begin + c * per_chunk;
       const size_t end = std::min(scan_end, begin + per_chunk);
       if (begin >= end) return;
-      chunk_status[c] = RunChunk(begin, end, &chunk_tuples[c],
+      chunk_status[c] = RunChunk(begin, end, &chunk_cols[c],
                                  &chunk_scanned[c]);
     });
     for (const Status& status : chunk_status) {
@@ -822,7 +887,7 @@ class SelectEvaluator {
     }
     for (size_t c = 0; c < nchunks; ++c) {
       if (stats_ != nullptr) stats_->rows_scanned += chunk_scanned[c];
-      out->InsertBatchInPlace(&chunk_tuples[c]);
+      RAQLET_RETURN_IF_ERROR(out->InsertColumns(&chunk_cols[c]).status());
     }
     return Status::OK();
   }
@@ -899,7 +964,7 @@ class SelectEvaluator {
           RunPipeline(LeadScanBegin(), LeadScanEnd(), &batch, &scanned));
       if (stats_ != nullptr) stats_->rows_scanned += scanned;
       if (batch.rows > 0) {
-        std::deque<std::vector<Value>> scratch;
+        std::deque<BatchColumn> scratch;
         std::vector<BatchCol> key_cols;
         std::vector<std::optional<BatchCol>> arg_cols;
         for (size_t i = 0; i < select_.items.size(); ++i) {
@@ -1191,7 +1256,8 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
         // SQL:1999 working-table iteration (tuple mode, and non-linear
         // recursion in either mode).
         auto working = std::make_unique<Relation>(schema);
-        working->InsertBatch(rel->rows());
+        RAQLET_RETURN_IF_ERROR(
+            working->InsertBatch(rel->MaterializeRows()).status());
         while (!working->empty()) {
           RAQLET_RETURN_IF_ERROR(check_cap());
           TableResolver rec_resolver =
@@ -1210,9 +1276,9 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
             RAQLET_RETURN_IF_ERROR(eval.Evaluate(rel.get()));
           }
           auto next_working = std::make_unique<Relation>(schema);
-          next_working->InsertBatch(std::vector<Tuple>(
-              rel->rows().begin() + static_cast<ptrdiff_t>(before),
-              rel->rows().end()));
+          RAQLET_RETURN_IF_ERROR(
+              next_working->InsertBatch(rel->MaterializeRows(before))
+                  .status());
           working = std::move(next_working);
         }
       }
@@ -1257,7 +1323,7 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
       }
       if (identity) {
         if (stats != nullptr) stats->rows_scanned += (*src)->size();
-        result.rows = (*src)->rows();
+        result.rows = (*src)->MaterializeRows();
         return result;
       }
     }
@@ -1267,7 +1333,7 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
   SelectEvaluator eval(program.final_select, resolver, db, options_.mode,
                        stats, pool);
   RAQLET_RETURN_IF_ERROR(eval.Evaluate(&out_rel));
-  result.rows = out_rel.rows();
+  result.rows = out_rel.ReleaseRows();
   return result;
 }
 

@@ -14,11 +14,14 @@
 //  * kVectorized (DuckDB stand-in): column-batched execution in the
 //    MonetDB/X100 lineage. Intermediate join state is a BindingBatch —
 //    one Value column per referenced table column — and every plan step
-//    is a batch operator: probe keys are evaluated column-at-a-time, the
-//    hash index is probed once per batch of keys appending match row
-//    indexes, filters produce a selection mask that compacts the whole
-//    batch, and projection feeds the output relation through
-//    Relation::InsertBatch. Aggregation accumulates column-wise over the
+//    is a batch operator: a leading full-table scan borrows the
+//    relation's column storage as zero-copy views (values are first
+//    copied when a filter compacts or a join gathers), probe keys are
+//    evaluated column-at-a-time, the hash index is probed once per batch
+//    of keys appending match row indexes, filters produce a selection
+//    mask that compacts the whole batch, and projection stages output
+//    columns that merge through Relation::InsertColumns without ever
+//    boxing a row tuple. Aggregation accumulates column-wise over the
 //    final batch. With SqlOptions::num_threads > 1 the leading scan is
 //    partitioned across the runtime's ThreadPool; per-chunk outputs merge
 //    in chunk order, so results are bit-identical to serial execution at

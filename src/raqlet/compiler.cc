@@ -147,7 +147,9 @@ Result<engine::ResultTable> Compiler::RunOnDatalog(
   for (const Column& col : rel->schema().columns) {
     result.columns.push_back(col.name);
   }
-  result.rows = rel->rows();
+  // Fresh boxed copies: keeps the (possibly benchmarked) output relation's
+  // columnar storage free of a row-compatibility cache.
+  result.rows = rel->MaterializeRows();
   return result;
 }
 

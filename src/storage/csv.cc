@@ -61,15 +61,22 @@ Status LoadDelimitedText(Database* db, Relation* relation,
     }
     Tuple row;
     row.reserve(fields.size());
+    size_t char_col = 1;  // 1-based character column of the current field
     for (size_t i = 0; i < fields.size(); ++i) {
-      RAQLET_ASSIGN_OR_RETURN(
-          Value v,
-          ParseField(db, fields[i], relation->schema().columns[i].type));
-      row.push_back(v);
+      Result<Value> v =
+          ParseField(db, fields[i], relation->schema().columns[i].type);
+      if (!v.ok()) {
+        return Status::ParseError(
+            relation->name() + " line " + std::to_string(line_no) +
+            ", column " + std::to_string(char_col) + " (field " +
+            std::to_string(i + 1) + "): " + v.status().message());
+      }
+      row.push_back(*v);
+      char_col += fields[i].size() + 1;  // skip the field and its delimiter
     }
     batch.push_back(std::move(row));
   }
-  relation->InsertBatch(std::move(batch));
+  RAQLET_RETURN_IF_ERROR(relation->InsertBatch(std::move(batch)).status());
   return Status::OK();
 }
 

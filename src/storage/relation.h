@@ -1,9 +1,10 @@
 #ifndef RAQLET_STORAGE_RELATION_H_
 #define RAQLET_STORAGE_RELATION_H_
 
-// Set-semantics tuple storage shared by the Datalog and SQL engines and by
-// the EDB loaders. Insertion order is preserved (the semi-naive evaluator
-// identifies deltas as suffixes of the row vector).
+// Set-semantics columnar tuple storage shared by the Datalog, SQL, and
+// graph engines and by the EDB loaders. Insertion order is preserved (the
+// semi-naive evaluator identifies deltas as suffixes of the row index
+// space).
 
 #include <cstdint>
 #include <mutex>
@@ -35,65 +36,188 @@ struct RelationSchema {
   std::string ToString() const;
 };
 
-/// A deduplicated, insertion-ordered bag of tuples of fixed arity.
+/// A deduplicated, insertion-ordered bag of tuples of fixed arity, stored
+/// column-wise (structure of arrays).
 ///
-/// Threading contract (single writer / multiple readers): at most one
-/// thread may mutate a Relation (Insert / InsertBatch / Clear /
-/// ReplaceRows), and while it does, no other thread may touch the relation
-/// at all. The writer need not be the same thread every time: the parallel
-/// evaluator's sharded merge hands each relation's staged run to one pool
-/// task per round, which is fine — distinct relations may be mutated by
-/// distinct threads concurrently, as long as each relation has exactly one
-/// writer and no concurrent readers of that relation. Between mutations —
-/// e.g. while a fixpoint round fans out across the pool — any number of
-/// threads may concurrently call the const accessors plus EnsureIndex,
-/// which serializes index construction internally. GetIndex is the
-/// historical single-threaded entry point: it folds new rows into the
-/// cache without locking and therefore must never run concurrently with
-/// anything else on the same relation.
+/// ## Layout
+///
+/// Each schema column is one ValueColumn: a dense array of raw 64-bit
+/// payload words plus a kind tag. While every value in a column shares one
+/// ValueType — the overwhelmingly common case; the 2-column edge/TC shape
+/// that dominates the benchmarks is two uniform kNumber columns — the
+/// per-row kind array is not allocated at all and a stored value costs
+/// exactly 8 bytes. The first kind-mismatched append materializes a lazy
+/// byte-per-row kind sidecar and the column degrades gracefully to tagged
+/// storage (9 bytes/value). Compare with the previous row layout, where
+/// every row was a heap-allocated std::vector<Value> costing 24 bytes of
+/// vector header plus 16 bytes per value plus allocator overhead.
+///
+/// Duplicate elimination is a flat open-addressing table of
+/// (hash32, row-index) slots with linear probing; it stores no tuples, and
+/// probes compare candidate values against the column arrays directly.
+/// Insertion through any path (row-at-a-time, row batches, or columnar
+/// batches via InsertColumns) makes bit-identical dedup decisions in
+/// batch order: the first occurrence of a duplicate wins, exactly as a
+/// per-tuple Insert loop would decide.
+///
+/// ## Borrowing contract
+///
+/// Column(c) / ColumnSlice(c, begin, end) return zero-copy ColumnView
+/// handles into the live column arrays. A borrowed view is valid only
+/// until the next mutation of the relation (Insert / InsertBatch /
+/// InsertColumns / Clear / ReplaceRows / ReleaseRows), exactly like the
+/// KeyIndex pointer returned by EnsureIndex: mutations may reallocate the
+/// underlying arrays or materialize a kind sidecar. Executors therefore
+/// re-borrow at plan/batch-build time each round, never across rounds.
+///
+/// ## Threading contract (single writer / multiple readers)
+///
+/// At most one thread may mutate a Relation, and while it does, no other
+/// thread may touch the relation at all. The writer need not be the same
+/// thread every time: the parallel evaluator's sharded merge hands each
+/// relation's staged run to one pool task per round, which is fine —
+/// distinct relations may be mutated by distinct threads concurrently, as
+/// long as each relation has exactly one writer and no concurrent readers
+/// of that relation. Between mutations — e.g. while a fixpoint round fans
+/// out across the pool — any number of threads may concurrently call the
+/// const accessors (size, Contains, Column, ColumnSlice, ValueAt) plus
+/// EnsureIndex, which serializes index construction internally. Two
+/// exceptions are NOT safe to call concurrently even though they are
+/// const, because they fold lazily-materialized caches without locking:
+/// GetIndex (the historical single-threaded index entry point) and rows()
+/// (the row-compatibility view, which materializes boxed tuples on
+/// demand). Both must only run while the caller holds the relation
+/// single-threadedly; the hot engine paths use EnsureIndex and
+/// ColumnView instead.
 class Relation {
  public:
+  /// Zero-copy read-only view of a contiguous slice of one stored column.
+  /// `at(i)` re-boxes the i-th value of the slice. Invalidated by the next
+  /// mutation of the owning relation (see the borrowing contract above).
+  class ColumnView {
+   public:
+    ColumnView() = default;
+
+    size_t size() const { return size_; }
+
+    Value at(size_t i) const {
+      return Value::FromRaw(
+          kinds_ != nullptr ? static_cast<ValueType>(kinds_[i]) : kind_,
+          words_[i]);
+    }
+
+    /// Raw unboxed payload words of the slice (64-bit, floats bit-cast).
+    const int64_t* words() const { return words_; }
+    /// Per-row kind tags, or nullptr when the column is uniformly `kind()`.
+    const uint8_t* kinds() const { return kinds_; }
+    /// The shared ValueType when kinds() == nullptr.
+    ValueType kind() const { return kind_; }
+    /// True when every value in the slice is a kNumber with no kind
+    /// sidecar — the unboxed fast-path shape.
+    bool uniform_number() const {
+      return kinds_ == nullptr && kind_ == ValueType::kNumber;
+    }
+
+   private:
+    friend class Relation;
+    const int64_t* words_ = nullptr;
+    const uint8_t* kinds_ = nullptr;
+    ValueType kind_ = ValueType::kNull;
+    size_t size_ = 0;
+  };
+
   Relation() = default;
-  explicit Relation(RelationSchema schema) : schema_(std::move(schema)) {}
+  explicit Relation(RelationSchema schema) : schema_(std::move(schema)) {
+    columns_.resize(schema_.arity());
+  }
+
+  /// Clears all rows and replaces the schema (and column layout). For
+  /// callers that materialize derived relations into a shared Database
+  /// and reuse a name across programs whose declarations differ: a bare
+  /// Clear() keeps the old schema, so arity()-driven readers (column
+  /// borrowing) would see a stale width once the new program inserts.
+  void ResetSchema(RelationSchema schema) {
+    Clear();
+    schema_ = std::move(schema);
+    columns_.assign(schema_.arity(), ValueColumn());
+  }
 
   const RelationSchema& schema() const { return schema_; }
   const std::string& name() const { return schema_.name; }
   size_t arity() const { return schema_.arity(); }
-  size_t size() const { return rows_.size(); }
-  bool empty() const { return rows_.empty(); }
+  size_t size() const { return row_count_; }
+  bool empty() const { return row_count_ == 0; }
 
   /// Inserts `t` if not already present. Returns true if the tuple is new.
+  /// Aborts loudly at the 2^32-1 row-index ceiling (legacy per-row path;
+  /// the batch paths report the condition as a Status instead).
   bool Insert(Tuple t);
 
   /// Bulk insert: appends every tuple of `batch` not already present (in
   /// the relation or earlier in the batch), preserving batch order — the
   /// first occurrence of a duplicate wins, exactly as a per-tuple Insert
-  /// loop would decide. Reserves rows_ and the dedup table once for the
-  /// whole batch and folds the new row suffix into every cached index in
-  /// a single pass per index, so a batch costs one scan where per-tuple
-  /// insertion paid a probe-site fold and amortized rehashes. Returns the
-  /// number of tuples actually inserted. This is the dedup primitive of
-  /// every batched producer: the Datalog engine's sharded merge, the SQL
-  /// engine's vectorized projection, and the graph engine's column-batch
-  /// DISTINCT all land here.
-  size_t InsertBatch(std::vector<Tuple> batch);
+  /// loop would decide. Reserves the columns and the dedup table once for
+  /// the whole batch and folds the new row suffix into every cached index
+  /// in a single pass per index. Returns the number of tuples actually
+  /// inserted, or an error (with the relation unmodified) if the batch
+  /// could overflow the 32-bit row-index space: the check is conservative
+  /// — it counts the whole batch before deduplication.
+  Result<size_t> InsertBatch(std::vector<Tuple> batch);
 
   /// In-place variant: consumes the tuples but leaves `*batch` cleared
   /// with its capacity intact, so callers staging through recycled
   /// buffers (the engine's pooled EmitBuffers) keep their allocation
-  /// across rounds.
-  size_t InsertBatchInPlace(std::vector<Tuple>* batch);
+  /// across rounds. On error the relation AND the batch are unmodified.
+  Result<size_t> InsertBatchInPlace(std::vector<Tuple>* batch);
 
-  /// Moves the row storage out and leaves the relation empty (schema
-  /// kept; dedup table and cached indexes dropped). For callers that use
-  /// a scratch Relation purely as a batch deduplicator — InsertBatch,
-  /// then take the surviving rows without copying them back out.
+  /// Columnar bulk insert: `(*cols)[c][i]` is row i of column c, and
+  /// cols->size() must equal the relation arity (each column the same
+  /// length). Dedup decisions and insertion order are bit-identical to
+  /// feeding the same rows through InsertBatch. Consumes the values and
+  /// leaves every staged column cleared with capacity intact. This is the
+  /// native batch primitive of the columnar producers: the Datalog
+  /// sharded merge, the SQL vectorized projection, and the graph
+  /// column-batch DISTINCT all land here without materializing row
+  /// tuples. The 2-column all-kNumber shape takes an unboxed fast path
+  /// that hashes and compares raw words. On error the relation and the
+  /// staged columns are unmodified.
+  Result<size_t> InsertColumns(std::vector<std::vector<Value>>* cols);
+
+  /// Materializes all rows, moves them out, and leaves the relation empty
+  /// (schema kept; columns, dedup table and cached indexes dropped). For
+  /// callers that use a scratch Relation purely as a batch deduplicator —
+  /// insert, then take the surviving rows.
   std::vector<Tuple> ReleaseRows();
+
+  /// Columnar analogue of ReleaseRows: moves the surviving values out as
+  /// one boxed vector per column and leaves the relation empty.
+  std::vector<std::vector<Value>> ReleaseColumns();
 
   bool Contains(const Tuple& t) const;
 
-  /// Rows in insertion order. Stable across inserts (indices never move).
-  const std::vector<Tuple>& rows() const { return rows_; }
+  /// Row-compatibility view: boxed tuples in insertion order, materialized
+  /// lazily from the columns and cached (indices stable across inserts).
+  /// NOT safe to call concurrently with itself or any other access (it
+  /// folds the cache without locking — see the threading contract);
+  /// serial-only consumers (the tuple pipeline, loaders, result assembly,
+  /// tests) use it freely, hot paths borrow ColumnViews instead.
+  const std::vector<Tuple>& rows() const;
+
+  /// Fresh boxed copies of rows [begin, size()), bypassing (and not
+  /// populating) the rows() cache. Safe under the multi-reader phase.
+  std::vector<Tuple> MaterializeRows(size_t begin = 0) const;
+
+  /// Zero-copy view of column `col` (all rows). Returns an empty view for
+  /// out-of-range columns. See the borrowing contract above.
+  ColumnView Column(size_t col) const { return ColumnSlice(col, 0, row_count_); }
+
+  /// Zero-copy view of rows [begin, end) of column `col`.
+  ColumnView ColumnSlice(size_t col, size_t begin, size_t end) const;
+
+  /// Boxes the single value at (row, col).
+  Value ValueAt(size_t row, size_t col) const {
+    return columns_[col].Get(row);
+  }
 
   void Clear();
 
@@ -101,8 +225,8 @@ class Relation {
   /// row onto `key_columns` to the list of row indices with that key.
   /// Indexes are maintained incrementally: rows inserted after the index was
   /// built are folded in on the next GetIndex call (or eagerly, once per
-  /// batch, by InsertBatch), so interleaving inserts and probes (semi-naive
-  /// evaluation) stays linear.
+  /// batch, by the batch inserters), so interleaving inserts and probes
+  /// (semi-naive evaluation) stays linear.
   /// Row-index lists within one key are in ascending (insertion) order —
   /// the semi-naive evaluator's deterministic merge relies on this.
   using KeyIndex = std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash>;
@@ -121,42 +245,164 @@ class Relation {
   /// Used by the engine to compact lattice relations at stratum boundaries.
   void ReplaceRows(std::vector<Tuple> rows);
 
+  /// Bytes of heap held by the column arrays, kind sidecars, dedup table,
+  /// and (estimated) the row-compatibility cache if it has been
+  /// materialized. Cached KeyIndexes are not counted (node-based
+  /// unordered_map sizing is opaque). Drives the bytes_per_tuple bench
+  /// counter.
+  size_t MemoryBytes() const;
+
+  /// Testing hook: lowers the row-count ceiling (default 2^32-2) so the
+  /// overflow Status path is exercisable without inserting 4 billion rows.
+  void SetRowLimitForTesting(size_t limit) { row_limit_ = limit; }
+
   std::string ToString(const SymbolTable* symbols = nullptr) const;
 
  private:
-  // The dedup structure stores row indices into rows_ rather than tuple
-  // copies: tuples are stored exactly once and inserting never copies a
-  // tuple. It is a flat open-addressing table of (hash, row-index) slots
-  // with linear probing — the semi-naive engine probes it once per derived
-  // tuple, and a duplicate check costs one cache line of slot metadata
-  // plus (only on a hash match) one row comparison, instead of a
-  // node-based bucket chase. Rehashing re-seats the cached hashes without
-  // touching any tuple. Probing by Tuple allocates nothing.
+  // One stored column: unboxed payload words plus a lazy kind sidecar
+  // (empty while every value shares kind_).
+  class ValueColumn {
+   public:
+    size_t size() const { return words_.size(); }
+
+    Value Get(size_t i) const {
+      return Value::FromRaw(
+          kinds_.empty() ? kind_ : static_cast<ValueType>(kinds_[i]),
+          words_[i]);
+    }
+
+    void Append(const Value& v) {
+      if (words_.empty()) {
+        kind_ = v.kind();
+      } else if (kinds_.empty() && v.kind() != kind_) {
+        // First mixed-kind append: materialize the sidecar for the
+        // existing uniform prefix.
+        kinds_.assign(words_.size(), static_cast<uint8_t>(kind_));
+      }
+      if (!kinds_.empty()) kinds_.push_back(static_cast<uint8_t>(v.kind()));
+      words_.push_back(v.RawBits());
+    }
+
+    // Unboxed append. Precondition: the column is empty or uniformly of
+    // kind `k` (no sidecar).
+    void AppendUniform(ValueType k, int64_t word) {
+      if (words_.empty()) kind_ = k;
+      words_.push_back(word);
+    }
+
+    void Reserve(size_t n) {
+      words_.reserve(n);
+      if (!kinds_.empty()) kinds_.reserve(n);
+    }
+
+    void Clear() {
+      words_.clear();
+      kinds_.clear();
+      kind_ = ValueType::kNull;
+    }
+
+    bool uniform() const { return kinds_.empty(); }
+    ValueType uniform_kind() const { return kind_; }
+    size_t capacity() const { return words_.capacity(); }
+    const int64_t* word_data() const { return words_.data(); }
+    const uint8_t* kind_data() const {
+      return kinds_.empty() ? nullptr : kinds_.data();
+    }
+    size_t MemoryBytes() const {
+      return words_.capacity() * sizeof(int64_t) + kinds_.capacity();
+    }
+
+   private:
+    std::vector<int64_t> words_;
+    std::vector<uint8_t> kinds_;  // empty while uniform
+    ValueType kind_ = ValueType::kNull;
+  };
+
+  // The dedup structure stores row indices rather than tuple copies:
+  // values are stored exactly once (in the columns) and inserting never
+  // copies a tuple. It is a flat open-addressing table of
+  // (hash, row-index) slots with linear probing — the semi-naive engine
+  // probes it once per derived tuple, and a duplicate check costs one
+  // cache line of slot metadata plus (only on a hash match) one
+  // column-wise row comparison. Rehashing re-seats the cached hashes
+  // without touching any value.
   struct DedupSlot {
     uint32_t hash = 0;
     uint32_t row = kEmptySlot;
   };
   static constexpr uint32_t kEmptySlot = 0xffffffffu;
 
-  // Probes for `t` (with precomputed tuple hash mix `h32`). Returns the
+  // Probes for a candidate row of `cand_arity` values (with precomputed
+  // hash mix `h32`) whose column-c value is `cand(c)`. Returns the
   // matching row index, or kEmptySlot if absent — in which case *slot_out
   // is the insertion position (valid until the table grows).
-  uint32_t DedupProbe(const Tuple& t, uint32_t h32, size_t* slot_out) const;
+  template <typename RowFn>
+  uint32_t DedupProbe(size_t cand_arity, RowFn&& cand, uint32_t h32,
+                      size_t* slot_out) const {
+    size_t mask = dedup_slots_.size() - 1;  // size is a power of two
+    size_t pos = h32 & mask;
+    while (true) {
+      const DedupSlot& slot = dedup_slots_[pos];
+      if (slot.row == kEmptySlot) {
+        if (slot_out != nullptr) *slot_out = pos;
+        return kEmptySlot;
+      }
+      if (slot.hash == h32 && RowEquals(slot.row, cand_arity, cand)) {
+        return slot.row;
+      }
+      pos = (pos + 1) & mask;
+    }
+  }
+
+  template <typename RowFn>
+  bool RowEquals(uint32_t row, size_t cand_arity, RowFn&& cand) const {
+    if (cand_arity != columns_.size()) return false;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (!(columns_[c].Get(row) == cand(c))) return false;
+    }
+    return true;
+  }
+
+  // Fails (relation untouched) if `extra` more rows could pass the
+  // 32-bit row-index ceiling or the injected test limit.
+  Status CheckRoom(size_t extra) const;
+
   // Grows the slot table so `want` entries fit under the max load factor.
   void DedupReserve(size_t want);
+
+  // Sizes columns_ for tuples of the given arity (first insert on a
+  // schema-less relation) and reserves room for `want` rows total.
+  void PrepareColumns(size_t arity, size_t want);
+
+  // Appends one boxed row across the columns.
+  void AppendRow(const Tuple& t);
+
+  // Unboxed arity-2 all-kNumber batch insert; returns tuples admitted.
+  size_t InsertPairNumeric(const std::vector<Value>& c0,
+                           const std::vector<Value>& c1);
 
   struct CachedIndex {
     std::vector<int> key_columns;
     KeyIndex index;
-    size_t rows_indexed = 0;  // watermark into rows_
+    size_t rows_indexed = 0;  // watermark into the row index space
   };
 
   const KeyIndex& FoldIndex(const std::vector<int>& key_columns) const;
-  // Folds rows [cached->rows_indexed, rows_.size()) into `cached`.
+  // Folds rows [cached->rows_indexed, row_count_) into `cached`.
   void FoldSuffix(CachedIndex* cached) const;
+  // Folds every cached index up to row_count_ (once per batch insert).
+  void FoldAllIndexes();
+
   RelationSchema schema_;
-  std::vector<Tuple> rows_;
+  size_t row_count_ = 0;
+  std::vector<ValueColumn> columns_;  // one per schema column
   std::vector<DedupSlot> dedup_slots_;  // size is a power of two (or 0)
+  size_t row_limit_ = static_cast<size_t>(kEmptySlot) - 1;
+  // Lazily-materialized boxed view backing rows(). rows_cached_ is the
+  // watermark of materialized rows. Mutable: a logically-const
+  // compatibility cache, folded without locking (serial contexts only).
+  mutable std::vector<Tuple> row_cache_;
+  mutable size_t rows_cached_ = 0;
   // Cache key: comma-joined column list. Mutable: index construction is a
   // logically-const acceleration structure. Guarded by index_mutex_ only
   // on the EnsureIndex path; see the class-level threading contract.

@@ -346,6 +346,59 @@ TEST(DatalogEngineTest, OverwriteIdbOnRerun) {
   EXPECT_EQ((*db.GetRelation("tc"))->size(), 3u);
 }
 
+// Reusing an IDB name across programs with a *different arity* (the
+// Cypher lowering does this: every query names its frontier relations
+// Match1, Match2, ... on the shared database) must adopt the new
+// program's declaration. A bare Clear() would keep the old schema, and
+// the column-borrowing join path — which trusts arity() — would read
+// past the borrowed views.
+TEST(DatalogEngineTest, OverwriteIdbAdoptsNewArity) {
+  Database db = MakeGraphDb({{1, 2}, {2, 3}});
+  DatalogEngine eng;
+  // First program: "mid" is 2-ary.
+  ASSERT_TRUE(eng.Run(Parse(R"(
+.decl edge(x: number, y: number)
+.input edge
+.decl mid(x: number, y: number)
+.output mid
+mid(x, y) :- edge(x, y).
+)"),
+                      &db)
+                  .ok());
+  EXPECT_EQ((*db.GetRelation("mid"))->arity(), 2u);
+  // Second program: same name, now 3-ary, and joined by another rule so
+  // the engine borrows all three columns.
+  ASSERT_TRUE(eng.Run(Parse(R"(
+.decl edge(x: number, y: number)
+.input edge
+.decl mid(x: number, y: number, tag: number)
+.decl hop(x: number, z: number)
+.output hop
+mid(x, y, 7) :- edge(x, y).
+hop(x, z) :- mid(x, y, 7), edge(y, z).
+)"),
+                      &db)
+                  .ok());
+  EXPECT_EQ((*db.GetRelation("mid"))->arity(), 3u);
+  EXPECT_EQ(NumericRows(**db.GetRelation("hop")),
+            (std::set<std::vector<int64_t>>{{1, 3}}));
+  // And back down: 3-ary -> 2-ary reuse must shed the extra column.
+  ASSERT_TRUE(eng.Run(Parse(R"(
+.decl edge(x: number, y: number)
+.input edge
+.decl mid(x: number, y: number)
+.decl hop2(x: number, z: number)
+.output hop2
+mid(x, y) :- edge(x, y).
+hop2(x, z) :- mid(x, y), edge(y, z).
+)"),
+                      &db)
+                  .ok());
+  EXPECT_EQ((*db.GetRelation("mid"))->arity(), 2u);
+  EXPECT_EQ(NumericRows(**db.GetRelation("hop2")),
+            (std::set<std::vector<int64_t>>{{1, 3}}));
+}
+
 // Property test: naive and semi-naive evaluation agree on random graphs.
 class NaiveVsSeminaiveTest : public ::testing::TestWithParam<int> {};
 

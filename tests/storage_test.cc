@@ -106,19 +106,20 @@ TEST(RelationTest, InsertBatchDedupsWithinAndAcrossBatches) {
   r.Insert({Value::Number(1), Value::Number(2)});
   // Batch: duplicate of an existing row, an internal duplicate pair, and
   // two new rows. Order of survivors must be batch order.
-  size_t inserted = r.InsertBatch({
+  Result<size_t> inserted = r.InsertBatch({
       {Value::Number(1), Value::Number(2)},  // already present
       {Value::Number(3), Value::Number(4)},
       {Value::Number(3), Value::Number(4)},  // duplicate within the batch
       {Value::Number(5), Value::Number(6)},
   });
-  EXPECT_EQ(inserted, 2u);
+  ASSERT_TRUE(inserted.ok());
+  EXPECT_EQ(*inserted, 2u);
   ASSERT_EQ(r.size(), 3u);
   EXPECT_EQ(r.rows()[1][0].AsNumber(), 3);
   EXPECT_EQ(r.rows()[2][0].AsNumber(), 5);
   EXPECT_TRUE(r.Contains({Value::Number(5), Value::Number(6)}));
   EXPECT_FALSE(r.Contains({Value::Number(5), Value::Number(7)}));
-  EXPECT_EQ(r.InsertBatch({}), 0u);  // empty batch is a no-op
+  EXPECT_EQ(*r.InsertBatch({}), 0u);  // empty batch is a no-op
   EXPECT_EQ(r.size(), 3u);
 }
 
@@ -216,6 +217,285 @@ TEST(RelationTest, ReplaceRowsResets) {
   EXPECT_EQ(r.GetIndex({0}).size(), 1u);
 }
 
+TEST(RelationColumnTest, ColumnViewReadsStoredValuesZeroCopy) {
+  Relation r(EdgeSchema());
+  ASSERT_TRUE(r.InsertBatch({{Value::Number(10), Value::Number(20)},
+                             {Value::Number(11), Value::Number(21)},
+                             {Value::Number(12), Value::Number(22)}})
+                  .ok());
+  Relation::ColumnView src = r.Column(0);
+  Relation::ColumnView dst = r.Column(1);
+  ASSERT_EQ(src.size(), 3u);
+  EXPECT_EQ(src.at(0).AsNumber(), 10);
+  EXPECT_EQ(src.at(2).AsNumber(), 12);
+  EXPECT_EQ(dst.at(1).AsNumber(), 21);
+  // All-number column with no sidecar: the unboxed fast-path shape.
+  EXPECT_TRUE(src.uniform_number());
+  ASSERT_NE(src.words(), nullptr);
+  EXPECT_EQ(src.kinds(), nullptr);
+  EXPECT_EQ(src.words()[1], 11);
+  // Slices share the same storage, offset.
+  Relation::ColumnView slice = r.ColumnSlice(0, 1, 3);
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_EQ(slice.at(0).AsNumber(), 11);
+  EXPECT_EQ(slice.words(), src.words() + 1);
+  // Out-of-range column / empty range: empty view.
+  EXPECT_EQ(r.Column(7).size(), 0u);
+  EXPECT_EQ(r.ColumnSlice(0, 2, 2).size(), 0u);
+}
+
+TEST(RelationColumnTest, MixedKindColumnDegradesToTaggedStorage) {
+  RelationSchema s;
+  s.name = "mixed";
+  s.columns = {{"k", ValueType::kNumber}, {"v", ValueType::kNumber}};
+  Relation r(s);
+  r.Insert({Value::Number(1), Value::Number(5)});
+  r.Insert({Value::Number(2), Value::Float(2.5)});  // sidecar materializes
+  r.Insert({Value::Number(3), Value::Bool(true)});
+  Relation::ColumnView v = r.Column(1);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_FALSE(v.uniform_number());
+  ASSERT_NE(v.kinds(), nullptr);
+  EXPECT_EQ(v.at(0), Value::Number(5));
+  EXPECT_EQ(v.at(1), Value::Float(2.5));
+  EXPECT_EQ(v.at(2), Value::Bool(true));
+  // The key column is untouched by its sibling's degradation.
+  EXPECT_TRUE(r.Column(0).uniform_number());
+  // Dedup still distinguishes kinds with identical payload bits.
+  EXPECT_TRUE(r.Contains({Value::Number(1), Value::Number(5)}));
+  EXPECT_FALSE(r.Contains({Value::Number(1), Value::Float(5.0)}) &&
+               Value::Number(5) == Value::Float(5.0));
+}
+
+TEST(RelationColumnTest, MaterializeRowsMatchesRowsView) {
+  Relation r(EdgeSchema());
+  ASSERT_TRUE(r.InsertBatch({{Value::Number(1), Value::Number(2)},
+                             {Value::Number(3), Value::Number(4)},
+                             {Value::Number(5), Value::Number(6)}})
+                  .ok());
+  EXPECT_EQ(r.MaterializeRows(), r.rows());
+  std::vector<Tuple> suffix = r.MaterializeRows(2);
+  ASSERT_EQ(suffix.size(), 1u);
+  EXPECT_EQ(suffix[0][0].AsNumber(), 5);
+  EXPECT_TRUE(r.MaterializeRows(99).empty());
+}
+
+TEST(RelationColumnTest, ReleaseColumnsHandsBackColumnsAndResets) {
+  Relation r(EdgeSchema());
+  ASSERT_TRUE(r.InsertBatch({{Value::Number(1), Value::Number(2)},
+                             {Value::Number(3), Value::Number(4)},
+                             {Value::Number(1), Value::Number(2)}})
+                  .ok());
+  std::vector<std::vector<Value>> cols = r.ReleaseColumns();
+  ASSERT_EQ(cols.size(), 2u);
+  ASSERT_EQ(cols[0].size(), 2u);  // duplicate dropped
+  EXPECT_EQ(cols[0][1], Value::Number(3));
+  EXPECT_EQ(cols[1][0], Value::Number(2));
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_TRUE(r.Insert({Value::Number(1), Value::Number(2)}));
+}
+
+TEST(RelationColumnTest, InsertColumnsRecyclesStagingBuffers) {
+  Relation r(EdgeSchema());
+  std::vector<std::vector<Value>> staged(2);
+  staged[0] = {Value::Number(1), Value::Number(1)};
+  staged[1] = {Value::Number(2), Value::Number(2)};
+  Result<size_t> inserted = r.InsertColumns(&staged);
+  ASSERT_TRUE(inserted.ok());
+  EXPECT_EQ(*inserted, 1u);  // in-batch duplicate dropped
+  // Staged columns come back cleared (capacity retained) for reuse.
+  EXPECT_TRUE(staged[0].empty());
+  EXPECT_TRUE(staged[1].empty());
+  staged[0] = {Value::Number(1), Value::Number(9)};
+  staged[1] = {Value::Number(2), Value::Number(9)};
+  inserted = r.InsertColumns(&staged);
+  ASSERT_TRUE(inserted.ok());
+  EXPECT_EQ(*inserted, 1u);  // cross-batch duplicate dropped
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.rows()[1], (Tuple{Value::Number(9), Value::Number(9)}));
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential suite: the row-compatible API (Insert /
+// InsertBatch / rows) and the columnar API (InsertColumns / ColumnView)
+// must agree on contents, insertion order, dedup decisions, and index
+// row-lists for identical input streams. Runs under the tsan CI filter.
+// ---------------------------------------------------------------------------
+
+class StorageDifferentialTest : public ::testing::Test {
+ protected:
+  // Feeds `stream` through per-tuple Insert, chunked InsertBatch, and
+  // chunked InsertColumns, then cross-checks all three relations.
+  void RunDifferential(const std::vector<Tuple>& stream, size_t arity,
+                       size_t chunk) {
+    RelationSchema s;
+    s.name = "diff";
+    for (size_t c = 0; c < arity; ++c) {
+      s.columns.push_back(Column{"c" + std::to_string(c), ValueType::kNumber});
+    }
+    Relation serial(s);
+    Relation batched(s);
+    Relation columnar(s);
+    std::vector<bool> serial_decisions;
+    for (const Tuple& t : stream) {
+      serial_decisions.push_back(serial.Insert(t));
+    }
+    size_t batched_inserted = 0;
+    size_t columnar_inserted = 0;
+    for (size_t begin = 0; begin < stream.size(); begin += chunk) {
+      size_t end = std::min(stream.size(), begin + chunk);
+      Result<size_t> b = batched.InsertBatch(
+          std::vector<Tuple>(stream.begin() + static_cast<ptrdiff_t>(begin),
+                             stream.begin() + static_cast<ptrdiff_t>(end)));
+      ASSERT_TRUE(b.ok());
+      batched_inserted += *b;
+      std::vector<std::vector<Value>> staged(arity);
+      for (size_t i = begin; i < end; ++i) {
+        for (size_t c = 0; c < arity; ++c) staged[c].push_back(stream[i][c]);
+      }
+      Result<size_t> cr = columnar.InsertColumns(&staged);
+      ASSERT_TRUE(cr.ok());
+      columnar_inserted += *cr;
+    }
+    // Same dedup decisions in aggregate...
+    size_t serial_inserted = 0;
+    for (bool d : serial_decisions) serial_inserted += d;
+    EXPECT_EQ(batched_inserted, serial_inserted);
+    EXPECT_EQ(columnar_inserted, serial_inserted);
+    // ...and identical contents in identical insertion order.
+    ASSERT_EQ(serial.size(), batched.size());
+    ASSERT_EQ(serial.size(), columnar.size());
+    const std::vector<Tuple>& expect = serial.rows();
+    for (size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(expect[i], batched.rows()[i]) << "batched row " << i;
+      EXPECT_EQ(expect[i], columnar.rows()[i]) << "columnar row " << i;
+      for (size_t c = 0; c < arity; ++c) {
+        EXPECT_EQ(columnar.Column(c).at(i), expect[i][c])
+            << "column view (" << i << ", " << c << ")";
+      }
+    }
+    // Identical per-key index row-lists on every single-column key.
+    for (size_t c = 0; c < arity; ++c) {
+      const Relation::KeyIndex& si = serial.GetIndex({static_cast<int>(c)});
+      const Relation::KeyIndex& bi = batched.GetIndex({static_cast<int>(c)});
+      const Relation::KeyIndex& ci = columnar.GetIndex({static_cast<int>(c)});
+      ASSERT_EQ(si.size(), bi.size());
+      ASSERT_EQ(si.size(), ci.size());
+      for (const auto& [key, rows] : si) {
+        ASSERT_NE(bi.find(key), bi.end());
+        ASSERT_NE(ci.find(key), ci.end());
+        EXPECT_EQ(bi.at(key), rows);
+        EXPECT_EQ(ci.at(key), rows);
+      }
+    }
+    // Contains agrees everywhere (present and absent probes).
+    for (size_t i = 0; i < stream.size(); i += 7) {
+      EXPECT_TRUE(batched.Contains(stream[i]));
+      EXPECT_TRUE(columnar.Contains(stream[i]));
+    }
+  }
+};
+
+TEST_F(StorageDifferentialTest, PairNumericFastPath) {
+  // Arity-2 all-kNumber: the unboxed InsertPairNumeric path, duplicate
+  // heavy so dedup decisions genuinely differ per tuple.
+  std::mt19937 rng(1234);
+  std::uniform_int_distribution<int> pick(0, 23);
+  std::vector<Tuple> stream;
+  for (int i = 0; i < 800; ++i) {
+    stream.push_back({Value::Number(pick(rng)), Value::Number(pick(rng))});
+  }
+  RunDifferential(stream, 2, 64);
+}
+
+TEST_F(StorageDifferentialTest, MixedKindGenericPath) {
+  // Arity-3 with floats/bools mixed in: the generic boxed path, including
+  // sidecar materialization mid-stream.
+  std::mt19937 rng(4321);
+  std::uniform_int_distribution<int> pick(0, 11);
+  std::uniform_int_distribution<int> kind(0, 3);
+  auto value = [&]() -> Value {
+    switch (kind(rng)) {
+      case 0: return Value::Number(pick(rng));
+      case 1: return Value::Float(pick(rng) / 2.0);
+      case 2: return Value::Bool(pick(rng) % 2 == 0);
+      default: return Value::Number(-pick(rng));
+    }
+  };
+  std::vector<Tuple> stream;
+  for (int i = 0; i < 600; ++i) {
+    stream.push_back({value(), value(), value()});
+  }
+  RunDifferential(stream, 3, 37);
+}
+
+TEST_F(StorageDifferentialTest, TinyChunksMatchWholeBatch) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> pick(0, 9);
+  std::vector<Tuple> stream;
+  for (int i = 0; i < 200; ++i) {
+    stream.push_back({Value::Number(pick(rng)), Value::Number(pick(rng))});
+  }
+  RunDifferential(stream, 2, 1);
+  RunDifferential(stream, 2, 200);
+}
+
+// ---------------------------------------------------------------------------
+// 32-bit row-index ceiling: batch paths report a Status (relation and
+// staged batch unmodified) instead of the legacy abort.
+// ---------------------------------------------------------------------------
+
+TEST(RelationOverflowTest, InsertBatchReportsRowLimitAsStatus) {
+  Relation r(EdgeSchema());
+  r.SetRowLimitForTesting(3);
+  ASSERT_TRUE(r.InsertBatch({{Value::Number(1), Value::Number(2)},
+                             {Value::Number(3), Value::Number(4)}})
+                  .ok());
+  Result<size_t> res = r.InsertBatch({{Value::Number(5), Value::Number(6)},
+                                      {Value::Number(7), Value::Number(8)}});
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInternal);
+  EXPECT_NE(res.status().message().find("row-index ceiling"),
+            std::string::npos)
+      << res.status().ToString();
+  // The failed batch left the relation untouched.
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_FALSE(r.Contains({Value::Number(5), Value::Number(6)}));
+  // A batch that fits still lands.
+  ASSERT_TRUE(r.InsertBatch({{Value::Number(5), Value::Number(6)}}).ok());
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(RelationOverflowTest, CheckIsConservativeBeforeDedup) {
+  // The room check counts the whole batch before deduplication: a
+  // duplicate-only batch that would not actually grow the relation is
+  // still rejected once it could overflow. Loud beats subtly wrong here.
+  Relation r(EdgeSchema());
+  r.SetRowLimitForTesting(2);
+  ASSERT_TRUE(r.InsertBatch({{Value::Number(1), Value::Number(2)},
+                             {Value::Number(3), Value::Number(4)}})
+                  .ok());
+  Result<size_t> res = r.InsertBatch({{Value::Number(1), Value::Number(2)}});
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(RelationOverflowTest, InsertColumnsReportsAndPreservesStaging) {
+  Relation r(EdgeSchema());
+  r.SetRowLimitForTesting(1);
+  ASSERT_TRUE(r.Insert({Value::Number(1), Value::Number(2)}));
+  std::vector<std::vector<Value>> staged(2);
+  staged[0] = {Value::Number(5)};
+  staged[1] = {Value::Number(6)};
+  Result<size_t> res = r.InsertColumns(&staged);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInternal);
+  // On error the staged columns are NOT consumed.
+  ASSERT_EQ(staged[0].size(), 1u);
+  EXPECT_EQ(staged[0][0], Value::Number(5));
+  EXPECT_EQ(r.size(), 1u);
+}
+
 TEST(RelationSchemaTest, ColumnIndex) {
   RelationSchema s = EdgeSchema();
   EXPECT_EQ(s.ColumnIndex("src"), 0);
@@ -270,6 +550,22 @@ TEST(CsvTest, RejectsBadNumber) {
   Relation* rel = *db.CreateRelation(EdgeSchema());
   Status st = LoadDelimitedText(&db, rel, "1\tnotanumber\n");
   EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, ReportsLineColumnAndTokenOfBadField) {
+  Database db;
+  Relation* rel = *db.CreateRelation(EdgeSchema());
+  // Line 2, second field (character column 3 of "3\tx"): the error must
+  // pinpoint all three and quote the offending token.
+  Status st = LoadDelimitedText(&db, rel, "1\t2\n3\tx\n");
+  ASSERT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("line 2"), std::string::npos) << st.ToString();
+  EXPECT_NE(st.message().find("column 3"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("field 2"), std::string::npos) << st.ToString();
+  EXPECT_NE(st.message().find("'x'"), std::string::npos) << st.ToString();
+  // Errors surface before anything is inserted (batch-parsed load).
+  EXPECT_EQ(rel->size(), 0u);
 }
 
 TEST(CsvTest, RoundTrips) {

@@ -2,7 +2,7 @@
 """Guard against perf regressions on the semi-naive hot path.
 
 Compares a fresh Google-Benchmark JSON run against the committed baseline
-(BENCH_pr5.json) and fails if any benchmark matching the filter regressed
+(BENCH_pr6.json) and fails if any benchmark matching the filter regressed
 by more than the tolerance. Benchmarks present in only one file are
 reported but never fail the check (sizes and cases may evolve).
 
