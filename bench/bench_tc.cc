@@ -10,9 +10,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <random>
 
 #include "dlir/parser.h"
+#include "obs/trace.h"
 #include "raqlet/compiler.h"
 
 namespace {
@@ -172,7 +174,47 @@ void BM_TcGraphRows(benchmark::State& state) {
   state.SetLabel("whole-graph TC, graph engine, per-binding row interpreter");
 }
 
+// Tracing-overhead harness: each iteration runs the Datalog closure once
+// untraced and once inside a TraceSession, timing both (the pairing
+// cancels machine drift). `trace_overhead_ratio` is traced/untraced wall
+// time — the cost of span recording on the hot path, expected near 1.0 —
+// and `trace_events` is the spans one run emits. Named outside the
+// BM_TcDatalog|BM_TcSql|BM_TcGraph baseline-gate filter on purpose: the
+// gated benches prove the *tracing-off* path did not regress; this one
+// tracks the tracing-on cost itself.
+void BM_TracedTcDatalog(benchmark::State& state) {
+  Instance& inst = GetInstance(static_cast<int>(state.range(0)));
+  raqlet::engine::DatalogEngine eng;
+  using clock = std::chrono::steady_clock;
+  double untraced_ns = 0;
+  double traced_ns = 0;
+  double events = 0;
+  for (auto _ : state) {
+    auto t0 = clock::now();
+    raqlet::Status st = eng.Run(inst.tc_program, &inst.db);
+    auto t1 = clock::now();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    {
+      raqlet::obs::TraceSession session;
+      auto t2 = clock::now();
+      st = eng.Run(inst.tc_program, &inst.db);
+      auto t3 = clock::now();
+      if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+      traced_ns += std::chrono::duration<double, std::nano>(t3 - t2).count();
+      events = static_cast<double>(session.event_count());
+    }
+    untraced_ns += std::chrono::duration<double, std::nano>(t1 - t0).count();
+  }
+  if (untraced_ns > 0) {
+    state.counters["trace_overhead_ratio"] =
+        benchmark::Counter(traced_ns / untraced_ns);
+  }
+  state.counters["trace_events"] = benchmark::Counter(events);
+  state.SetLabel("whole-graph TC, Datalog engine, tracing on vs off");
+}
+
 BENCHMARK(BM_TcDatalog)->Arg(100)->Arg(300)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TracedTcDatalog)->Arg(300)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TcSql)->Arg(100)->Arg(300)->Arg(1000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TcSqlTuple)->Arg(100)->Arg(300)->Arg(1000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TcSqlParallel)

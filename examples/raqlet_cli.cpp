@@ -21,6 +21,8 @@
 
 #include "dlir/explain.h"
 #include "ldbc/ldbc.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "raqlet/compiler.h"
 #include "storage/csv.h"
 
@@ -33,9 +35,11 @@ struct CliOptions {
   std::string emit;  // pgir | dlir | optimized | datalog | sql | report
   std::string run;   // datalog | sql | sql-tuple | graph
   std::string facts_dir;
+  std::string trace_path;  // --trace=FILE: Chrome trace-event JSON
   int opt_level = 1;
   int threads = 1;
   bool demo = false;
+  bool explain_analyze = false;
   std::map<std::string, raqlet::dlir::Constant> parameters;
 };
 
@@ -47,7 +51,14 @@ int Usage() {
       "                  [--run datalog|sql|sql-tuple|graph|graph-rows]\n"
       "                  [--facts DIR]\n"
       "                  [--threads N] [--param name=value]...\n"
-      "       raqlet_cli --demo\n";
+      "                  [--explain-analyze] [--trace=FILE]\n"
+      "       raqlet_cli --demo [--trace=FILE]\n"
+      "\n"
+      "  --explain-analyze  run the query (default engine: datalog) and\n"
+      "                     print the plan annotated with runtime counters\n"
+      "  --trace=FILE       write a Chrome trace-event JSON of the whole\n"
+      "                     compile+execute (load in Perfetto or\n"
+      "                     chrome://tracing)\n";
   return 2;
 }
 
@@ -125,12 +136,37 @@ int main(int argc, char** argv) {
           ParseConstant(pair.substr(eq + 1));
     } else if (arg == "--demo") {
       options.demo = true;
+    } else if (arg == "--explain-analyze") {
+      options.explain_analyze = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      options.trace_path = arg.substr(8);
+      if (options.trace_path.empty()) return Usage();
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.trace_path = v;
     } else {
       return Usage();
     }
   }
 
   raqlet::Compiler compiler;
+
+  // Tracing covers everything from compile to the trace write; the
+  // session must outlive every engine run but be drained (quiescent)
+  // before export, which holds because all Run* calls are synchronous.
+  std::unique_ptr<raqlet::obs::TraceSession> trace;
+  if (!options.trace_path.empty()) {
+    trace = std::make_unique<raqlet::obs::TraceSession>();
+  }
+
+  // Metrics are collected for --explain-analyze and as part of the --demo
+  // tour (phase timings + engine counters appended to the output).
+  raqlet::obs::QueryMetrics metrics;
+  raqlet::obs::QueryMetrics* qm =
+      options.explain_analyze || options.demo ? &metrics : nullptr;
+  if (options.explain_analyze && options.run.empty()) options.run = "datalog";
+
   std::string query_text;
   if (options.demo) {
     if (auto st = compiler.LoadPgSchema(raqlet::ldbc::SnbSchema()); !st.ok()) {
@@ -138,7 +174,10 @@ int main(int argc, char** argv) {
     }
     query_text = raqlet::ldbc::ShortQuery1();
     options.parameters["personId"] = raqlet::dlir::Constant::Number(42);
-    if (options.emit.empty() && options.run.empty()) options.emit = "sql";
+    if (options.emit.empty() && options.run.empty()) {
+      options.emit = "sql";
+      options.run = "datalog";
+    }
   } else {
     if (options.schema_path.empty() || options.query_path.empty()) {
       return Usage();
@@ -157,6 +196,7 @@ int main(int argc, char** argv) {
   raqlet::CompileOptions copts;
   copts.opt_level = options.opt_level;
   copts.parameters = options.parameters;
+  copts.metrics = qm;
 
   raqlet::dlir::Program program;
   raqlet::CompiledQuery unit;
@@ -231,14 +271,15 @@ int main(int argc, char** argv) {
     if (options.run == "datalog") {
       raqlet::engine::EvalOptions eval_options;
       eval_options.num_threads = options.threads;
-      result = compiler.RunOnDatalog(program, &db, nullptr, eval_options);
+      result = compiler.RunOnDatalog(program, &db, nullptr, eval_options, qm);
     } else if (options.run == "sql") {
       result = compiler.RunOnSql(program, &db,
                                  raqlet::engine::SqlMode::kVectorized,
-                                 nullptr, options.threads);
+                                 nullptr, options.threads, qm);
     } else if (options.run == "sql-tuple") {
       result = compiler.RunOnSql(program, &db,
-                                 raqlet::engine::SqlMode::kTuplePipeline);
+                                 raqlet::engine::SqlMode::kTuplePipeline,
+                                 nullptr, 1, qm);
     } else if ((options.run == "graph" || options.run == "graph-rows") &&
                have_pgir) {
       auto store = compiler.BuildGraphStore(db);
@@ -250,12 +291,28 @@ int main(int argc, char** argv) {
         graph_options.mode = raqlet::engine::GraphMode::kRowBinding;
       }
       result = compiler.RunOnGraph(unit.pgir, *store, &db, nullptr,
-                                   graph_options);
+                                   graph_options, qm);
     } else {
       return Usage();
     }
     if (!result.ok()) return Fail(result.status());
     std::cout << result->ToString(db.symbols());
+
+    if (options.explain_analyze) {
+      auto analyzed = raqlet::dlir::ExplainAnalyzeProgram(program, metrics);
+      if (!analyzed.ok()) return Fail(analyzed.status());
+      std::cout << "\n" << *analyzed;
+    } else if (qm != nullptr) {
+      std::cout << "\n" << metrics.ToString();
+    }
+  }
+
+  if (trace != nullptr) {
+    if (auto st = trace->WriteChromeTrace(options.trace_path); !st.ok()) {
+      return Fail(st);
+    }
+    std::cerr << "trace: " << trace->event_count() << " events -> "
+              << options.trace_path << "\n";
   }
   return 0;
 }

@@ -150,10 +150,12 @@ void RenderRule(const Rule& rule, int delta_atom, int indent,
   }
 }
 
-}  // namespace
-
-Result<std::string> ExplainProgram(const Program& program,
-                                   const ExplainOptions& options) {
+// Shared body of ExplainProgram / ExplainAnalyzeProgram; `metrics`, when
+// non-null, annotates each stratum with the SccMetrics slot of the same
+// topological SCC index.
+Result<std::string> Explain(const Program& program,
+                            const ExplainOptions& options,
+                            const obs::QueryMetrics* metrics) {
   RAQLET_RETURN_IF_ERROR(program.Validate());
   analysis::DependencyGraph graph = analysis::DependencyGraph::Build(program);
   analysis::StratificationResult strat =
@@ -176,9 +178,31 @@ Result<std::string> ExplainProgram(const Program& program,
     if (!has_rules) continue;
     bool recursive = graph.IsRecursiveScc(static_cast<int>(s));
 
+    // Runtime annotation: the SccMetrics slot of the same topological SCC
+    // index (strata skipped above have slots too — indexes stay aligned).
+    const obs::SccMetrics* m =
+        metrics != nullptr && s < metrics->datalog.sccs.size()
+            ? &metrics->datalog.sccs[s]
+            : nullptr;
+
     os << "STRATUM " << stratum_no++ << " ("
        << (recursive ? "recursive: " : "non-recursive: ")
-       << Join(sccs[s], ", ") << ")\n";
+       << Join(sccs[s], ", ") << ")";
+    if (m != nullptr) {
+      os << "  [actual rounds=" << m->rounds
+         << " rule_evals=" << m->rule_evaluations
+         << " considered=" << m->tuples_considered
+         << " inserted=" << m->tuples_inserted << "]";
+    }
+    os << "\n";
+    if (m != nullptr && !m->round_delta_sizes.empty()) {
+      os << "  ACTUAL DELTAS";
+      for (size_t r = 0; r < m->round_delta_sizes.size(); ++r) {
+        os << (r == 0 ? " init=" : " r" + std::to_string(r) + "=")
+           << m->round_delta_sizes[r];
+      }
+      os << "\n";
+    }
 
     std::set<std::string> scc_set(sccs[s].begin(), sccs[s].end());
     if (!recursive) {
@@ -219,6 +243,25 @@ Result<std::string> ExplainProgram(const Program& program,
       }
     }
   }
+  return os.str();
+}
+
+}  // namespace
+
+Result<std::string> ExplainProgram(const Program& program,
+                                   const ExplainOptions& options) {
+  return Explain(program, options, nullptr);
+}
+
+Result<std::string> ExplainAnalyzeProgram(const Program& program,
+                                          const obs::QueryMetrics& metrics,
+                                          const ExplainOptions& options) {
+  RAQLET_ASSIGN_OR_RETURN(std::string plan,
+                          Explain(program, options, &metrics));
+  std::ostringstream os;
+  os << plan;
+  std::string report = metrics.ToString();
+  if (!report.empty()) os << "\n" << report;
   return os.str();
 }
 

@@ -21,6 +21,7 @@
 
 #include "common/status.h"
 #include "dlir/program.h"
+#include "obs/metrics.h"
 
 namespace raqlet::dlir {
 
@@ -34,6 +35,17 @@ struct ExplainOptions {
 /// program does not validate or is unstratifiable.
 Result<std::string> ExplainProgram(const Program& program,
                                    const ExplainOptions& options = {});
+
+/// EXPLAIN ANALYZE: the same plan annotated with the runtime counters a
+/// prior execution recorded into `metrics` — per-stratum fixpoint rounds,
+/// rule evaluations, tuples considered/inserted and per-round delta sizes
+/// (matched to strata by topological SCC index), followed by the full
+/// QueryMetrics report (phases, SQL/graph operator counters, memory).
+/// Strata without a recorded slot render unannotated, so the plan of one
+/// engine can be shown alongside another engine's metrics.
+Result<std::string> ExplainAnalyzeProgram(const Program& program,
+                                          const obs::QueryMetrics& metrics,
+                                          const ExplainOptions& options = {});
 
 }  // namespace raqlet::dlir
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -13,6 +14,7 @@
 
 #include "analysis/dependency_graph.h"
 #include "engine/value_ops.h"
+#include "obs/trace.h"
 #include "runtime/scc_scheduler.h"
 #include "runtime/thread_pool.h"
 
@@ -405,6 +407,7 @@ struct VariantTask {
 // All the rules of one SCC, compiled upfront (single-threaded) so that
 // concurrent SCC evaluation never interns symbols or resolves relations.
 struct SccWork {
+  int index = 0;  // position in SccsInTopologicalOrder()
   std::vector<std::string> preds;
   bool recursive = false;
   std::vector<CompiledRule> rules;
@@ -417,11 +420,13 @@ struct SccWork {
 class Evaluation {
  public:
   Evaluation(const Program& program, Database* db, const EvalOptions& options,
-             EvalStats* stats, runtime::ExecutionContext* context)
+             EvalStats* stats, obs::DatalogMetrics* metrics,
+             runtime::ExecutionContext* context)
       : program_(program),
         db_(db),
         options_(options),
         stats_(stats),
+        metrics_(metrics),
         pool_(context != nullptr ? context->pool() : nullptr),
         buffer_pool_(context != nullptr ? context->PoolFor<EmitBuffer>()
                                         : &local_buffer_pool_) {}
@@ -481,6 +486,10 @@ class Evaluation {
   Database* db_;
   EvalOptions options_;
   EvalStats* stats_;
+  // Per-SCC detail sink, or nullptr. Pre-sized to the SCC count in Run();
+  // each SCC evaluation task writes only its own slot, so concurrent SCCs
+  // need no lock and the recorded counters are deterministic.
+  obs::DatalogMetrics* metrics_;
   runtime::ThreadPool* pool_;  // null => strictly serial evaluation
   // Recycles EmitBuffers across rounds; the context's pool when a context
   // exists (so capacity survives across queries on one engine), else a
@@ -1057,6 +1066,7 @@ Status Evaluation::EvaluateVariants(
   }
   std::vector<Status> statuses(tasks.size(), Status::OK());
   auto run_task = [&](size_t i) {
+    obs::TraceScope span("datalog.variant", static_cast<int64_t>(i));
     EmitBuffer& buffer = buffers[i];
     std::map<Tuple, AggState> agg;
     if (tasks[i].rule->has_agg) buffer.agg = &agg;
@@ -1092,6 +1102,7 @@ Status Evaluation::EvaluateVariants(
 }
 
 Result<size_t> Evaluation::ApplyStaged(std::vector<EmitBuffer>* buffers) {
+  obs::TraceScope span("datalog.merge");
   // Group staged runs by target relation, preserving first-appearance
   // (task) order both across groups and within each group.
   std::vector<std::pair<Relation*, std::vector<size_t>>> groups;
@@ -1193,16 +1204,27 @@ Result<size_t> Evaluation::ApplyStaged(std::vector<EmitBuffer>* buffers) {
 }
 
 Status Evaluation::EvaluateScc(SccWork* work) {
+  obs::TraceScope scc_span("datalog.scc", work->index);
   const std::vector<std::string>& scc_preds = work->preds;
   const std::vector<CompiledRule>& rules = work->rules;
   EvalStats scc_stats;
   std::vector<EmitBuffer> staged;
+  // This task owns its metrics slot exclusively (slots are pre-sized in
+  // Run, indexed by topological SCC position), so no lock is needed.
+  obs::SccMetrics* slot =
+      metrics_ == nullptr ? nullptr
+                          : &metrics_->sccs[static_cast<size_t>(work->index)];
+  const auto scc_start = std::chrono::steady_clock::now();
 
   // The single-writer phase of each round: per-relation batched (and,
-  // with a pool, sharded) merge of the staged runs.
+  // with a pool, sharded) merge of the staged runs. `last_inserted`
+  // exposes each merge's admitted-tuple count — the next round's delta
+  // size — to the metrics recording below.
+  size_t last_inserted = 0;
   auto apply_staged = [&]() -> Status {
     RAQLET_ASSIGN_OR_RETURN(size_t inserted, ApplyStaged(&staged));
     scc_stats.tuples_inserted += inserted;
+    last_inserted = inserted;
     return Status::OK();
   };
 
@@ -1217,6 +1239,15 @@ Status Evaluation::EvaluateScc(SccWork* work) {
   };
 
   auto merge_stats = [&]() {
+    if (slot != nullptr) {
+      slot->rounds = scc_stats.fixpoint_rounds;
+      slot->rule_evaluations = scc_stats.rule_evaluations;
+      slot->tuples_considered = scc_stats.tuples_considered;
+      slot->tuples_inserted = scc_stats.tuples_inserted;
+      slot->micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - scc_start)
+                         .count();
+    }
     if (stats_ == nullptr) return;
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_->fixpoint_rounds += scc_stats.fixpoint_rounds;
@@ -1255,6 +1286,8 @@ Status Evaluation::EvaluateScc(SccWork* work) {
       merge_stats();
       return s;
     }
+    // The exit-rule batch is round 0's delta.
+    if (slot != nullptr) slot->round_delta_sizes.push_back(last_inserted);
   }
 
   // Phase 2: fixpoint. Each round evaluates one variant per recursive
@@ -1271,6 +1304,8 @@ Status Evaluation::EvaluateScc(SccWork* work) {
     if (!any_delta) break;
     ++round;
     ++scc_stats.fixpoint_rounds;
+    obs::TraceScope round_span("datalog.round",
+                               static_cast<int64_t>(round));
     if (options_.max_iterations != 0 && round > options_.max_iterations) {
       merge_stats();
       return Status::Unsupported(
@@ -1307,6 +1342,7 @@ Status Evaluation::EvaluateScc(SccWork* work) {
       merge_stats();
       return s;
     }
+    if (slot != nullptr) slot->round_delta_sizes.push_back(last_inserted);
   }
 
   // Compact lattice relations: drop rows superseded by better values.
@@ -1329,6 +1365,7 @@ Status Evaluation::EvaluateScc(SccWork* work) {
 }
 
 Status Evaluation::Run() {
+  obs::TraceScope run_span("datalog.run");
   RAQLET_RETURN_IF_ERROR(program_.Validate());
   RAQLET_RETURN_IF_ERROR(PrepareRelations());
 
@@ -1340,9 +1377,17 @@ Status Evaluation::Run() {
   // pointers, neither of which may race with concurrent SCC evaluation.
   const auto& sccs = graph.SccsInTopologicalOrder();
   std::vector<SccWork> work(sccs.size());
+  if (metrics_ != nullptr) {
+    metrics_->sccs.assign(sccs.size(), obs::SccMetrics{});
+  }
   for (size_t i = 0; i < sccs.size(); ++i) {
+    work[i].index = static_cast<int>(i);
     work[i].preds = sccs[i];
     work[i].recursive = graph.IsRecursiveScc(static_cast<int>(i));
+    if (metrics_ != nullptr) {
+      metrics_->sccs[i].preds = sccs[i];
+      metrics_->sccs[i].recursive = work[i].recursive;
+    }
     std::set<std::string> scc_set(sccs[i].begin(), sccs[i].end());
     for (const Rule& rule : program_.rules) {
       if (scc_set.count(rule.head.predicate) == 0) continue;
@@ -1381,8 +1426,9 @@ std::string EvalStats::ToString() const {
 }
 
 Status DatalogEngine::Run(const dlir::Program& program, Database* db,
-                          EvalStats* stats) const {
-  Evaluation eval(program, db, options_, stats, context_.get());
+                          EvalStats* stats,
+                          obs::DatalogMetrics* metrics) const {
+  Evaluation eval(program, db, options_, stats, metrics, context_.get());
   return eval.Run();
 }
 

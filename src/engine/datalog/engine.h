@@ -34,6 +34,7 @@
 
 #include "common/status.h"
 #include "dlir/program.h"
+#include "obs/metrics.h"
 #include "runtime/execution_context.h"
 #include "storage/database.h"
 
@@ -78,8 +79,14 @@ class DatalogEngine {
   /// Evaluates `program` against `db`. Input relations must pre-exist in
   /// `db` with matching arity; IDB relations are created (or cleared) and
   /// filled. On success, output relations hold the query results.
+  ///
+  /// `metrics`, when given, receives the per-SCC fixpoint breakdown
+  /// (rounds, per-round delta sizes, tuples considered/inserted) indexed
+  /// by topological SCC order. Every counter in it is bit-identical
+  /// across thread counts; only SccMetrics::micros is wall time.
   Status Run(const dlir::Program& program, Database* db,
-             EvalStats* stats = nullptr) const;
+             EvalStats* stats = nullptr,
+             obs::DatalogMetrics* metrics = nullptr) const;
 
  private:
   EvalOptions options_;

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/trace.h"
 #include "storage/relation.h"
 
 namespace raqlet::engine {
@@ -76,8 +77,9 @@ dlir::ArithOp ToArithOp(BinOp op) {
 // regardless of which executor asked for it.
 class Traversals {
  public:
-  Traversals(const GraphStore& store, GraphStats* stats)
-      : store_(store), stats_(stats) {}
+  Traversals(const GraphStore& store, GraphStats* stats,
+             obs::GraphMetrics* metrics = nullptr)
+      : store_(store), stats_(stats), metrics_(metrics) {}
 
   // Neighbour expansion respecting direction.
   void ForEachNeighbor(const std::string& edge_label, int64_t node,
@@ -109,7 +111,12 @@ class Traversals {
     auto& memo =
         closure_memos_[{upper, static_cast<int>(direction), reverse}];
     auto hit = memo.find(start);
-    if (hit != memo.end()) return *hit->second;
+    if (hit != memo.end()) {
+      NoteClosureHit();
+      return *hit->second;
+    }
+    NoteClosureMiss();
+    obs::TraceScope span("graph.closure");
     auto result = std::make_unique<NodeSet>();
     NodeSet& reached = *result;
     std::deque<int64_t> queue;  // nodes whose edges still need walking
@@ -118,10 +125,12 @@ class Traversals {
     };
     ForEachNeighbor(upper, start, direction, reverse, visit);
     while (!queue.empty()) {
+      NoteFrontier(queue.size());
       int64_t node = queue.front();
       queue.pop_front();
       auto cached = memo.find(node);
       if (cached != memo.end()) {
+        NoteClosureHit();
         for (int64_t m : *cached->second) reached.insert(m);
         continue;
       }
@@ -198,6 +207,7 @@ class Traversals {
                         queue.push_back(nb.node);
                       });
       while (!queue.empty()) {
+        NoteFrontier(queue.size());
         int64_t node = queue.front();
         queue.pop_front();
         int64_t d = dist[node];
@@ -226,6 +236,7 @@ class Traversals {
     states.insert({start, 0});
     std::set<std::pair<int64_t, int64_t>> result;
     while (!queue.empty()) {
+      NoteFrontier(queue.size());
       auto [node, d] = queue.front();
       queue.pop_front();
       if (d >= min_hops && d >= 1) result.insert({node, d});
@@ -243,8 +254,23 @@ class Traversals {
   }
 
  private:
+  void NoteClosureHit() const {
+    if (stats_ != nullptr) ++stats_->closure_cache_hits;
+    if (metrics_ != nullptr) ++metrics_->closure_cache_hits;
+  }
+  void NoteClosureMiss() const {
+    if (stats_ != nullptr) ++stats_->closure_cache_misses;
+    if (metrics_ != nullptr) ++metrics_->closure_cache_misses;
+  }
+  void NoteFrontier(size_t size) const {
+    if (metrics_ != nullptr && size > metrics_->frontier_peak) {
+      metrics_->frontier_peak = size;
+    }
+  }
+
   const GraphStore& store_;
   GraphStats* stats_;
+  obs::GraphMetrics* metrics_;
   // Completed reachability closures per traversal signature; see Closure.
   mutable std::map<std::tuple<std::string, int, bool>,
                    std::unordered_map<int64_t, std::unique_ptr<NodeSet>>>
@@ -284,22 +310,34 @@ struct BindingTable {
 class RowExecution {
  public:
   RowExecution(const GraphStore& store, const schema::DlSchema& dl,
-               Database* db, GraphStats* stats)
-      : store_(store), dl_(dl), db_(db), stats_(stats), trav_(store, stats) {}
+               Database* db, GraphStats* stats,
+               obs::GraphMetrics* metrics = nullptr)
+      : store_(store), dl_(dl), db_(db), stats_(stats), metrics_(metrics),
+        trav_(store, stats, metrics) {}
 
   Result<ResultTable> Run(const PgirQuery& query) {
     table_.rows.push_back({});  // one empty binding
+    int64_t clause_index = 0;
     for (const pgir::Op& op : query.ops) {
+      obs::TraceScope clause_span("graph.clause", clause_index++);
+      const char* kind = "";
       if (const auto* match = std::get_if<MatchOp>(&op)) {
+        kind = "match";
         RAQLET_RETURN_IF_ERROR(ExecMatch(*match));
       } else if (const auto* where = std::get_if<WhereOp>(&op)) {
+        kind = "where";
         RAQLET_RETURN_IF_ERROR(ExecWhere(*where));
       } else if (const auto* with = std::get_if<WithOp>(&op)) {
+        kind = "with";
         RAQLET_RETURN_IF_ERROR(ExecProjection(with->items, with->distinct,
                                               /*is_return=*/false));
       } else if (const auto* ret = std::get_if<ReturnOp>(&op)) {
+        kind = "return";
         RAQLET_RETURN_IF_ERROR(
             ExecProjection(ret->items, ret->distinct, /*is_return=*/true));
+      }
+      if (metrics_ != nullptr) {
+        metrics_->clauses.push_back({kind, table_.rows.size()});
       }
     }
     ResultTable result;
@@ -830,6 +868,7 @@ class RowExecution {
   const schema::DlSchema& dl_;
   Database* db_;
   GraphStats* stats_;
+  obs::GraphMetrics* metrics_;
   BindingTable table_;
   Traversals trav_;
 };
@@ -868,23 +907,36 @@ struct BindingBatch {
 class BatchExecution {
  public:
   BatchExecution(const GraphStore& store, const schema::DlSchema& dl,
-                 Database* db, GraphStats* stats)
-      : store_(store), dl_(dl), db_(db), stats_(stats), trav_(store, stats) {}
+                 Database* db, GraphStats* stats,
+                 obs::GraphMetrics* metrics = nullptr)
+      : store_(store), dl_(dl), db_(db), stats_(stats), metrics_(metrics),
+        trav_(store, stats, metrics) {}
 
   Result<ResultTable> Run(const PgirQuery& query) {
     table_.rows = 1;  // one empty binding
+    int64_t clause_index = 0;
     for (const pgir::Op& op : query.ops) {
+      obs::TraceScope clause_span("graph.clause", clause_index++);
       EnsureColumnar();
+      const char* kind = "";
       if (const auto* match = std::get_if<MatchOp>(&op)) {
+        kind = "match";
         RAQLET_RETURN_IF_ERROR(ExecMatch(*match));
       } else if (const auto* where = std::get_if<WhereOp>(&op)) {
+        kind = "where";
         RAQLET_RETURN_IF_ERROR(ExecWhere(*where));
       } else if (const auto* with = std::get_if<WithOp>(&op)) {
+        kind = "with";
         RAQLET_RETURN_IF_ERROR(ExecProjection(with->items, with->distinct,
                                               /*is_return=*/false));
       } else if (const auto* ret = std::get_if<ReturnOp>(&op)) {
+        kind = "return";
         RAQLET_RETURN_IF_ERROR(
             ExecProjection(ret->items, ret->distinct, /*is_return=*/true));
+      }
+      if (metrics_ != nullptr) {
+        metrics_->clauses.push_back(
+            {kind, have_result_rows_ ? result_rows_.size() : table_.rows});
       }
     }
     ResultTable result;
@@ -1783,6 +1835,7 @@ class BatchExecution {
   const schema::DlSchema& dl_;
   Database* db_;
   GraphStats* stats_;
+  obs::GraphMetrics* metrics_;
   BindingBatch table_;
   Traversals trav_;
   // Row-major form of the latest projection when it went through a dedup
@@ -1794,12 +1847,14 @@ class BatchExecution {
 }  // namespace
 
 Result<ResultTable> GraphEngine::Run(const pgir::PgirQuery& query,
-                                     GraphStats* stats) const {
+                                     GraphStats* stats,
+                                     obs::GraphMetrics* metrics) const {
+  obs::TraceScope run_span("graph.run");
   if (options_.mode == GraphMode::kRowBinding) {
-    RowExecution exec(*store_, *dl_, db_, stats);
+    RowExecution exec(*store_, *dl_, db_, stats, metrics);
     return exec.Run(query);
   }
-  BatchExecution exec(*store_, *dl_, db_, stats);
+  BatchExecution exec(*store_, *dl_, db_, stats, metrics);
   return exec.Run(query);
 }
 

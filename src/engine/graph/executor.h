@@ -37,6 +37,7 @@
 #include "common/status.h"
 #include "engine/graph/graph_store.h"
 #include "engine/value_ops.h"
+#include "obs/metrics.h"
 #include "pgir/pgir.h"
 
 namespace raqlet::engine {
@@ -56,6 +57,11 @@ struct GraphOptions {
 struct GraphStats {
   size_t rows_expanded = 0;  // binding-table rows produced by MATCH steps
   size_t bfs_visits = 0;     // (node, depth) states visited by BFS
+  // Memoized reachability closure (Traversals::Closure): a hit reuses a
+  // completed per-start closure set (at lookup or mid-walk), a miss pays
+  // a full expansion. Both engines' modes populate these.
+  size_t closure_cache_hits = 0;
+  size_t closure_cache_misses = 0;
 };
 
 class GraphEngine {
@@ -66,8 +72,11 @@ class GraphEngine {
               Database* db, GraphOptions options = {})
       : store_(store), dl_(dl), db_(db), options_(options) {}
 
+  /// `metrics`, when given, additionally receives per-clause binding-table
+  /// sizes, closure-cache hit/miss counts and the peak BFS frontier.
   Result<ResultTable> Run(const pgir::PgirQuery& query,
-                          GraphStats* stats = nullptr) const;
+                          GraphStats* stats = nullptr,
+                          obs::GraphMetrics* metrics = nullptr) const;
 
  private:
   const GraphStore* store_;

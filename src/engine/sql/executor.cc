@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 
 namespace raqlet::engine {
@@ -122,10 +123,12 @@ class SelectEvaluator {
                   Database* db, SqlMode mode, SqlStats* stats,
                   runtime::ThreadPool* pool,
                   const Relation* lead_scan = nullptr,
-                  size_t delta_begin = 0, size_t delta_end = kNoDelta)
+                  size_t delta_begin = 0, size_t delta_end = kNoDelta,
+                  obs::SqlCteMetrics* cte_metrics = nullptr)
       : select_(select), resolver_(resolver), db_(db), mode_(mode),
         stats_(stats), pool_(pool), lead_scan_(lead_scan),
-        delta_begin_(delta_begin), delta_end_(delta_end) {}
+        delta_begin_(delta_begin), delta_end_(delta_end),
+        cte_metrics_(cte_metrics) {}
 
   static constexpr size_t kNoDelta = static_cast<size_t>(-1);
 
@@ -134,6 +137,21 @@ class SelectEvaluator {
     RAQLET_RETURN_IF_ERROR(Bind());
     RAQLET_RETURN_IF_ERROR(Plan());
     if (trivially_false_) return Status::OK();
+    // Per-step accumulators exist only when a sink is attached, so the
+    // hot loops' null checks keep the metrics-off path counter-free.
+    if (cte_metrics_ != nullptr) {
+      step_totals_.assign(plan_.size(), obs::SqlStepMetrics{});
+      for (size_t s = 0; s < plan_.size(); ++s) {
+        step_totals_[s].relation = plan_[s].rel->schema().name;
+      }
+    }
+    Status status = EvaluateDispatch(out);
+    if (status.ok()) MergeStepMetrics();
+    return status;
+  }
+
+ private:
+  Status EvaluateDispatch(Relation* out) {
     if (!select_.group_by.empty() || !agg_item_pos_.empty()) {
       return EvaluateWithAggregation(out);
     }
@@ -144,9 +162,41 @@ class SelectEvaluator {
     RowBinding binding(tables_.size(), nullptr);
     return Descend(0, &binding, [&](const RowBinding& row) -> Status {
       RAQLET_ASSIGN_OR_RETURN(Tuple tuple, Project(row));
-      out->Insert(std::move(tuple));
+      RecordDedup(1, out->Insert(std::move(tuple)) ? 1 : 0);
       return Status::OK();
     });
+  }
+
+  // Folds this evaluation's per-step counters into the CTE sink, keyed by
+  // relation name in first-seen order (branches of one CTE plan different
+  // join orders, so position alone is not a stable key).
+  void MergeStepMetrics() {
+    if (cte_metrics_ == nullptr) return;
+    for (const obs::SqlStepMetrics& step : step_totals_) {
+      obs::SqlStepMetrics* dst = nullptr;
+      for (obs::SqlStepMetrics& existing : cte_metrics_->steps) {
+        if (existing.relation == step.relation) {
+          dst = &existing;
+          break;
+        }
+      }
+      if (dst == nullptr) {
+        cte_metrics_->steps.emplace_back();
+        dst = &cte_metrics_->steps.back();
+        dst->relation = step.relation;
+      }
+      dst->batches += step.batches;
+      dst->rows_in += step.rows_in;
+      dst->probes += step.probes;
+      dst->rows_matched += step.rows_matched;
+      dst->rows_out += step.rows_out;
+    }
+  }
+
+  void RecordDedup(size_t attempts, size_t inserted) {
+    if (cte_metrics_ == nullptr) return;
+    cte_metrics_->dedup_attempts += attempts;
+    cte_metrics_->dedup_inserted += inserted;
   }
 
  private:
@@ -487,9 +537,18 @@ class SelectEvaluator {
   template <typename Sink>
   Status ExtendOne(const StepPlan& step, RowBinding* row, Sink sink) {
     const Relation* rel = step.rel;
+    // Tuple mode works in unit batches: one binding row per invocation.
+    obs::SqlStepMetrics* sm =
+        step_totals_.empty() ? nullptr : &step_totals_[&step - plan_.data()];
+    if (sm != nullptr) {
+      ++sm->batches;
+      ++sm->rows_in;
+      if (!step.probes.empty()) ++sm->probes;
+    }
 
     auto try_row = [&](const Tuple& candidate) -> Status {
       if (stats_ != nullptr) ++stats_->rows_scanned;
+      if (sm != nullptr) ++sm->rows_matched;
       (*row)[step.table_index] = &candidate;
       for (const Predicate* pred : step.filters) {
         RAQLET_ASSIGN_OR_RETURN(Value lhs, EvalExpr(pred->lhs, *row));
@@ -499,6 +558,7 @@ class SelectEvaluator {
           return Status::OK();
         }
       }
+      if (sm != nullptr) ++sm->rows_out;
       Status s = sink(*row);
       (*row)[step.table_index] = nullptr;
       return s;
@@ -668,11 +728,17 @@ class SelectEvaluator {
   // zero-copy views — values are first copied only when a filter compacts
   // or a later step gathers through its match selection.
   Status ExtendBatch(const StepPlan& step, size_t begin, size_t end,
-                     Batch* batch, size_t* scanned) const {
+                     Batch* batch, size_t* scanned,
+                     obs::SqlStepMetrics* sm) const {
     Batch in = std::move(*batch);
     Batch out;
     out.cols.resize(slot_count_);
     std::deque<BatchColumn> scratch;
+    if (sm != nullptr) {
+      ++sm->batches;
+      sm->rows_in += in.rows;
+      if (!step.probes.empty()) sm->probes += in.rows;
+    }
     if (!step.probes.empty()) {
       std::vector<uint32_t> src;    // batch row of each match
       std::vector<uint32_t> match;  // table row of each match
@@ -743,6 +809,8 @@ class SelectEvaluator {
       }
     }
 
+    if (sm != nullptr) sm->rows_matched += out.rows;
+
     // Filters compact after each predicate, so later predicates (and their
     // arithmetic) never see rows an earlier predicate already excluded —
     // same short-circuit the tuple pipeline gets per row.
@@ -759,6 +827,7 @@ class SelectEvaluator {
       }
       CompactBatch(&out, keep);
     }
+    if (sm != nullptr) sm->rows_out += out.rows;
     *batch = std::move(out);
     return Status::OK();
   }
@@ -799,13 +868,15 @@ class SelectEvaluator {
   // (the range is ignored by a probing first step) through every join step
   // and the NOT EXISTS filters.
   Status RunPipeline(size_t begin, size_t end, Batch* batch,
-                     size_t* scanned) const {
+                     size_t* scanned,
+                     std::vector<obs::SqlStepMetrics>* steps) const {
     batch->cols.resize(slot_count_);
     batch->rows = 1;  // unit batch: no table bound yet
     for (size_t s = 0; s < plan_.size(); ++s) {
-      RAQLET_RETURN_IF_ERROR(
-          ExtendBatch(plan_[s], s == 0 ? begin : 0,
-                      s == 0 ? end : plan_[s].rel->size(), batch, scanned));
+      RAQLET_RETURN_IF_ERROR(ExtendBatch(
+          plan_[s], s == 0 ? begin : 0,
+          s == 0 ? end : plan_[s].rel->size(), batch, scanned,
+          steps != nullptr ? &(*steps)[s] : nullptr));
       if (batch->rows == 0) return Status::OK();
     }
     return FilterNotExistsBatch(batch);
@@ -835,9 +906,10 @@ class SelectEvaluator {
 
   Status RunChunk(size_t begin, size_t end,
                   std::vector<std::vector<Value>>* out_cols,
-                  size_t* scanned) const {
+                  size_t* scanned,
+                  std::vector<obs::SqlStepMetrics>* steps) const {
     Batch batch;
-    RAQLET_RETURN_IF_ERROR(RunPipeline(begin, end, &batch, scanned));
+    RAQLET_RETURN_IF_ERROR(RunPipeline(begin, end, &batch, scanned, steps));
     if (batch.rows == 0) return Status::OK();
     return ProjectBatch(batch, out_cols);
   }
@@ -867,12 +939,21 @@ class SelectEvaluator {
     if (nchunks <= 1) {
       std::vector<std::vector<Value>> cols;
       size_t scanned = 0;
-      RAQLET_RETURN_IF_ERROR(RunChunk(scan_begin, scan_end, &cols, &scanned));
+      RAQLET_RETURN_IF_ERROR(RunChunk(
+          scan_begin, scan_end, &cols, &scanned,
+          step_totals_.empty() ? nullptr : &step_totals_));
       if (stats_ != nullptr) stats_->rows_scanned += scanned;
-      return out->InsertColumns(&cols).status();
+      const size_t staged = cols.empty() ? 0 : cols.front().size();
+      RAQLET_ASSIGN_OR_RETURN(size_t inserted, out->InsertColumns(&cols));
+      RecordDedup(staged, inserted);
+      return Status::OK();
     }
+    const bool want_steps = !step_totals_.empty();
     std::vector<std::vector<std::vector<Value>>> chunk_cols(nchunks);
     std::vector<size_t> chunk_scanned(nchunks, 0);
+    std::vector<std::vector<obs::SqlStepMetrics>> chunk_steps(
+        nchunks, std::vector<obs::SqlStepMetrics>(
+                     want_steps ? plan_.size() : 0));
     std::vector<Status> chunk_status(nchunks);
     const size_t per_chunk = (scan_rows + nchunks - 1) / nchunks;
     pool_->ParallelFor(nchunks, [&](size_t c) {
@@ -880,14 +961,26 @@ class SelectEvaluator {
       const size_t end = std::min(scan_end, begin + per_chunk);
       if (begin >= end) return;
       chunk_status[c] = RunChunk(begin, end, &chunk_cols[c],
-                                 &chunk_scanned[c]);
+                                 &chunk_scanned[c],
+                                 want_steps ? &chunk_steps[c] : nullptr);
     });
     for (const Status& status : chunk_status) {
       RAQLET_RETURN_IF_ERROR(status);
     }
     for (size_t c = 0; c < nchunks; ++c) {
       if (stats_ != nullptr) stats_->rows_scanned += chunk_scanned[c];
-      RAQLET_RETURN_IF_ERROR(out->InsertColumns(&chunk_cols[c]).status());
+      for (size_t s = 0; want_steps && s < plan_.size(); ++s) {
+        step_totals_[s].batches += chunk_steps[c][s].batches;
+        step_totals_[s].rows_in += chunk_steps[c][s].rows_in;
+        step_totals_[s].probes += chunk_steps[c][s].probes;
+        step_totals_[s].rows_matched += chunk_steps[c][s].rows_matched;
+        step_totals_[s].rows_out += chunk_steps[c][s].rows_out;
+      }
+      const size_t staged =
+          chunk_cols[c].empty() ? 0 : chunk_cols[c].front().size();
+      RAQLET_ASSIGN_OR_RETURN(size_t inserted,
+                              out->InsertColumns(&chunk_cols[c]));
+      RecordDedup(staged, inserted);
     }
     return Status::OK();
   }
@@ -961,7 +1054,8 @@ class SelectEvaluator {
       Batch batch;
       size_t scanned = 0;
       RAQLET_RETURN_IF_ERROR(
-          RunPipeline(LeadScanBegin(), LeadScanEnd(), &batch, &scanned));
+          RunPipeline(LeadScanBegin(), LeadScanEnd(), &batch, &scanned,
+                      step_totals_.empty() ? nullptr : &step_totals_));
       if (stats_ != nullptr) stats_->rows_scanned += scanned;
       if (batch.rows > 0) {
         std::deque<BatchColumn> scratch;
@@ -1043,7 +1137,7 @@ class SelectEvaluator {
           tuple.push_back(key[ki++]);
         }
       }
-      if (!skip) out->Insert(std::move(tuple));
+      if (!skip) RecordDedup(1, out->Insert(std::move(tuple)) ? 1 : 0);
     }
     return Status::OK();
   }
@@ -1057,6 +1151,10 @@ class SelectEvaluator {
   const Relation* lead_scan_;
   size_t delta_begin_;
   size_t delta_end_;  // kNoDelta: no scan-range restriction
+  obs::SqlCteMetrics* cte_metrics_;  // per-CTE sink (may be null)
+  // This evaluation's per-plan-step counters, in plan order. Parallel
+  // chunks accumulate privately and merge here in chunk order.
+  std::vector<obs::SqlStepMetrics> step_totals_;
 
   std::vector<BoundTable> tables_;
   std::map<std::string, size_t> alias_index_;
@@ -1150,7 +1248,9 @@ SqlEngine::SqlEngine(SqlOptions options) : options_(options) {
 }
 
 Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
-                                   SqlStats* stats) const {
+                                   SqlStats* stats,
+                                   obs::SqlMetrics* metrics) const {
+  obs::TraceScope run_span("sql.run");
   std::map<std::string, std::unique_ptr<Relation>> cte_store;
   runtime::ThreadPool* pool =
       context_ != nullptr ? context_->pool() : nullptr;
@@ -1163,7 +1263,15 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
     return rel;
   };
 
-  for (const Cte& cte : program.ctes) {
+  for (size_t cte_index = 0; cte_index < program.ctes.size(); ++cte_index) {
+    const Cte& cte = program.ctes[cte_index];
+    obs::TraceScope cte_span("sql.cte", static_cast<int64_t>(cte_index));
+    obs::SqlCteMetrics* cm = nullptr;
+    if (metrics != nullptr) {
+      metrics->ctes.emplace_back();
+      cm = &metrics->ctes.back();
+      cm->name = cte.name;
+    }
     // Partition branches: a branch is recursive iff it references the CTE
     // itself in its FROM list. A self-reference through NOT EXISTS is
     // non-monotonic recursion, which SQL:1999 forbids — reject it rather
@@ -1196,11 +1304,12 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
 
     for (const Select* branch : base) {
       SelectEvaluator eval(*branch, resolver, db, options_.mode, stats,
-                           pool);
+                           pool, nullptr, 0, SelectEvaluator::kNoDelta, cm);
       RAQLET_RETURN_IF_ERROR(eval.Evaluate(rel.get()));
     }
 
     if (!recursive.empty()) {
+      if (cm != nullptr) cm->recursive = true;
       // Linear recursion (each recursive branch references the CTE exactly
       // once) lets the vectorized mode run true semi-naive iteration: the
       // "working table" is the suffix of `rel` appended last round,
@@ -1218,6 +1327,7 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
       auto check_cap = [&]() -> Status {
         ++iterations;
         if (stats != nullptr) ++stats->recursive_iterations;
+        if (cm != nullptr) ++cm->iterations;
         if (options_.max_recursive_iterations != 0 &&
             iterations > options_.max_recursive_iterations) {
           return Status::Unsupported(
@@ -1238,6 +1348,8 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
         size_t delta_end = rel->size();
         while (delta_begin < delta_end) {
           RAQLET_RETURN_IF_ERROR(check_cap());
+          obs::TraceScope round_span("sql.round",
+                                     static_cast<int64_t>(iterations));
           // All branches of a round see the same delta; rows a branch
           // appends join in the next round (SQL:1999 working-table
           // semantics). Reads of the delta finish before the round's
@@ -1246,7 +1358,7 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
           for (const Select* branch : recursive) {
             SelectEvaluator eval(*branch, rec_resolver, db, options_.mode,
                                  stats, pool, rel.get(), delta_begin,
-                                 delta_end);
+                                 delta_end, cm);
             RAQLET_RETURN_IF_ERROR(eval.Evaluate(rel.get()));
           }
           delta_begin = delta_end;
@@ -1260,6 +1372,8 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
             working->InsertBatch(rel->MaterializeRows()).status());
         while (!working->empty()) {
           RAQLET_RETURN_IF_ERROR(check_cap());
+          obs::TraceScope round_span("sql.round",
+                                     static_cast<int64_t>(iterations));
           TableResolver rec_resolver =
               [&](const std::string& name) -> Result<const Relation*> {
             if (name == cte.name) return working.get();
@@ -1272,7 +1386,8 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
           const size_t before = rel->size();
           for (const Select* branch : recursive) {
             SelectEvaluator eval(*branch, rec_resolver, db, options_.mode,
-                                 stats, pool, working.get());
+                                 stats, pool, working.get(), 0,
+                                 SelectEvaluator::kNoDelta, cm);
             RAQLET_RETURN_IF_ERROR(eval.Evaluate(rel.get()));
           }
           auto next_working = std::make_unique<Relation>(schema);
@@ -1285,6 +1400,7 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
     }
 
     if (stats != nullptr) stats->rows_materialized += rel->size();
+    if (cm != nullptr) cm->rows = rel->size();
     cte_store.emplace(cte.name, std::move(rel));
   }
 
@@ -1300,6 +1416,13 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
   for (const Column& col : out_schema.columns) {
     result.columns.push_back(col.name);
     result.column_types.push_back(col.type);
+  }
+
+  obs::SqlCteMetrics* final_cm = nullptr;
+  if (metrics != nullptr) {
+    metrics->ctes.emplace_back();
+    final_cm = &metrics->ctes.back();
+    final_cm->name = "__result__";
   }
 
   // Identity fast path: the shape every translated program ends with —
@@ -1323,6 +1446,7 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
       }
       if (identity) {
         if (stats != nullptr) stats->rows_scanned += (*src)->size();
+        if (final_cm != nullptr) final_cm->rows = (*src)->size();
         result.rows = (*src)->MaterializeRows();
         return result;
       }
@@ -1331,8 +1455,10 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
 
   Relation out_rel(out_schema);
   SelectEvaluator eval(program.final_select, resolver, db, options_.mode,
-                       stats, pool);
+                       stats, pool, nullptr, 0, SelectEvaluator::kNoDelta,
+                       final_cm);
   RAQLET_RETURN_IF_ERROR(eval.Evaluate(&out_rel));
+  if (final_cm != nullptr) final_cm->rows = out_rel.size();
   result.rows = out_rel.ReleaseRows();
   return result;
 }

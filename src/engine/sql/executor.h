@@ -39,6 +39,7 @@
 
 #include "common/status.h"
 #include "engine/value_ops.h"
+#include "obs/metrics.h"
 #include "runtime/execution_context.h"
 #include "sqir/sqir.h"
 #include "storage/database.h"
@@ -70,8 +71,15 @@ class SqlEngine {
 
   /// Executes `program` against `db`. The database is non-const only to
   /// intern string literals appearing in the query.
+  ///
+  /// `metrics`, when given, receives per-CTE detail (iterations, dedup
+  /// hit rate, per-step operator counters from the vectorized pipeline)
+  /// plus a final "__result__" entry for the top-level select. Row and
+  /// dedup counters are bit-identical across thread counts; only
+  /// SqlStepMetrics::batches depends on scan chunking.
   Result<ResultTable> Run(const sqir::SqirProgram& program, Database* db,
-                          SqlStats* stats = nullptr) const;
+                          SqlStats* stats = nullptr,
+                          obs::SqlMetrics* metrics = nullptr) const;
 
  private:
   SqlOptions options_;

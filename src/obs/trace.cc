@@ -1,0 +1,151 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace raqlet::obs {
+
+std::atomic<TraceSession*> TraceSession::current_{nullptr};
+
+namespace {
+
+// Monotone session counter: a thread's cached buffer pointer is only
+// trusted when its cached generation matches the live session's, so a
+// session constructed at the address of a destroyed one can never alias
+// into stale thread-local state.
+std::atomic<uint64_t> g_session_generation{0};
+
+struct TlsSlot {
+  uint64_t generation = 0;
+  void* buffer = nullptr;
+};
+
+thread_local TlsSlot tls_slot;
+
+void AppendJsonEscaped(const std::string& s, std::ostream& os) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TraceSession::TraceSession()
+    : origin_(std::chrono::steady_clock::now()),
+      generation_(g_session_generation.fetch_add(1,
+                                                 std::memory_order_relaxed) +
+                  1) {
+  TraceSession* expected = nullptr;
+  if (!current_.compare_exchange_strong(expected, this,
+                                        std::memory_order_release)) {
+    // Nested sessions would silently split one trace across two sinks;
+    // fail loudly instead (tracing is an explicit, single-owner mode).
+    std::fprintf(stderr, "TraceSession: a session is already installed\n");
+    std::abort();
+  }
+}
+
+TraceSession::~TraceSession() {
+  current_.store(nullptr, std::memory_order_release);
+}
+
+TraceSession::ThreadBuffer* TraceSession::BufferForThisThread() {
+  if (tls_slot.generation == generation_) {
+    return static_cast<ThreadBuffer*>(tls_slot.buffer);
+  }
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->tid = static_cast<uint32_t>(buffers_.size());
+  ThreadBuffer* raw = buffer.get();
+  buffers_.push_back(std::move(buffer));
+  tls_slot.generation = generation_;
+  tls_slot.buffer = raw;
+  return raw;
+}
+
+void TraceSession::Record(std::string name, int64_t ts_us, int64_t dur_us) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  TraceEvent& event = buffer->events.emplace_back();
+  event.name = std::move(name);
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.tid = buffer->tid;
+}
+
+size_t TraceSession::event_count() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  size_t n = 0;
+  for (const auto& buffer : buffers_) n += buffer->events.size();
+  return n;
+}
+
+std::vector<TraceEvent> TraceSession::Events() const {
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (const auto& buffer : buffers_) {
+      all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.tid < b.tid;
+                   });
+  return all;
+}
+
+void TraceSession::WriteChromeTrace(std::ostream& os) const {
+  std::vector<TraceEvent> events = Events();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"";
+    AppendJsonEscaped(event.name, os);
+    os << "\",\"cat\":\"raqlet\",\"ph\":\"X\",\"ts\":" << event.ts_us
+       << ",\"dur\":" << event.dur_us << ",\"pid\":1,\"tid\":" << event.tid
+       << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+Status TraceSession::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open trace file: " + path);
+  }
+  WriteChromeTrace(out);
+  out.flush();
+  if (!out.good()) {
+    return Status::InvalidArgument("failed writing trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace raqlet::obs

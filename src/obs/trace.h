@@ -1,0 +1,162 @@
+#ifndef RAQLET_OBS_TRACE_H_
+#define RAQLET_OBS_TRACE_H_
+
+// Execution tracing: RAII spans collected into Chrome trace-event JSON
+// (loadable in chrome://tracing and ui.perfetto.dev).
+//
+// Design goals, in order:
+//
+//  1. Near-zero cost when tracing is off. A TraceScope constructor is one
+//     relaxed atomic load plus a branch; no string is built, no clock is
+//     read, nothing allocates. Engines therefore instrument
+//     unconditionally and ship the spans in release builds.
+//  2. No contention when tracing is on. Each thread records into its own
+//     event buffer (registered once per (session, thread) under a mutex,
+//     then appended to lock-free by its owning thread), so spans from the
+//     runtime's pool workers never serialize on a shared sink.
+//  3. Determinism-neutral. Recording a span reads the steady clock and a
+//     thread-local buffer; it never touches engine state, so traced runs
+//     produce bit-identical query results to untraced runs.
+//
+// Usage:
+//
+//   {
+//     raqlet::obs::TraceSession session;      // tracing on
+//     ... run queries ...
+//     RAQLET_RETURN_IF_ERROR(session.WriteChromeTrace("out.json"));
+//   }                                         // tracing off again
+//
+// and at every instrumentation point, simply:
+//
+//   raqlet::obs::TraceScope span("datalog.scc", scc_index);
+//
+// Exactly one TraceSession may be alive at a time (the second constructor
+// call aborts); export must happen at a quiescent point — after every
+// thread that recorded spans has finished its work — which all callers
+// (CLI, tests, benches) naturally satisfy by exporting after Run returns.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace raqlet::obs {
+
+/// One completed span: a Chrome "X" (complete) event.
+struct TraceEvent {
+  std::string name;
+  int64_t ts_us = 0;   // start, microseconds since session start
+  int64_t dur_us = 0;  // duration, microseconds
+  uint32_t tid = 0;    // per-session thread id (registration order)
+};
+
+class TraceSession {
+ public:
+  /// Installs this session as the process-wide current session.
+  TraceSession();
+  /// Uninstalls. Spans still open when the session dies are dropped.
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// The installed session, or nullptr when tracing is off. One relaxed
+  /// atomic load — this is the whole tracing-off hot path.
+  static TraceSession* Current() {
+    return current_.load(std::memory_order_relaxed);
+  }
+
+  /// Records one completed span on the calling thread's buffer.
+  void Record(std::string name, int64_t ts_us, int64_t dur_us);
+
+  /// Microseconds elapsed since the session started (steady clock).
+  int64_t NowMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - origin_)
+        .count();
+  }
+
+  /// Total spans recorded so far, across all threads. Quiescent-point
+  /// accessor (see the file comment).
+  size_t event_count() const;
+
+  /// All events merged across threads, sorted by (ts, tid). Quiescent
+  /// point only.
+  std::vector<TraceEvent> Events() const;
+
+  /// Serializes the Chrome trace-event envelope
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"}. Quiescent point
+  /// only.
+  void WriteChromeTrace(std::ostream& os) const;
+  /// Same, to a file.
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  // Finds (or registers) the calling thread's buffer for this session.
+  ThreadBuffer* BufferForThisThread();
+
+  static std::atomic<TraceSession*> current_;
+
+  std::chrono::steady_clock::time_point origin_;
+  uint64_t generation_ = 0;  // distinguishes sessions at a reused address
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span. Construct with a static label, or a (label, index) pair for
+/// per-SCC / per-round / per-chunk spans — the "label index" name is
+/// formatted only when the span is recorded, so call sites stay
+/// allocation-free while tracing is off.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) : session_(TraceSession::Current()) {
+    if (session_ == nullptr) return;
+    name_ = name;
+    start_us_ = session_->NowMicros();
+  }
+
+  TraceScope(const char* label, int64_t index)
+      : session_(TraceSession::Current()) {
+    if (session_ == nullptr) return;
+    name_ = label;
+    index_ = index;
+    start_us_ = session_->NowMicros();
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  ~TraceScope() {
+    if (session_ == nullptr) return;
+    int64_t end_us = session_->NowMicros();
+    std::string full = index_ >= 0
+                           ? std::string(name_) + " " + std::to_string(index_)
+                           : std::string(name_);
+    session_->Record(std::move(full), start_us_, end_us - start_us_);
+  }
+
+  /// True when a session is installed. For call sites that want to skip
+  /// building an expensive dynamic annotation.
+  static bool Enabled() { return TraceSession::Current() != nullptr; }
+
+ private:
+  TraceSession* session_;
+  const char* name_ = nullptr;
+  int64_t index_ = -1;
+  int64_t start_us_ = 0;
+};
+
+}  // namespace raqlet::obs
+
+#endif  // RAQLET_OBS_TRACE_H_

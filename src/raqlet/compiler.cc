@@ -1,5 +1,7 @@
 #include "raqlet/compiler.h"
 
+#include "obs/trace.h"
+
 #include "cypher/parser.h"
 #include "dlir/parser.h"
 #include "gql/parser.h"
@@ -32,13 +34,32 @@ Result<CompiledQuery> Compiler::CompileGql(
         "load a PG-Schema before compiling GQL queries");
   }
   CompiledQuery out;
-  RAQLET_ASSIGN_OR_RETURN(out.ast, gql::ParseQuery(query));
+  {
+    obs::PhaseTimer timer(options.metrics, "parse");
+    obs::TraceScope span("compile.parse");
+    RAQLET_ASSIGN_OR_RETURN(out.ast, gql::ParseQuery(query));
+  }
   pgir::LowerOptions lower_options;
   lower_options.parameters = options.parameters;
-  RAQLET_ASSIGN_OR_RETURN(out.pgir, pgir::LowerCypher(out.ast, lower_options));
+  {
+    obs::PhaseTimer timer(options.metrics, "lower-pgir");
+    obs::TraceScope span("compile.lower");
+    RAQLET_ASSIGN_OR_RETURN(out.pgir,
+                            pgir::LowerCypher(out.ast, lower_options));
+  }
   out.warnings = out.pgir.warnings;
-  RAQLET_ASSIGN_OR_RETURN(out.dlir, pgir::TranslateToDlir(out.pgir, dl_schema_));
-  RAQLET_ASSIGN_OR_RETURN(out.optimized, Optimize(out.dlir, options.opt_level));
+  {
+    obs::PhaseTimer timer(options.metrics, "translate-dlir");
+    obs::TraceScope span("compile.translate");
+    RAQLET_ASSIGN_OR_RETURN(out.dlir,
+                            pgir::TranslateToDlir(out.pgir, dl_schema_));
+  }
+  {
+    obs::PhaseTimer timer(options.metrics, "optimize");
+    obs::TraceScope span("compile.optimize");
+    RAQLET_ASSIGN_OR_RETURN(out.optimized,
+                            Optimize(out.dlir, options.opt_level));
+  }
   return out;
 }
 
@@ -48,15 +69,34 @@ Result<CompiledQuery> Compiler::CompileSqlPgq(
     return Status::InvalidArgument(
         "load a PG-Schema before compiling SQL/PGQ queries");
   }
-  RAQLET_ASSIGN_OR_RETURN(sqlpgq::PgqQuery pgq, sqlpgq::ParseQuery(query));
   CompiledQuery out;
-  out.ast = std::move(pgq.query);
+  {
+    obs::PhaseTimer timer(options.metrics, "parse");
+    obs::TraceScope span("compile.parse");
+    RAQLET_ASSIGN_OR_RETURN(sqlpgq::PgqQuery pgq, sqlpgq::ParseQuery(query));
+    out.ast = std::move(pgq.query);
+  }
   pgir::LowerOptions lower_options;
   lower_options.parameters = options.parameters;
-  RAQLET_ASSIGN_OR_RETURN(out.pgir, pgir::LowerCypher(out.ast, lower_options));
+  {
+    obs::PhaseTimer timer(options.metrics, "lower-pgir");
+    obs::TraceScope span("compile.lower");
+    RAQLET_ASSIGN_OR_RETURN(out.pgir,
+                            pgir::LowerCypher(out.ast, lower_options));
+  }
   out.warnings = out.pgir.warnings;
-  RAQLET_ASSIGN_OR_RETURN(out.dlir, pgir::TranslateToDlir(out.pgir, dl_schema_));
-  RAQLET_ASSIGN_OR_RETURN(out.optimized, Optimize(out.dlir, options.opt_level));
+  {
+    obs::PhaseTimer timer(options.metrics, "translate-dlir");
+    obs::TraceScope span("compile.translate");
+    RAQLET_ASSIGN_OR_RETURN(out.dlir,
+                            pgir::TranslateToDlir(out.pgir, dl_schema_));
+  }
+  {
+    obs::PhaseTimer timer(options.metrics, "optimize");
+    obs::TraceScope span("compile.optimize");
+    RAQLET_ASSIGN_OR_RETURN(out.optimized,
+                            Optimize(out.dlir, options.opt_level));
+  }
   return out;
 }
 
@@ -67,14 +107,32 @@ Result<CompiledQuery> Compiler::CompileCypher(
         "load a PG-Schema before compiling Cypher queries");
   }
   CompiledQuery out;
-  RAQLET_ASSIGN_OR_RETURN(out.ast, cypher::ParseQuery(query));
+  {
+    obs::PhaseTimer timer(options.metrics, "parse");
+    obs::TraceScope span("compile.parse");
+    RAQLET_ASSIGN_OR_RETURN(out.ast, cypher::ParseQuery(query));
+  }
   pgir::LowerOptions lower_options;
   lower_options.parameters = options.parameters;
-  RAQLET_ASSIGN_OR_RETURN(out.pgir, pgir::LowerCypher(out.ast, lower_options));
+  {
+    obs::PhaseTimer timer(options.metrics, "lower-pgir");
+    obs::TraceScope span("compile.lower");
+    RAQLET_ASSIGN_OR_RETURN(out.pgir,
+                            pgir::LowerCypher(out.ast, lower_options));
+  }
   out.warnings = out.pgir.warnings;
-  RAQLET_ASSIGN_OR_RETURN(out.dlir, pgir::TranslateToDlir(out.pgir, dl_schema_));
-  RAQLET_ASSIGN_OR_RETURN(out.optimized,
-                          Optimize(out.dlir, options.opt_level));
+  {
+    obs::PhaseTimer timer(options.metrics, "translate-dlir");
+    obs::TraceScope span("compile.translate");
+    RAQLET_ASSIGN_OR_RETURN(out.dlir,
+                            pgir::TranslateToDlir(out.pgir, dl_schema_));
+  }
+  {
+    obs::PhaseTimer timer(options.metrics, "optimize");
+    obs::TraceScope span("compile.optimize");
+    RAQLET_ASSIGN_OR_RETURN(out.optimized,
+                            Optimize(out.dlir, options.opt_level));
+  }
   return out;
 }
 
@@ -135,9 +193,15 @@ const engine::DatalogEngine& Compiler::DatalogEngineFor(
 
 Result<engine::ResultTable> Compiler::RunOnDatalog(
     const dlir::Program& program, Database* db, engine::EvalStats* stats,
-    const engine::EvalOptions& options) const {
+    const engine::EvalOptions& options, obs::QueryMetrics* metrics) const {
   const engine::DatalogEngine& eng = DatalogEngineFor(options);
-  RAQLET_RETURN_IF_ERROR(eng.Run(program, db, stats));
+  {
+    obs::PhaseTimer timer(metrics, "execute-datalog");
+    RAQLET_RETURN_IF_ERROR(
+        eng.Run(program, db, stats,
+                metrics != nullptr ? &metrics->datalog : nullptr));
+  }
+  if (metrics != nullptr) obs::CollectMemoryBreakdown(*db, metrics);
   std::vector<std::string> outputs = program.OutputRelations();
   if (outputs.size() != 1) {
     return Status::InvalidArgument("expected exactly one output relation");
@@ -168,21 +232,37 @@ Result<engine::ResultTable> Compiler::RunOnSql(const dlir::Program& program,
                                                Database* db,
                                                engine::SqlMode mode,
                                                engine::SqlStats* stats,
-                                               int num_threads) const {
+                                               int num_threads,
+                                               obs::QueryMetrics* metrics) const {
   RAQLET_ASSIGN_OR_RETURN(sqir::SqirProgram sqir_program,
                           sqir::TranslateToSqir(program));
   engine::SqlOptions options;
   options.mode = mode;
   options.num_threads = num_threads;
-  return SqlEngineFor(options).Run(sqir_program, db, stats);
+  Result<engine::ResultTable> result =
+      [&]() -> Result<engine::ResultTable> {
+    obs::PhaseTimer timer(metrics, "execute-sql");
+    return SqlEngineFor(options).Run(
+        sqir_program, db, stats,
+        metrics != nullptr ? &metrics->sql : nullptr);
+  }();
+  if (metrics != nullptr) obs::CollectMemoryBreakdown(*db, metrics);
+  return result;
 }
 
 Result<engine::ResultTable> Compiler::RunOnGraph(
     const pgir::PgirQuery& query, const engine::GraphStore& store,
     Database* db, engine::GraphStats* stats,
-    const engine::GraphOptions& options) const {
+    const engine::GraphOptions& options, obs::QueryMetrics* metrics) const {
   engine::GraphEngine eng(&store, &dl_schema_, db, options);
-  return eng.Run(query, stats);
+  Result<engine::ResultTable> result =
+      [&]() -> Result<engine::ResultTable> {
+    obs::PhaseTimer timer(metrics, "execute-graph");
+    return eng.Run(query, stats,
+                   metrics != nullptr ? &metrics->graph : nullptr);
+  }();
+  if (metrics != nullptr) obs::CollectMemoryBreakdown(*db, metrics);
+  return result;
 }
 
 Result<engine::GraphStore> Compiler::BuildGraphStore(

@@ -33,6 +33,7 @@
 #include "engine/graph/executor.h"
 #include "engine/graph/graph_store.h"
 #include "engine/sql/executor.h"
+#include "obs/metrics.h"
 #include "pgir/pgir.h"
 #include "schema/dl_schema.h"
 #include "schema/pg_schema.h"
@@ -57,6 +58,11 @@ struct CompileOptions {
   /// optimized" Table 1 configuration), 2 = Aggressive (adds magic sets
   /// and linearization).
   int opt_level = 1;
+  /// Observability sink: when set, the pipeline records per-phase wall
+  /// times ("parse", "lower-pgir", "translate-dlir", "optimize") into
+  /// metrics->phases. Not part of engine-cache keys — a sink, not a
+  /// behavioural option.
+  obs::QueryMetrics* metrics = nullptr;
 };
 
 class Compiler {
@@ -114,10 +120,15 @@ class Compiler {
   /// Bottom-up Datalog evaluation (Soufflé stand-in). Returns the rows of
   /// the single output relation. `options.num_threads > 1` evaluates on
   /// the parallel runtime (identical results, see engine/datalog).
+  /// All three Run* entry points accept an optional obs::QueryMetrics
+  /// sink: execution wall time lands in metrics->phases ("execute-*"),
+  /// the engine's detailed counters in the matching sub-struct, and the
+  /// database memory breakdown in metrics->memory.
   Result<engine::ResultTable> RunOnDatalog(
       const dlir::Program& program, Database* db,
       engine::EvalStats* stats = nullptr,
-      const engine::EvalOptions& options = {}) const;
+      const engine::EvalOptions& options = {},
+      obs::QueryMetrics* metrics = nullptr) const;
 
   /// Recursive-SQL evaluation (DuckDB/HyPer stand-ins via `mode`).
   /// `num_threads > 1` partitions the vectorized mode's column batches
@@ -125,7 +136,8 @@ class Compiler {
   Result<engine::ResultTable> RunOnSql(
       const dlir::Program& program, Database* db,
       engine::SqlMode mode = engine::SqlMode::kVectorized,
-      engine::SqlStats* stats = nullptr, int num_threads = 1) const;
+      engine::SqlStats* stats = nullptr, int num_threads = 1,
+      obs::QueryMetrics* metrics = nullptr) const;
 
   /// Graph-traversal evaluation of PGIR (Neo4j stand-in) over a prebuilt
   /// store (use BuildGraphStore; building is the analogue of data load).
@@ -135,7 +147,8 @@ class Compiler {
   Result<engine::ResultTable> RunOnGraph(
       const pgir::PgirQuery& query, const engine::GraphStore& store,
       Database* db, engine::GraphStats* stats = nullptr,
-      const engine::GraphOptions& options = {}) const;
+      const engine::GraphOptions& options = {},
+      obs::QueryMetrics* metrics = nullptr) const;
 
   /// Builds the adjacency-list property graph from the EDBs in `db`.
   Result<engine::GraphStore> BuildGraphStore(const Database& db) const;

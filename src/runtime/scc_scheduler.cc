@@ -5,6 +5,8 @@
 #include <map>
 #include <mutex>
 
+#include "obs/trace.h"
+
 namespace raqlet::runtime {
 
 SccDag BuildSccDag(const analysis::DependencyGraph& graph) {
@@ -42,7 +44,11 @@ struct DagState {
 };
 
 void RunNode(DagState* state, int node) {
-  Status status = (*state->body)(node);
+  Status status;
+  {
+    obs::TraceScope span("dag.node", node);
+    status = (*state->body)(node);
+  }
   std::lock_guard<std::mutex> lock(state->mutex);
   if (!status.ok()) {
     state->failed = true;
@@ -76,6 +82,7 @@ Status RunSccDag(const SccDag& dag, ThreadPool* pool,
   if (pool == nullptr || pool->num_threads() <= 1) {
     // Node indices are already a topological order.
     for (size_t i = 0; i < n; ++i) {
+      obs::TraceScope span("dag.node", static_cast<int64_t>(i));
       RAQLET_RETURN_IF_ERROR(body(static_cast<int>(i)));
     }
     return Status::OK();

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/trace.h"
+
 namespace raqlet::runtime {
 
 namespace {
@@ -22,7 +24,10 @@ void DrainFor(const std::shared_ptr<ForState>& state) {
   while (true) {
     size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= state->count) return;
-    (*state->fn)(i);
+    {
+      obs::TraceScope span("pool.for", static_cast<int64_t>(i));
+      (*state->fn)(i);
+    }
     if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         state->count) {
       // Lock pairs with the waiter's predicate check: without it the
@@ -70,6 +75,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    obs::TraceScope span("pool.task");
     task();
   }
 }
@@ -78,7 +84,10 @@ void ThreadPool::ParallelFor(size_t count,
                              const std::function<void(size_t)>& fn) {
   if (count == 0) return;
   if (count == 1 || workers_.empty()) {
-    for (size_t i = 0; i < count; ++i) fn(i);
+    for (size_t i = 0; i < count; ++i) {
+      obs::TraceScope span("pool.for", static_cast<int64_t>(i));
+      fn(i);
+    }
     return;
   }
   auto state = std::make_shared<ForState>();

@@ -9,6 +9,7 @@
 
 #include <random>
 
+#include "obs/trace.h"
 #include "raqlet/compiler.h"
 
 namespace raqlet {
@@ -272,6 +273,17 @@ TEST_P(CrossEngineTest, MaxAggregation) {
       "MATCH (a:Person)-[:KNOWS]->(b:Person) "
       "WITH a, max(b.age) AS oldest "
       "RETURN DISTINCT a.id AS id, oldest");
+}
+
+TEST_P(CrossEngineTest, TracingEnabledIsResultNeutral) {
+  // The full cross-engine agreement matrix with a trace session
+  // installed: span recording must not perturb any engine's results
+  // (obs/trace.h's determinism-neutrality contract).
+  obs::TraceSession session;
+  ExpectAllAgree(
+      "MATCH (a:Person {id: 2})-[:KNOWS*]->(b:Person) "
+      "RETURN DISTINCT b.id AS id");
+  EXPECT_GT(session.event_count(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, CrossEngineTest, ::testing::Range(0, 6));

@@ -128,6 +128,45 @@ p(x) :- a(x), !p(x).
   EXPECT_EQ(text.status().code(), StatusCode::kUnsupported);
 }
 
+TEST(ExplainTest, ExplainAnalyzeAnnotatesStrata) {
+  Program program = Parse(kTc);
+  // One metrics slot per SCC in topological order: edge (EDB, no rules)
+  // first, then the recursive tc SCC — exactly what DatalogEngine records
+  // for the 1->2->3->4 chain.
+  obs::QueryMetrics metrics;
+  metrics.datalog.sccs.resize(2);
+  obs::SccMetrics& tc = metrics.datalog.sccs[1];
+  tc.preds = {"tc"};
+  tc.recursive = true;
+  tc.rounds = 3;
+  tc.rule_evaluations = 4;
+  tc.tuples_considered = 12;
+  tc.tuples_inserted = 6;
+  tc.round_delta_sizes = {3, 2, 1, 0};
+
+  auto text = ExplainAnalyzeProgram(program, metrics);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("STRATUM 0 (recursive: tc)  "
+                       "[actual rounds=3 rule_evals=4 considered=12 "
+                       "inserted=6]"),
+            std::string::npos);
+  EXPECT_NE(text->find("ACTUAL DELTAS init=3 r1=2 r2=1 r3=0"),
+            std::string::npos);
+  // The plain loop nest is still there, and the metrics report follows.
+  EXPECT_NE(text->find("LOOP UNTIL FIXPOINT"), std::string::npos);
+  EXPECT_NE(text->find("datalog"), std::string::npos);
+}
+
+TEST(ExplainTest, ExplainAnalyzeToleratesMissingSlots) {
+  // Metrics from another engine (no datalog slots): the plan renders
+  // unannotated instead of failing.
+  obs::QueryMetrics metrics;
+  auto text = ExplainAnalyzeProgram(Parse(kTc), metrics);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_EQ(text->find("[actual"), std::string::npos);
+  EXPECT_NE(text->find("STRATUM 0 (recursive: tc)"), std::string::npos);
+}
+
 TEST(ExplainTest, MutualRecursionVariantsPerPredicate) {
   auto text = ExplainProgram(Parse(R"(
 .decl s(x: number, y: number)

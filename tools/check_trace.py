@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by `raqlet_cli --trace`.
+
+Structural checks (all must hold):
+  * the file parses as JSON and has a non-empty "traceEvents" array;
+  * every event is a complete ("X") span with the required keys
+    (name, cat, ph, ts, dur, pid, tid) and sane values: non-empty name,
+    ts >= 0, dur >= 0, integer pid/tid;
+  * events are well-ordered: sorting by ts is monotone (the exporter
+    emits them sorted, so a violation means a writer raced the export).
+
+Optionally, --require NAME (repeatable) asserts that at least one span
+with that exact name (or "NAME <index>" for indexed spans) is present —
+CI uses this to prove the pipeline-phase and engine spans actually fire.
+
+Usage:
+  check_trace.py TRACE.json [--require compile.parse --require datalog.run]
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="span name that must appear at least once")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot load {args.trace}: {e}")
+        return 1
+
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print("error: missing or empty 'traceEvents' array")
+        return 1
+
+    last_ts = None
+    for i, event in enumerate(events):
+        missing = [k for k in REQUIRED_KEYS if k not in event]
+        if missing:
+            print(f"error: event {i} missing keys: {', '.join(missing)}")
+            return 1
+        if event["ph"] != "X":
+            print(f"error: event {i} has phase {event['ph']!r}, expected "
+                  "complete spans ('X')")
+            return 1
+        if not isinstance(event["name"], str) or not event["name"]:
+            print(f"error: event {i} has an empty name")
+            return 1
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            print(f"error: event {i} has invalid ts {event['ts']!r}")
+            return 1
+        if not isinstance(event["dur"], (int, float)) or event["dur"] < 0:
+            print(f"error: event {i} has invalid dur {event['dur']!r}")
+            return 1
+        if not isinstance(event["pid"], int) or not isinstance(
+                event["tid"], int):
+            print(f"error: event {i} has non-integer pid/tid")
+            return 1
+        if last_ts is not None and event["ts"] < last_ts:
+            print(f"error: event {i} starts at ts={event['ts']} before "
+                  f"its predecessor (ts={last_ts}); export is not sorted")
+            return 1
+        last_ts = event["ts"]
+
+    names = {e["name"] for e in events}
+    prefixes = {n.rsplit(" ", 1)[0] for n in names}
+    missing = [r for r in args.require
+               if r not in names and r not in prefixes]
+    if missing:
+        print(f"error: required span(s) absent: {', '.join(missing)}")
+        print(f"       present: {', '.join(sorted(names))}")
+        return 1
+
+    print(f"OK: {len(events)} complete span(s), "
+          f"{len(names)} distinct name(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
