@@ -11,7 +11,12 @@
 // Options: --frontend cypher|gql|datalog, --opt 0|1|2,
 //          --threads N (parallel Datalog / vectorized-SQL evaluation,
 //          default 1),
-//          --param name=value (repeatable).
+//          --param name=value (repeatable),
+//          --timeout-ms N / --max-rows N / --max-bytes N (execution
+//          guardrails; a tripped query exits with a distinct code).
+//
+// Exit codes: 0 success, 2 usage, and one distinct code per failure kind
+// (see ExitCodeFor) so scripts can tell a parse error from a budget trip.
 
 #include <fstream>
 #include <iostream>
@@ -24,6 +29,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "raqlet/compiler.h"
+#include "runtime/query_guard.h"
 #include "storage/csv.h"
 
 namespace {
@@ -38,6 +44,9 @@ struct CliOptions {
   std::string trace_path;  // --trace=FILE: Chrome trace-event JSON
   int opt_level = 1;
   int threads = 1;
+  long long timeout_ms = 0;   // 0 = no deadline
+  long long max_rows = 0;     // 0 = no row budget
+  long long max_bytes = 0;    // 0 = no byte budget
   bool demo = false;
   bool explain_analyze = false;
   std::map<std::string, raqlet::dlir::Constant> parameters;
@@ -51,11 +60,15 @@ int Usage() {
       "                  [--run datalog|sql|sql-tuple|graph|graph-rows]\n"
       "                  [--facts DIR]\n"
       "                  [--threads N] [--param name=value]...\n"
+      "                  [--timeout-ms N] [--max-rows N] [--max-bytes N]\n"
       "                  [--explain-analyze] [--trace=FILE]\n"
       "       raqlet_cli --demo [--trace=FILE]\n"
       "\n"
       "  --explain-analyze  run the query (default engine: datalog) and\n"
       "                     print the plan annotated with runtime counters\n"
+      "  --timeout-ms N     abort execution after N ms wall clock\n"
+      "  --max-rows N       abort after deriving more than N rows\n"
+      "  --max-bytes N      abort when derived relations exceed N bytes\n"
       "  --trace=FILE       write a Chrome trace-event JSON of the whole\n"
       "                     compile+execute (load in Perfetto or\n"
       "                     chrome://tracing)\n";
@@ -79,9 +92,37 @@ raqlet::dlir::Constant ParseConstant(const std::string& text) {
   return raqlet::dlir::Constant::String(text);
 }
 
+// One distinct exit code per failure kind, so scripts (and the CI smoke
+// checks) can tell a parse error from a tripped budget without scraping
+// stderr. 1 stays the catch-all for codes without a mapping.
+int ExitCodeFor(raqlet::StatusCode code) {
+  switch (code) {
+    case raqlet::StatusCode::kInvalidArgument:
+      return 3;
+    case raqlet::StatusCode::kParseError:
+      return 4;
+    case raqlet::StatusCode::kNotFound:
+      return 5;
+    case raqlet::StatusCode::kUnsupported:
+      return 6;
+    case raqlet::StatusCode::kInternal:
+      return 7;
+    case raqlet::StatusCode::kAlreadyExists:
+      return 8;
+    case raqlet::StatusCode::kCancelled:
+      return 9;
+    case raqlet::StatusCode::kDeadlineExceeded:
+      return 10;
+    case raqlet::StatusCode::kResourceExhausted:
+      return 11;
+    default:
+      return 1;
+  }
+}
+
 int Fail(const raqlet::Status& status) {
   std::cerr << "error: " << status.ToString() << "\n";
-  return 1;
+  return ExitCodeFor(status.code());
 }
 
 }  // namespace
@@ -126,6 +167,21 @@ int main(int argc, char** argv) {
       if (v == nullptr) return Usage();
       options.threads = std::atoi(v);
       if (options.threads < 1) return Usage();
+    } else if (arg == "--timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.timeout_ms = std::atoll(v);
+      if (options.timeout_ms <= 0) return Usage();
+    } else if (arg == "--max-rows") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.max_rows = std::atoll(v);
+      if (options.max_rows <= 0) return Usage();
+    } else if (arg == "--max-bytes") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.max_bytes = std::atoll(v);
+      if (options.max_bytes <= 0) return Usage();
     } else if (arg == "--param") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -266,20 +322,32 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Execution guardrails: one guard for the whole run, armed from the
+    // CLI budget flags. Unset flags leave the guard unarmed (zero cost).
+    raqlet::runtime::QueryGuard guard;
+    if (options.timeout_ms > 0) guard.set_timeout_ms(options.timeout_ms);
+    if (options.max_rows > 0) {
+      guard.set_max_rows(static_cast<size_t>(options.max_rows));
+    }
+    if (options.max_bytes > 0) {
+      guard.set_max_bytes(static_cast<size_t>(options.max_bytes));
+    }
+
     raqlet::Result<raqlet::engine::ResultTable> result =
         raqlet::Status::Internal("unset");
     if (options.run == "datalog") {
       raqlet::engine::EvalOptions eval_options;
       eval_options.num_threads = options.threads;
+      eval_options.guard = &guard;
       result = compiler.RunOnDatalog(program, &db, nullptr, eval_options, qm);
     } else if (options.run == "sql") {
       result = compiler.RunOnSql(program, &db,
                                  raqlet::engine::SqlMode::kVectorized,
-                                 nullptr, options.threads, qm);
+                                 nullptr, options.threads, qm, &guard);
     } else if (options.run == "sql-tuple") {
       result = compiler.RunOnSql(program, &db,
                                  raqlet::engine::SqlMode::kTuplePipeline,
-                                 nullptr, 1, qm);
+                                 nullptr, 1, qm, &guard);
     } else if ((options.run == "graph" || options.run == "graph-rows") &&
                have_pgir) {
       auto store = compiler.BuildGraphStore(db);
@@ -290,6 +358,7 @@ int main(int argc, char** argv) {
         // against the default column-batch executor (same results).
         graph_options.mode = raqlet::engine::GraphMode::kRowBinding;
       }
+      graph_options.guard = &guard;
       result = compiler.RunOnGraph(unit.pgir, *store, &db, nullptr,
                                    graph_options, qm);
     } else {
@@ -304,6 +373,43 @@ int main(int argc, char** argv) {
       std::cout << "\n" << *analyzed;
     } else if (qm != nullptr) {
       std::cout << "\n" << metrics.ToString();
+    }
+
+    if (options.demo) {
+      // Guardrail tour: a row-hungry recursive query (the full KNOWS
+      // reachability closure) under a deliberately small row budget trips
+      // with a terminal status, the report shows how far it got, and —
+      // the cancellation contract — re-running the very same query on the
+      // same database without the budget succeeds normally.
+      std::cout << "\n-- execution guardrails --\n";
+      auto closure = compiler.CompileCypher(
+          "MATCH (a:Person)-[:KNOWS*]->(b:Person) "
+          "RETURN DISTINCT a.id AS src, b.id AS dst");
+      if (!closure.ok()) return Fail(closure.status());
+      raqlet::runtime::QueryGuard demo_guard;
+      demo_guard.set_max_rows(500);
+      raqlet::obs::QueryMetrics trip_metrics;
+      raqlet::engine::EvalOptions tripped_options;
+      tripped_options.num_threads = options.threads;
+      tripped_options.guard = &demo_guard;
+      auto tripped = compiler.RunOnDatalog(closure->optimized, &db, nullptr,
+                                           tripped_options, &trip_metrics);
+      std::cout << "KNOWS closure with --max-rows 500: "
+                << (tripped.ok() ? "unexpected: did not trip"
+                                 : tripped.status().ToString())
+                << "\n";
+      if (!tripped.ok()) {
+        std::cout << trip_metrics.ToString();
+        raqlet::engine::EvalOptions retry_options;
+        retry_options.num_threads = options.threads;
+        auto retry = compiler.RunOnDatalog(closure->optimized, &db, nullptr,
+                                           retry_options, nullptr);
+        std::cout << "re-run without budget: "
+                  << (retry.ok() ? "ok, " + std::to_string(retry->rows.size())
+                                       + " rows"
+                                 : retry.status().ToString())
+                  << "\n";
+      }
     }
   }
 

@@ -18,6 +18,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kAlreadyExists:
       return "AlreadyExists";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

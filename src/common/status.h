@@ -27,6 +27,13 @@ enum class StatusCode {
                       // non-linear recursion)
   kInternal,          // invariant violation inside Raqlet
   kAlreadyExists,     // duplicate definition
+  // Terminal guard-trip causes (runtime/query_guard.h). A query that
+  // returns one of these left every durable structure — Database, cached
+  // engines, pooled buffers — reusable; re-running the same query
+  // succeeds with bit-identical results.
+  kCancelled,          // caller raised QueryGuard::Cancel()
+  kDeadlineExceeded,   // wall-clock deadline passed mid-evaluation
+  kResourceExhausted,  // row or memory budget exceeded
 };
 
 /// Returns a short stable name for a status code ("ParseError", ...).
@@ -64,6 +71,15 @@ class Status {
   }
   static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

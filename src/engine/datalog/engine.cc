@@ -15,6 +15,7 @@
 #include "analysis/dependency_graph.h"
 #include "engine/value_ops.h"
 #include "obs/trace.h"
+#include "runtime/failpoint.h"
 #include "runtime/scc_scheduler.h"
 #include "runtime/thread_pool.h"
 
@@ -311,7 +312,11 @@ Result<VariantPlan> PlanVariant(const CompiledRule& rule, int delta_atom,
         best_size = size;
       }
     }
-    assert(best >= 0);
+    if (best < 0) {
+      return Status::Internal(
+          "join planner found no placeable atom for rule head '" +
+          rule.head_predicate + "' — unsatisfied positive atom");
+    }
     PlanStep step;
     step.kind = PlanStep::kJoinAtom;
     step.atom_index = best;
@@ -421,12 +426,14 @@ class Evaluation {
  public:
   Evaluation(const Program& program, Database* db, const EvalOptions& options,
              EvalStats* stats, obs::DatalogMetrics* metrics,
-             runtime::ExecutionContext* context)
+             runtime::ExecutionContext* context,
+             const runtime::QueryGuard* guard)
       : program_(program),
         db_(db),
         options_(options),
         stats_(stats),
         metrics_(metrics),
+        guard_(guard),
         pool_(context != nullptr ? context->pool() : nullptr),
         buffer_pool_(context != nullptr ? context->PoolFor<EmitBuffer>()
                                         : &local_buffer_pool_) {}
@@ -490,6 +497,10 @@ class Evaluation {
   // each SCC evaluation task writes only its own slot, so concurrent SCCs
   // need no lock and the recorded counters are deterministic.
   obs::DatalogMetrics* metrics_;
+  // Cooperative guardrails, or nullptr (the common case: zero checks).
+  // Polled per fixpoint round, per ParallelFor chunk, and per scheduled
+  // SCC; budgets are fed the deterministic per-round insert counts.
+  const runtime::QueryGuard* guard_;
   runtime::ThreadPool* pool_;  // null => strictly serial evaluation
   // Recycles EmitBuffers across rounds; the context's pool when a context
   // exists (so capacity survives across queries on one engine), else a
@@ -1066,6 +1077,16 @@ Status Evaluation::EvaluateVariants(
   }
   std::vector<Status> statuses(tasks.size(), Status::OK());
   auto run_task = [&](size_t i) {
+    // Per-chunk guard poll: a trip observed here (or by the guard-aware
+    // ParallelFor skipping unstarted chunks) surfaces as this chunk's
+    // status; the sticky cause keeps the reported error deterministic.
+    if (guard_ != nullptr) {
+      Status g = guard_->Check();
+      if (!g.ok()) {
+        statuses[i] = std::move(g);
+        return;
+      }
+    }
     obs::TraceScope span("datalog.variant", static_cast<int64_t>(i));
     EmitBuffer& buffer = buffers[i];
     std::map<Tuple, AggState> agg;
@@ -1077,9 +1098,22 @@ Status Evaluation::EvaluateVariants(
     statuses[i] = std::move(s);
   };
   if (pool_ != nullptr && tasks.size() > 1) {
-    pool_->ParallelFor(tasks.size(), run_task);
+    pool_->ParallelFor(tasks.size(), run_task, guard_);
   } else {
-    for (size_t i = 0; i < tasks.size(); ++i) run_task(i);
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      if (guard_ != nullptr && guard_->tripped()) break;
+      run_task(i);
+    }
+  }
+
+  // Chunks skipped by a tripped guard left their status OK and produced
+  // nothing; report the trip instead of treating the round as complete.
+  if (guard_ != nullptr && guard_->tripped()) {
+    for (EmitBuffer& buffer : buffers) {
+      buffer.Reset();
+      buffer_pool_->Release(std::move(buffer));
+    }
+    return guard_->TripStatus();
   }
 
   // Task order equals the order a serial evaluation visits the same rows,
@@ -1116,9 +1150,20 @@ Result<size_t> Evaluation::ApplyStaged(std::vector<EmitBuffer>* buffers) {
 
   std::vector<size_t> inserted(groups.size(), 0);
   std::vector<Status> statuses(groups.size(), Status::OK());
-  auto apply_group = [&](size_t g) {
+  auto apply_group = [&](size_t g) -> void {
     Relation* rel = groups[g].first;
     const std::vector<size_t>& runs = groups[g].second;
+#if defined(RAQLET_FAILPOINTS)
+    {
+      // Injection point for the kill-point sweep: fail one relation's
+      // merge while sibling shards may be mid-insert on other relations.
+      Status fp = runtime::FailpointHit("datalog.apply_staged");
+      if (!fp.ok()) {
+        statuses[g] = std::move(fp);
+        return;
+      }
+    }
+#endif
     auto lk = lattice_kind_.find(rel->name());
     if (lk == lattice_kind_.end()) {
       // Concatenate later runs onto the first, column by column, in task
@@ -1221,11 +1266,32 @@ Status Evaluation::EvaluateScc(SccWork* work) {
   // exposes each merge's admitted-tuple count — the next round's delta
   // size — to the metrics recording below.
   size_t last_inserted = 0;
+  // Byte-budget watermark over the relations this SCC writes (only this
+  // task mutates them, so reading their MemoryBytes races with nobody).
+  size_t bytes_seen = 0;
   auto apply_staged = [&]() -> Status {
     RAQLET_ASSIGN_OR_RETURN(size_t inserted, ApplyStaged(&staged));
     scc_stats.tuples_inserted += inserted;
     last_inserted = inserted;
     return Status::OK();
+  };
+
+  // One guard checkpoint per round (and per merge): deadline/cancel via
+  // Check(), row budget via the round's deterministic insert count, byte
+  // budget via the growth of this SCC's relations since the last round.
+  auto guard_checkpoint = [&]() -> Status {
+    if (guard_ == nullptr) return Status::OK();
+    RAQLET_RETURN_IF_ERROR(guard_->AddRows(last_inserted));
+    if (guard_->max_bytes() > 0) {
+      size_t bytes_now = 0;
+      for (const std::string& pred : scc_preds) {
+        bytes_now += relations_.at(pred)->MemoryBytes();
+      }
+      size_t delta = bytes_now > bytes_seen ? bytes_now - bytes_seen : 0;
+      bytes_seen = bytes_now;
+      RAQLET_RETURN_IF_ERROR(guard_->AddBytes(delta));
+    }
+    return guard_->Check();
   };
 
   // Only the predicates this SCC's rules mention: sizes of unrelated
@@ -1264,6 +1330,7 @@ Status Evaluation::EvaluateScc(SccWork* work) {
     for (const CompiledRule& rule : rules) variants.emplace_back(&rule, -1);
     Status s = EvaluateVariants(variants, snapshot, {}, &staged, &scc_stats);
     if (s.ok()) s = apply_staged();
+    if (s.ok()) s = guard_checkpoint();
     merge_stats();
     return s;
   }
@@ -1282,6 +1349,7 @@ Status Evaluation::EvaluateScc(SccWork* work) {
     }
     Status s = EvaluateVariants(variants, snapshot, {}, &staged, &scc_stats);
     if (s.ok()) s = apply_staged();
+    if (s.ok()) s = guard_checkpoint();
     if (!s.ok()) {
       merge_stats();
       return s;
@@ -1338,6 +1406,7 @@ Status Evaluation::EvaluateScc(SccWork* work) {
       delta_begin[pred] = snapshot[pred];
     }
     s = apply_staged();
+    if (s.ok()) s = guard_checkpoint();
     if (!s.ok()) {
       merge_stats();
       return s;
@@ -1358,7 +1427,11 @@ Status Evaluation::EvaluateScc(SccWork* work) {
       row.push_back(value);
       compacted.push_back(std::move(row));
     }
-    rel->ReplaceRows(std::move(compacted));
+    Status replaced = rel->ReplaceRows(std::move(compacted));
+    if (!replaced.ok()) {
+      merge_stats();
+      return replaced;
+    }
   }
   merge_stats();
   return Status::OK();
@@ -1402,6 +1475,7 @@ Status Evaluation::Run() {
 
   if (pool_ == nullptr) {
     for (SccWork& w : work) {
+      if (guard_ != nullptr) RAQLET_RETURN_IF_ERROR(guard_->Check());
       RAQLET_RETURN_IF_ERROR(EvaluateScc(&w));
     }
     return Status::OK();
@@ -1411,8 +1485,10 @@ Status Evaluation::Run() {
   // it depends on finished, so all relations it reads (beyond its own) are
   // frozen for its whole lifetime.
   runtime::SccDag dag = runtime::BuildSccDag(graph);
-  return runtime::RunSccDag(dag, pool_,
-                            [&](int i) { return EvaluateScc(&work[static_cast<size_t>(i)]); });
+  return runtime::RunSccDag(
+      dag, pool_,
+      [&](int i) { return EvaluateScc(&work[static_cast<size_t>(i)]); },
+      guard_);
 }
 
 }  // namespace
@@ -1426,9 +1502,10 @@ std::string EvalStats::ToString() const {
 }
 
 Status DatalogEngine::Run(const dlir::Program& program, Database* db,
-                          EvalStats* stats,
-                          obs::DatalogMetrics* metrics) const {
-  Evaluation eval(program, db, options_, stats, metrics, context_.get());
+                          EvalStats* stats, obs::DatalogMetrics* metrics,
+                          const runtime::QueryGuard* guard) const {
+  const runtime::QueryGuard* g = guard != nullptr ? guard : options_.guard;
+  Evaluation eval(program, db, options_, stats, metrics, context_.get(), g);
   return eval.Run();
 }
 

@@ -36,6 +36,7 @@
 #include "dlir/program.h"
 #include "obs/metrics.h"
 #include "runtime/execution_context.h"
+#include "runtime/query_guard.h"
 #include "storage/database.h"
 
 namespace raqlet::engine {
@@ -56,8 +57,20 @@ struct EvalOptions {
   /// N > 1 evaluates independent SCCs and partitioned delta joins on a
   /// thread pool of N threads. Results are identical for every N.
   int num_threads = 1;
+  /// Cooperative guardrails (cancellation, deadline, row/byte budgets)
+  /// polled per fixpoint round and per ParallelFor chunk. A per-Run
+  /// control channel like the metrics sink, NOT a behavioural option:
+  /// excluded from equality so the Compiler's engine cache never keys on
+  /// it (the facade forwards the guard to Run explicitly).
+  const runtime::QueryGuard* guard = nullptr;
 
-  bool operator==(const EvalOptions&) const = default;
+  /// Equality over the behavioural fields only (cache key; see `guard`).
+  friend bool operator==(const EvalOptions& a, const EvalOptions& b) {
+    return a.max_iterations == b.max_iterations &&
+           a.seminaive == b.seminaive && a.reorder_atoms == b.reorder_atoms &&
+           a.overwrite_idb == b.overwrite_idb &&
+           a.num_threads == b.num_threads;
+  }
 };
 
 struct EvalStats {
@@ -84,9 +97,17 @@ class DatalogEngine {
   /// (rounds, per-round delta sizes, tuples considered/inserted) indexed
   /// by topological SCC order. Every counter in it is bit-identical
   /// across thread counts; only SccMetrics::micros is wall time.
+  ///
+  /// `guard` overrides options().guard for this call (the Compiler facade
+  /// uses this so cached engines — keyed on guard-free options equality —
+  /// still honour the caller's per-query guard). A trip aborts evaluation
+  /// with the guard's terminal Status and leaves `db`, this engine, and
+  /// its pools reusable: re-running the same program recomputes the IDB
+  /// relations from scratch, bit-identically to a never-tripped run.
   Status Run(const dlir::Program& program, Database* db,
              EvalStats* stats = nullptr,
-             obs::DatalogMetrics* metrics = nullptr) const;
+             obs::DatalogMetrics* metrics = nullptr,
+             const runtime::QueryGuard* guard = nullptr) const;
 
  private:
   EvalOptions options_;

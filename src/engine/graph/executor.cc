@@ -12,6 +12,7 @@
 #include <unordered_set>
 
 #include "obs/trace.h"
+#include "runtime/failpoint.h"
 #include "storage/relation.h"
 
 namespace raqlet::engine {
@@ -78,8 +79,17 @@ dlir::ArithOp ToArithOp(BinOp op) {
 class Traversals {
  public:
   Traversals(const GraphStore& store, GraphStats* stats,
-             obs::GraphMetrics* metrics = nullptr)
-      : store_(store), stats_(stats), metrics_(metrics) {}
+             obs::GraphMetrics* metrics = nullptr,
+             const runtime::QueryGuard* guard = nullptr)
+      : store_(store), stats_(stats), metrics_(metrics), guard_(guard) {}
+
+  // Polled once per BFS frontier pop. A trip abandons the walk early; the
+  // partial closure is still memoized, but the memo dies with this
+  // execution object (one per Run), and the clause loop re-checks the
+  // guard before any partial result could reach the caller.
+  bool GuardTripped() const {
+    return guard_ != nullptr && !guard_->Check().ok();
+  }
 
   // Neighbour expansion respecting direction.
   void ForEachNeighbor(const std::string& edge_label, int64_t node,
@@ -125,6 +135,7 @@ class Traversals {
     };
     ForEachNeighbor(upper, start, direction, reverse, visit);
     while (!queue.empty()) {
+      if (GuardTripped()) break;
       NoteFrontier(queue.size());
       int64_t node = queue.front();
       queue.pop_front();
@@ -207,6 +218,7 @@ class Traversals {
                         queue.push_back(nb.node);
                       });
       while (!queue.empty()) {
+        if (GuardTripped()) break;
         NoteFrontier(queue.size());
         int64_t node = queue.front();
         queue.pop_front();
@@ -236,6 +248,7 @@ class Traversals {
     states.insert({start, 0});
     std::set<std::pair<int64_t, int64_t>> result;
     while (!queue.empty()) {
+      if (GuardTripped()) break;
       NoteFrontier(queue.size());
       auto [node, d] = queue.front();
       queue.pop_front();
@@ -271,6 +284,7 @@ class Traversals {
   const GraphStore& store_;
   GraphStats* stats_;
   obs::GraphMetrics* metrics_;
+  const runtime::QueryGuard* guard_;
   // Completed reachability closures per traversal signature; see Closure.
   mutable std::map<std::tuple<std::string, int, bool>,
                    std::unordered_map<int64_t, std::unique_ptr<NodeSet>>>
@@ -311,14 +325,26 @@ class RowExecution {
  public:
   RowExecution(const GraphStore& store, const schema::DlSchema& dl,
                Database* db, GraphStats* stats,
-               obs::GraphMetrics* metrics = nullptr)
+               obs::GraphMetrics* metrics = nullptr,
+               const runtime::QueryGuard* guard = nullptr)
       : store_(store), dl_(dl), db_(db), stats_(stats), metrics_(metrics),
-        trav_(store, stats, metrics) {}
+        guard_(guard), trav_(store, stats, metrics, guard) {}
 
   Result<ResultTable> Run(const PgirQuery& query) {
     table_.rows.push_back({});  // one empty binding
     int64_t clause_index = 0;
+    size_t rows_prev = 0;
     for (const pgir::Op& op : query.ops) {
+      // Per-clause guard checkpoint: poll before expanding, and feed the
+      // budget the previous clause's binding-table growth (deterministic
+      // — clause boundaries are the same at every thread count).
+      if (guard_ != nullptr) {
+        size_t now = table_.rows.size();
+        RAQLET_RETURN_IF_ERROR(
+            guard_->AddRows(now > rows_prev ? now - rows_prev : 0));
+        rows_prev = now;
+        RAQLET_RETURN_IF_ERROR(guard_->Check());
+      }
       obs::TraceScope clause_span("graph.clause", clause_index++);
       const char* kind = "";
       if (const auto* match = std::get_if<MatchOp>(&op)) {
@@ -340,6 +366,9 @@ class RowExecution {
         metrics_->clauses.push_back({kind, table_.rows.size()});
       }
     }
+    // A trip inside the last clause (e.g. a BFS abandoned mid-frontier)
+    // must surface as the terminal status, never as a partial result.
+    if (guard_ != nullptr) RAQLET_RETURN_IF_ERROR(guard_->Check());
     ResultTable result;
     result.columns = table_.columns;
     result.rows = std::move(table_.rows);
@@ -718,6 +747,7 @@ class RowExecution {
 
   Status ExecProjection(const std::vector<Item>& items, bool distinct,
                         bool is_return) {
+    RAQLET_FAILPOINT("graph.project");
     int agg_pos = -1;
     for (size_t i = 0; i < items.size(); ++i) {
       if (items[i].expr.IsAggregateCall()) {
@@ -869,6 +899,7 @@ class RowExecution {
   Database* db_;
   GraphStats* stats_;
   obs::GraphMetrics* metrics_;
+  const runtime::QueryGuard* guard_;
   BindingTable table_;
   Traversals trav_;
 };
@@ -908,14 +939,26 @@ class BatchExecution {
  public:
   BatchExecution(const GraphStore& store, const schema::DlSchema& dl,
                  Database* db, GraphStats* stats,
-                 obs::GraphMetrics* metrics = nullptr)
+                 obs::GraphMetrics* metrics = nullptr,
+                 const runtime::QueryGuard* guard = nullptr)
       : store_(store), dl_(dl), db_(db), stats_(stats), metrics_(metrics),
-        trav_(store, stats, metrics) {}
+        guard_(guard), trav_(store, stats, metrics, guard) {}
 
   Result<ResultTable> Run(const PgirQuery& query) {
     table_.rows = 1;  // one empty binding
     int64_t clause_index = 0;
+    size_t rows_prev = 0;
     for (const pgir::Op& op : query.ops) {
+      // Per-clause guard checkpoint; see RowExecution::Run. The two modes
+      // count identical row deltas, so a fixed budget trips both at the
+      // same clause.
+      if (guard_ != nullptr) {
+        size_t now = have_result_rows_ ? result_rows_.size() : table_.rows;
+        RAQLET_RETURN_IF_ERROR(
+            guard_->AddRows(now > rows_prev ? now - rows_prev : 0));
+        rows_prev = now;
+        RAQLET_RETURN_IF_ERROR(guard_->Check());
+      }
       obs::TraceScope clause_span("graph.clause", clause_index++);
       EnsureColumnar();
       const char* kind = "";
@@ -939,6 +982,9 @@ class BatchExecution {
             {kind, have_result_rows_ ? result_rows_.size() : table_.rows});
       }
     }
+    // See RowExecution::Run: a trip inside the last clause must surface
+    // as the terminal status, never as a partial result.
+    if (guard_ != nullptr) RAQLET_RETURN_IF_ERROR(guard_->Check());
     ResultTable result;
     result.columns = table_.columns;
     if (have_result_rows_) {
@@ -1600,6 +1646,7 @@ class BatchExecution {
 
   Status ExecProjection(const std::vector<Item>& items, bool distinct,
                         bool is_return) {
+    RAQLET_FAILPOINT("graph.project");
     int agg_pos = -1;
     for (size_t i = 0; i < items.size(); ++i) {
       if (items[i].expr.IsAggregateCall()) {
@@ -1836,6 +1883,7 @@ class BatchExecution {
   Database* db_;
   GraphStats* stats_;
   obs::GraphMetrics* metrics_;
+  const runtime::QueryGuard* guard_;
   BindingBatch table_;
   Traversals trav_;
   // Row-major form of the latest projection when it went through a dedup
@@ -1851,10 +1899,10 @@ Result<ResultTable> GraphEngine::Run(const pgir::PgirQuery& query,
                                      obs::GraphMetrics* metrics) const {
   obs::TraceScope run_span("graph.run");
   if (options_.mode == GraphMode::kRowBinding) {
-    RowExecution exec(*store_, *dl_, db_, stats, metrics);
+    RowExecution exec(*store_, *dl_, db_, stats, metrics, options_.guard);
     return exec.Run(query);
   }
-  BatchExecution exec(*store_, *dl_, db_, stats, metrics);
+  BatchExecution exec(*store_, *dl_, db_, stats, metrics, options_.guard);
   return exec.Run(query);
 }
 

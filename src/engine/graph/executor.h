@@ -39,6 +39,7 @@
 #include "engine/value_ops.h"
 #include "obs/metrics.h"
 #include "pgir/pgir.h"
+#include "runtime/query_guard.h"
 
 namespace raqlet::engine {
 
@@ -50,8 +51,18 @@ enum class GraphMode { kColumnBatch, kRowBinding };
 /// uniformly. Results are identical for every option value.
 struct GraphOptions {
   GraphMode mode = GraphMode::kColumnBatch;
+  /// Cooperative guardrails polled per clause expansion and per BFS
+  /// frontier. A per-Run control channel like the metrics sink, not a
+  /// behavioural option: excluded from equality so facade-level engine
+  /// caching never keys on it. A trip aborts Run with the guard's
+  /// terminal Status and leaves the store/database reusable; re-running
+  /// the query is bit-identical to a never-tripped run.
+  const runtime::QueryGuard* guard = nullptr;
 
-  bool operator==(const GraphOptions&) const = default;
+  /// Equality over the behavioural fields only (see `guard`).
+  friend bool operator==(const GraphOptions& a, const GraphOptions& b) {
+    return a.mode == b.mode;
+  }
 };
 
 struct GraphStats {

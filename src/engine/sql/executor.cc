@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "runtime/failpoint.h"
 #include "runtime/thread_pool.h"
 
 namespace raqlet::engine {
@@ -124,11 +125,12 @@ class SelectEvaluator {
                   runtime::ThreadPool* pool,
                   const Relation* lead_scan = nullptr,
                   size_t delta_begin = 0, size_t delta_end = kNoDelta,
-                  obs::SqlCteMetrics* cte_metrics = nullptr)
+                  obs::SqlCteMetrics* cte_metrics = nullptr,
+                  const runtime::QueryGuard* guard = nullptr)
       : select_(select), resolver_(resolver), db_(db), mode_(mode),
         stats_(stats), pool_(pool), lead_scan_(lead_scan),
         delta_begin_(delta_begin), delta_end_(delta_end),
-        cte_metrics_(cte_metrics) {}
+        cte_metrics_(cte_metrics), guard_(guard) {}
 
   static constexpr size_t kNoDelta = static_cast<size_t>(-1);
 
@@ -159,10 +161,18 @@ class SelectEvaluator {
       return EvaluateVectorized(out);
     }
     // Tuple pipeline (also the trivial no-FROM path of both modes).
+    // The guard poll amortizes to one relaxed load per emitted row batch
+    // (kChunkRows), matching the vectorized path's per-chunk cadence.
+    size_t rows_since_check = 0;
     RowBinding binding(tables_.size(), nullptr);
     return Descend(0, &binding, [&](const RowBinding& row) -> Status {
+      if (guard_ != nullptr && ++rows_since_check >= kChunkRows) {
+        rows_since_check = 0;
+        RAQLET_RETURN_IF_ERROR(guard_->Check());
+      }
       RAQLET_ASSIGN_OR_RETURN(Tuple tuple, Project(row));
-      RecordDedup(1, out->Insert(std::move(tuple)) ? 1 : 0);
+      RAQLET_ASSIGN_OR_RETURN(bool fresh, out->Insert(std::move(tuple)));
+      RecordDedup(1, fresh ? 1 : 0);
       return Status::OK();
     });
   }
@@ -937,6 +947,7 @@ class SelectEvaluator {
       nchunks = std::clamp<size_t>(scan_rows / kChunkRows, 1, max_chunks);
     }
     if (nchunks <= 1) {
+      if (guard_ != nullptr) RAQLET_RETURN_IF_ERROR(guard_->Check());
       std::vector<std::vector<Value>> cols;
       size_t scanned = 0;
       RAQLET_RETURN_IF_ERROR(RunChunk(
@@ -956,17 +967,30 @@ class SelectEvaluator {
                      want_steps ? plan_.size() : 0));
     std::vector<Status> chunk_status(nchunks);
     const size_t per_chunk = (scan_rows + nchunks - 1) / nchunks;
-    pool_->ParallelFor(nchunks, [&](size_t c) {
-      const size_t begin = scan_begin + c * per_chunk;
-      const size_t end = std::min(scan_end, begin + per_chunk);
-      if (begin >= end) return;
-      chunk_status[c] = RunChunk(begin, end, &chunk_cols[c],
-                                 &chunk_scanned[c],
-                                 want_steps ? &chunk_steps[c] : nullptr);
-    });
+    pool_->ParallelFor(
+        nchunks,
+        [&](size_t c) {
+          if (guard_ != nullptr) {
+            Status g = guard_->Check();
+            if (!g.ok()) {
+              chunk_status[c] = std::move(g);
+              return;
+            }
+          }
+          const size_t begin = scan_begin + c * per_chunk;
+          const size_t end = std::min(scan_end, begin + per_chunk);
+          if (begin >= end) return;
+          chunk_status[c] = RunChunk(begin, end, &chunk_cols[c],
+                                     &chunk_scanned[c],
+                                     want_steps ? &chunk_steps[c] : nullptr);
+        },
+        guard_);
     for (const Status& status : chunk_status) {
       RAQLET_RETURN_IF_ERROR(status);
     }
+    // Chunks skipped by a tripped guard left OK statuses and empty
+    // outputs; report the trip rather than merging a partial result.
+    if (guard_ != nullptr && guard_->tripped()) return guard_->TripStatus();
     for (size_t c = 0; c < nchunks; ++c) {
       if (stats_ != nullptr) stats_->rows_scanned += chunk_scanned[c];
       for (size_t s = 0; want_steps && s < plan_.size(); ++s) {
@@ -1137,7 +1161,10 @@ class SelectEvaluator {
           tuple.push_back(key[ki++]);
         }
       }
-      if (!skip) RecordDedup(1, out->Insert(std::move(tuple)) ? 1 : 0);
+      if (!skip) {
+        RAQLET_ASSIGN_OR_RETURN(bool fresh, out->Insert(std::move(tuple)));
+        RecordDedup(1, fresh ? 1 : 0);
+      }
     }
     return Status::OK();
   }
@@ -1152,6 +1179,7 @@ class SelectEvaluator {
   size_t delta_begin_;
   size_t delta_end_;  // kNoDelta: no scan-range restriction
   obs::SqlCteMetrics* cte_metrics_;  // per-CTE sink (may be null)
+  const runtime::QueryGuard* guard_;  // cooperative guard (may be null)
   // This evaluation's per-plan-step counters, in plan order. Parallel
   // chunks accumulate privately and merge here in chunk order.
   std::vector<obs::SqlStepMetrics> step_totals_;
@@ -1248,9 +1276,10 @@ SqlEngine::SqlEngine(SqlOptions options) : options_(options) {
 }
 
 Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
-                                   SqlStats* stats,
-                                   obs::SqlMetrics* metrics) const {
+                                   SqlStats* stats, obs::SqlMetrics* metrics,
+                                   const runtime::QueryGuard* guard) const {
   obs::TraceScope run_span("sql.run");
+  const runtime::QueryGuard* g = guard != nullptr ? guard : options_.guard;
   std::map<std::string, std::unique_ptr<Relation>> cte_store;
   runtime::ThreadPool* pool =
       context_ != nullptr ? context_->pool() : nullptr;
@@ -1302,11 +1331,35 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
     RelationSchema schema = CteSchema(cte, base, resolver);
     auto rel = std::make_unique<Relation>(schema);
 
+    RAQLET_FAILPOINT("sql.cte_merge");
+
+    // Guard checkpoints: poll before each materialization step, and feed
+    // the budget the CTE's row/byte growth at round boundaries — the same
+    // deterministic counters at every thread count.
+    size_t rows_seen = 0;
+    size_t bytes_seen = 0;
+    auto guard_checkpoint = [&]() -> Status {
+      if (g == nullptr) return Status::OK();
+      size_t rows_now = rel->size();
+      RAQLET_RETURN_IF_ERROR(g->AddRows(rows_now - rows_seen));
+      rows_seen = rows_now;
+      if (g->max_bytes() > 0) {
+        size_t bytes_now = rel->MemoryBytes();
+        size_t delta = bytes_now > bytes_seen ? bytes_now - bytes_seen : 0;
+        bytes_seen = bytes_now;
+        RAQLET_RETURN_IF_ERROR(g->AddBytes(delta));
+      }
+      return g->Check();
+    };
+
     for (const Select* branch : base) {
+      if (g != nullptr) RAQLET_RETURN_IF_ERROR(g->Check());
       SelectEvaluator eval(*branch, resolver, db, options_.mode, stats,
-                           pool, nullptr, 0, SelectEvaluator::kNoDelta, cm);
+                           pool, nullptr, 0, SelectEvaluator::kNoDelta, cm,
+                           g);
       RAQLET_RETURN_IF_ERROR(eval.Evaluate(rel.get()));
     }
+    RAQLET_RETURN_IF_ERROR(guard_checkpoint());
 
     if (!recursive.empty()) {
       if (cm != nullptr) cm->recursive = true;
@@ -1358,9 +1411,10 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
           for (const Select* branch : recursive) {
             SelectEvaluator eval(*branch, rec_resolver, db, options_.mode,
                                  stats, pool, rel.get(), delta_begin,
-                                 delta_end, cm);
+                                 delta_end, cm, g);
             RAQLET_RETURN_IF_ERROR(eval.Evaluate(rel.get()));
           }
+          RAQLET_RETURN_IF_ERROR(guard_checkpoint());
           delta_begin = delta_end;
           delta_end = rel->size();
         }
@@ -1387,9 +1441,10 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
           for (const Select* branch : recursive) {
             SelectEvaluator eval(*branch, rec_resolver, db, options_.mode,
                                  stats, pool, working.get(), 0,
-                                 SelectEvaluator::kNoDelta, cm);
+                                 SelectEvaluator::kNoDelta, cm, g);
             RAQLET_RETURN_IF_ERROR(eval.Evaluate(rel.get()));
           }
+          RAQLET_RETURN_IF_ERROR(guard_checkpoint());
           auto next_working = std::make_unique<Relation>(schema);
           RAQLET_RETURN_IF_ERROR(
               next_working->InsertBatch(rel->MaterializeRows(before))
@@ -1456,8 +1511,12 @@ Result<ResultTable> SqlEngine::Run(const SqirProgram& program, Database* db,
   Relation out_rel(out_schema);
   SelectEvaluator eval(program.final_select, resolver, db, options_.mode,
                        stats, pool, nullptr, 0, SelectEvaluator::kNoDelta,
-                       final_cm);
+                       final_cm, g);
   RAQLET_RETURN_IF_ERROR(eval.Evaluate(&out_rel));
+  if (g != nullptr) {
+    RAQLET_RETURN_IF_ERROR(g->AddRows(out_rel.size()));
+    RAQLET_RETURN_IF_ERROR(g->Check());
+  }
   if (final_cm != nullptr) final_cm->rows = out_rel.size();
   result.rows = out_rel.ReleaseRows();
   return result;

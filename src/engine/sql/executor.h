@@ -41,6 +41,7 @@
 #include "engine/value_ops.h"
 #include "obs/metrics.h"
 #include "runtime/execution_context.h"
+#include "runtime/query_guard.h"
 #include "sqir/sqir.h"
 #include "storage/database.h"
 
@@ -55,8 +56,18 @@ struct SqlOptions {
   /// Worker threads for the vectorized batch pipeline (clamped to >= 1).
   /// 1 means strictly serial; results are identical for every value.
   int num_threads = 1;
+  /// Cooperative guardrails polled per CTE materialization step, per
+  /// recursive iteration, and per scan chunk. Like the metrics sink this
+  /// is a per-Run control channel, not a behavioural option: excluded
+  /// from equality so the Compiler's engine cache never keys on it.
+  const runtime::QueryGuard* guard = nullptr;
 
-  bool operator==(const SqlOptions&) const = default;
+  /// Equality over the behavioural fields only (cache key; see `guard`).
+  friend bool operator==(const SqlOptions& a, const SqlOptions& b) {
+    return a.mode == b.mode &&
+           a.max_recursive_iterations == b.max_recursive_iterations &&
+           a.num_threads == b.num_threads;
+  }
 };
 
 struct SqlStats {
@@ -77,9 +88,17 @@ class SqlEngine {
   /// plus a final "__result__" entry for the top-level select. Row and
   /// dedup counters are bit-identical across thread counts; only
   /// SqlStepMetrics::batches depends on scan chunking.
+  ///
+  /// `guard` overrides options().guard for this call (the Compiler facade
+  /// uses this so cached engines — keyed on guard-free options equality —
+  /// still honour the caller's per-query guard). A trip aborts execution
+  /// with the guard's terminal Status and leaves `db` and this engine
+  /// reusable: re-running the same program is bit-identical to a
+  /// never-tripped run.
   Result<ResultTable> Run(const sqir::SqirProgram& program, Database* db,
                           SqlStats* stats = nullptr,
-                          obs::SqlMetrics* metrics = nullptr) const;
+                          obs::SqlMetrics* metrics = nullptr,
+                          const runtime::QueryGuard* guard = nullptr) const;
 
  private:
   SqlOptions options_;

@@ -87,6 +87,17 @@ std::string QueryMetrics::ToString() const {
        << " misses=" << graph.closure_cache_misses
        << " frontier_peak=" << graph.frontier_peak << "\n";
   }
+  if (!guard.empty()) {
+    os << "guard trips:";
+    if (guard.cancelled > 0) os << " cancelled=" << guard.cancelled;
+    if (guard.deadline_exceeded > 0) {
+      os << " deadline_exceeded=" << guard.deadline_exceeded;
+    }
+    if (guard.resource_exhausted > 0) {
+      os << " resource_exhausted=" << guard.resource_exhausted;
+    }
+    os << " (rows=" << guard.rows << " bytes=" << guard.bytes << ")\n";
+  }
   if (!memory.empty()) {
     os << "memory: " << TotalMemoryBytes() << " bytes\n";
     for (const RelationMemory& rel : memory) {

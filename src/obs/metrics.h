@@ -126,6 +126,22 @@ struct GraphMetrics {
   }
 };
 
+/// Guard-trip counters (runtime::QueryGuard). Incremented by the Compiler
+/// facade when a Run* entry point returns a guard's terminal status, plus
+/// the guard's final row/byte tallies — so EXPLAIN ANALYZE and --demo can
+/// report how far a budgeted query got before tripping.
+struct GuardMetrics {
+  size_t cancelled = 0;           // kCancelled trips observed
+  size_t deadline_exceeded = 0;   // kDeadlineExceeded trips observed
+  size_t resource_exhausted = 0;  // kResourceExhausted trips observed
+  size_t rows = 0;   // rows charged to the guard before the trip
+  size_t bytes = 0;  // bytes charged to the guard before the trip
+
+  bool empty() const {
+    return cancelled == 0 && deadline_exceeded == 0 && resource_exhausted == 0;
+  }
+};
+
 /// Heap bytes held by one stored relation.
 struct RelationMemory {
   std::string name;
@@ -139,6 +155,7 @@ struct QueryMetrics {
   DatalogMetrics datalog;
   SqlMetrics sql;
   GraphMetrics graph;
+  GuardMetrics guard;                  // cancellation/budget trips
   std::vector<RelationMemory> memory;  // per-relation database breakdown
 
   void AddPhase(std::string name, int64_t micros) {

@@ -76,14 +76,21 @@ class Translator {
     return atom;
   }
 
-  void DeclareRule(const std::string& name, bool is_output) {
+  Status DeclareRule(const std::string& name, bool is_output) {
     RelationDecl decl;
     decl.name = name;
     for (const std::string& id : frontier_) {
-      decl.columns.push_back(Column{id, env_.at(id).type});
+      auto it = env_.find(id);
+      if (it == env_.end()) {
+        return Status::Internal("frontier identifier '" + id +
+                                "' has no binding while declaring '" + name +
+                                "'");
+      }
+      decl.columns.push_back(Column{id, it->second.type});
     }
     decl.is_output = is_output;
     program_.decls.push_back(std::move(decl));
+    return Status::OK();
   }
 
   std::string FreshAux(const std::string& prefix) {
@@ -475,7 +482,7 @@ class Translator {
     for (const std::string& id : frontier_) {
       rule.head.args.push_back(Term::Var(id));
     }
-    DeclareRule(name, false);
+    RAQLET_RETURN_IF_ERROR(DeclareRule(name, false));
     program_.rules.push_back(std::move(rule));
     prev_rule_ = name;
     return Status::OK();
@@ -786,7 +793,7 @@ class Translator {
       }
       program_.rules.push_back(std::move(rule));
     }
-    DeclareRule(name, false);
+    RAQLET_RETURN_IF_ERROR(DeclareRule(name, false));
     prev_rule_ = name;
     return Status::OK();
   }
@@ -867,7 +874,12 @@ class Translator {
           rule.head.args.push_back(Term::Var(item.alias));
         }
         if (expr.kind == ExprKind::kVariable) {
-          binding = env_.at(expr.var);  // aliased graph identifier
+          auto env_it = env_.find(expr.var);
+          if (env_it == env_.end()) {
+            return Status::InvalidArgument("unknown identifier '" + expr.var +
+                                           "' in projection");
+          }
+          binding = env_it->second;  // aliased graph identifier
         }
       }
       decl.columns.push_back(Column{item.alias, binding.type});

@@ -182,14 +182,50 @@ Result<std::string> Compiler::EmitSql(const dlir::Program& program) const {
 
 const engine::DatalogEngine& Compiler::DatalogEngineFor(
     const engine::EvalOptions& options) const {
+  // Never bake a per-call guard into a cached engine: the cache outlives
+  // the call (options equality deliberately ignores the guard), so a
+  // stored pointer would dangle and silently guard later unguarded runs.
+  // The effective guard is always the Run-call parameter.
+  engine::EvalOptions cache_key = options;
+  cache_key.guard = nullptr;
   std::lock_guard<std::mutex> lock(engine_cache_mutex_);
   for (const auto& [cached_options, engine] : engine_cache_) {
-    if (cached_options == options) return *engine;
+    if (cached_options == cache_key) return *engine;
   }
   engine_cache_.emplace_back(
-      options, std::make_unique<engine::DatalogEngine>(options));
+      cache_key, std::make_unique<engine::DatalogEngine>(cache_key));
   return *engine_cache_.back().second;
 }
+
+namespace {
+
+// True for the QueryGuard's terminal causes; folds the trip into the
+// metrics sink so EXPLAIN ANALYZE / --demo can report it.
+bool RecordGuardTrip(const Status& status, const runtime::QueryGuard* guard,
+                     obs::QueryMetrics* metrics) {
+  bool tripped = status.code() == StatusCode::kCancelled ||
+                 status.code() == StatusCode::kDeadlineExceeded ||
+                 status.code() == StatusCode::kResourceExhausted;
+  if (!tripped || metrics == nullptr) return tripped;
+  switch (status.code()) {
+    case StatusCode::kCancelled:
+      ++metrics->guard.cancelled;
+      break;
+    case StatusCode::kDeadlineExceeded:
+      ++metrics->guard.deadline_exceeded;
+      break;
+    default:
+      ++metrics->guard.resource_exhausted;
+      break;
+  }
+  if (guard != nullptr) {
+    metrics->guard.rows = guard->rows();
+    metrics->guard.bytes = guard->bytes();
+  }
+  return tripped;
+}
+
+}  // namespace
 
 Result<engine::ResultTable> Compiler::RunOnDatalog(
     const dlir::Program& program, Database* db, engine::EvalStats* stats,
@@ -197,9 +233,13 @@ Result<engine::ResultTable> Compiler::RunOnDatalog(
   const engine::DatalogEngine& eng = DatalogEngineFor(options);
   {
     obs::PhaseTimer timer(metrics, "execute-datalog");
-    RAQLET_RETURN_IF_ERROR(
-        eng.Run(program, db, stats,
-                metrics != nullptr ? &metrics->datalog : nullptr));
+    Status s = eng.Run(program, db, stats,
+                       metrics != nullptr ? &metrics->datalog : nullptr,
+                       options.guard);
+    if (!s.ok()) {
+      RecordGuardTrip(s, options.guard, metrics);
+      return s;
+    }
   }
   if (metrics != nullptr) obs::CollectMemoryBreakdown(*db, metrics);
   std::vector<std::string> outputs = program.OutputRelations();
@@ -219,21 +259,22 @@ Result<engine::ResultTable> Compiler::RunOnDatalog(
 
 const engine::SqlEngine& Compiler::SqlEngineFor(
     const engine::SqlOptions& options) const {
+  // Same no-guard-in-cache rule as DatalogEngineFor.
+  engine::SqlOptions cache_key = options;
+  cache_key.guard = nullptr;
   std::lock_guard<std::mutex> lock(engine_cache_mutex_);
   for (const auto& [cached_options, engine] : sql_engine_cache_) {
-    if (cached_options == options) return *engine;
+    if (cached_options == cache_key) return *engine;
   }
   sql_engine_cache_.emplace_back(
-      options, std::make_unique<engine::SqlEngine>(options));
+      cache_key, std::make_unique<engine::SqlEngine>(cache_key));
   return *sql_engine_cache_.back().second;
 }
 
-Result<engine::ResultTable> Compiler::RunOnSql(const dlir::Program& program,
-                                               Database* db,
-                                               engine::SqlMode mode,
-                                               engine::SqlStats* stats,
-                                               int num_threads,
-                                               obs::QueryMetrics* metrics) const {
+Result<engine::ResultTable> Compiler::RunOnSql(
+    const dlir::Program& program, Database* db, engine::SqlMode mode,
+    engine::SqlStats* stats, int num_threads, obs::QueryMetrics* metrics,
+    const runtime::QueryGuard* guard) const {
   RAQLET_ASSIGN_OR_RETURN(sqir::SqirProgram sqir_program,
                           sqir::TranslateToSqir(program));
   engine::SqlOptions options;
@@ -244,8 +285,9 @@ Result<engine::ResultTable> Compiler::RunOnSql(const dlir::Program& program,
     obs::PhaseTimer timer(metrics, "execute-sql");
     return SqlEngineFor(options).Run(
         sqir_program, db, stats,
-        metrics != nullptr ? &metrics->sql : nullptr);
+        metrics != nullptr ? &metrics->sql : nullptr, guard);
   }();
+  if (!result.ok()) RecordGuardTrip(result.status(), guard, metrics);
   if (metrics != nullptr) obs::CollectMemoryBreakdown(*db, metrics);
   return result;
 }
@@ -261,6 +303,7 @@ Result<engine::ResultTable> Compiler::RunOnGraph(
     return eng.Run(query, stats,
                    metrics != nullptr ? &metrics->graph : nullptr);
   }();
+  if (!result.ok()) RecordGuardTrip(result.status(), options.guard, metrics);
   if (metrics != nullptr) obs::CollectMemoryBreakdown(*db, metrics);
   return result;
 }

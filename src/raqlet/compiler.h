@@ -35,6 +35,7 @@
 #include "engine/sql/executor.h"
 #include "obs/metrics.h"
 #include "pgir/pgir.h"
+#include "runtime/query_guard.h"
 #include "schema/dl_schema.h"
 #include "schema/pg_schema.h"
 #include "sqir/sqir.h"
@@ -133,11 +134,20 @@ class Compiler {
   /// Recursive-SQL evaluation (DuckDB/HyPer stand-ins via `mode`).
   /// `num_threads > 1` partitions the vectorized mode's column batches
   /// across the runtime's thread pool (identical results at any count).
+  ///
+  /// All three Run* entry points honour a runtime::QueryGuard —
+  /// RunOnDatalog via EvalOptions::guard, RunOnSql via the explicit
+  /// `guard` parameter, RunOnGraph via GraphOptions::guard. A tripped
+  /// guard surfaces as the guard's terminal Status (Cancelled /
+  /// DeadlineExceeded / ResourceExhausted), recorded in
+  /// metrics->guard when a metrics sink is attached, and leaves the
+  /// database, cached engines and this Compiler reusable.
   Result<engine::ResultTable> RunOnSql(
       const dlir::Program& program, Database* db,
       engine::SqlMode mode = engine::SqlMode::kVectorized,
       engine::SqlStats* stats = nullptr, int num_threads = 1,
-      obs::QueryMetrics* metrics = nullptr) const;
+      obs::QueryMetrics* metrics = nullptr,
+      const runtime::QueryGuard* guard = nullptr) const;
 
   /// Graph-traversal evaluation of PGIR (Neo4j stand-in) over a prebuilt
   /// store (use BuildGraphStore; building is the analogue of data load).

@@ -1,0 +1,56 @@
+#include "runtime/query_guard.h"
+
+#include <string>
+
+namespace raqlet::runtime {
+
+namespace {
+
+Status StatusForTrip(StatusCode code, size_t rows, size_t max_rows,
+                     size_t bytes, size_t max_bytes) {
+  switch (code) {
+    case StatusCode::kCancelled:
+      return Status::Cancelled("query cancelled by caller");
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded("query deadline exceeded");
+    case StatusCode::kResourceExhausted: {
+      std::string msg = "query budget exceeded:";
+      if (max_rows > 0 && rows > max_rows) {
+        msg += " " + std::to_string(rows) + " rows derived (budget " +
+               std::to_string(max_rows) + ")";
+      }
+      if (max_bytes > 0 && bytes > max_bytes) {
+        msg += " " + std::to_string(bytes) + " bytes tracked (budget " +
+               std::to_string(max_bytes) + ")";
+      }
+      return Status::ResourceExhausted(std::move(msg));
+    }
+    default:
+      // Unreachable: Trip() only records the three causes above.
+      return Status::Internal("query guard tripped with unexpected code");
+  }
+}
+
+}  // namespace
+
+Status QueryGuard::TripStatus() const {
+  int code = tripped_.load(std::memory_order_relaxed);
+  if (code == 0) return Status::OK();
+  return StatusForTrip(static_cast<StatusCode>(code), rows(), max_rows_,
+                       bytes(), max_bytes_);
+}
+
+Status QueryGuard::CheckSlow() const {
+  int code = tripped_.load(std::memory_order_relaxed);
+  if (code != 0) {
+    return StatusForTrip(static_cast<StatusCode>(code), rows(), max_rows_,
+                         bytes(), max_bytes_);
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    Trip(StatusCode::kDeadlineExceeded);
+    return TripStatus();
+  }
+  return Status::OK();
+}
+
+}  // namespace raqlet::runtime

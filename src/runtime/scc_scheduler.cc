@@ -31,6 +31,7 @@ struct DagState {
   const SccDag* dag = nullptr;
   const std::function<Status(int)>* body = nullptr;
   ThreadPool* pool = nullptr;
+  const QueryGuard* guard = nullptr;
 
   std::mutex mutex;
   std::condition_variable cv;
@@ -45,7 +46,11 @@ struct DagState {
 
 void RunNode(DagState* state, int node) {
   Status status;
-  {
+  if (state->guard != nullptr && state->guard->tripped()) {
+    // Drain without starting the body; the sticky cause keeps the
+    // reported error deterministic no matter which nodes observe it.
+    status = state->guard->TripStatus();
+  } else {
     obs::TraceScope span("dag.node", node);
     status = (*state->body)(node);
   }
@@ -75,13 +80,15 @@ void DagState::Launch(int node) {
 }  // namespace
 
 Status RunSccDag(const SccDag& dag, ThreadPool* pool,
-                 const std::function<Status(int)>& body) {
+                 const std::function<Status(int)>& body,
+                 const QueryGuard* guard) {
   size_t n = dag.size();
   if (n == 0) return Status::OK();
 
   if (pool == nullptr || pool->num_threads() <= 1) {
     // Node indices are already a topological order.
     for (size_t i = 0; i < n; ++i) {
+      if (guard != nullptr && guard->tripped()) return guard->TripStatus();
       obs::TraceScope span("dag.node", static_cast<int64_t>(i));
       RAQLET_RETURN_IF_ERROR(body(static_cast<int>(i)));
     }
@@ -92,6 +99,7 @@ Status RunSccDag(const SccDag& dag, ThreadPool* pool,
   state.dag = &dag;
   state.body = &body;
   state.pool = pool;
+  state.guard = guard;
   state.pending_deps.assign(n, 0);
   for (const std::vector<int>& succ : dag.successors) {
     for (int to : succ) ++state.pending_deps[static_cast<size_t>(to)];

@@ -12,6 +12,7 @@
 
 #include "analysis/dependency_graph.h"
 #include "common/status.h"
+#include "runtime/query_guard.h"
 #include "runtime/thread_pool.h"
 
 namespace raqlet::runtime {
@@ -35,8 +36,16 @@ SccDag BuildSccDag(const analysis::DependencyGraph& graph);
 /// order. On failure no new nodes are started, in-flight nodes drain, and
 /// the error of the lowest-index failed node is returned (which makes the
 /// reported error independent of scheduling).
+///
+/// `guard`, when set, is polled before each node starts: once it trips, a
+/// node that has not begun evaluating returns the guard's sticky terminal
+/// Status instead of running its body. Because the trip cause is recorded
+/// once (QueryGuard CAS) and this scheduler reports the lowest-index
+/// error, a trip observed by any number of nodes still surfaces as one
+/// deterministic Status.
 Status RunSccDag(const SccDag& dag, ThreadPool* pool,
-                 const std::function<Status(int)>& body);
+                 const std::function<Status(int)>& body,
+                 const QueryGuard* guard = nullptr);
 
 }  // namespace raqlet::runtime
 

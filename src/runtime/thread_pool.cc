@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "obs/trace.h"
+#include "runtime/failpoint.h"
 
 namespace raqlet::runtime {
 
@@ -14,6 +15,7 @@ namespace {
 struct ForState {
   const std::function<void(size_t)>* fn = nullptr;
   size_t count = 0;
+  const QueryGuard* guard = nullptr;  // optional cooperative cancellation
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
   std::mutex mutex;
@@ -24,7 +26,12 @@ void DrainFor(const std::shared_ptr<ForState>& state) {
   while (true) {
     size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= state->count) return;
-    {
+    // A tripped guard drains the loop: claimed-but-unstarted iterations
+    // are skipped (still counted as done, so the waiter wakes). The
+    // caller re-polls the guard after the loop and reports the sticky
+    // terminal cause; skipped work is therefore never mistaken for
+    // success.
+    if (state->guard == nullptr || !state->guard->tripped()) {
       obs::TraceScope span("pool.for", static_cast<int64_t>(i));
       (*state->fn)(i);
     }
@@ -75,6 +82,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    RAQLET_FAILPOINT_DELAY("runtime.pool_dispatch");
     obs::TraceScope span("pool.task");
     task();
   }
@@ -82,9 +90,16 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(size_t count,
                              const std::function<void(size_t)>& fn) {
+  ParallelFor(count, fn, nullptr);
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& fn,
+                             const QueryGuard* guard) {
   if (count == 0) return;
   if (count == 1 || workers_.empty()) {
     for (size_t i = 0; i < count; ++i) {
+      if (guard != nullptr && guard->tripped()) return;
       obs::TraceScope span("pool.for", static_cast<int64_t>(i));
       fn(i);
     }
@@ -93,6 +108,7 @@ void ThreadPool::ParallelFor(size_t count,
   auto state = std::make_shared<ForState>();
   state->fn = &fn;
   state->count = count;
+  state->guard = guard;
   // The caller participates, so at most count - 1 helpers are useful.
   size_t helpers = workers_.size() < count - 1 ? workers_.size() : count - 1;
   for (size_t i = 0; i < helpers; ++i) {

@@ -21,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/query_guard.h"
+
 namespace raqlet::runtime {
 
 class ThreadPool {
@@ -42,6 +44,15 @@ class ThreadPool {
   /// iterations finished. Iterations are claimed dynamically, so uneven
   /// per-iteration cost balances across threads.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  /// Guard-aware variant: once `guard` trips (cancel, deadline, budget —
+  /// one relaxed load per claimed iteration), iterations not yet started
+  /// are skipped so in-flight work drains promptly. The caller must poll
+  /// the guard after the loop returns; skipped iterations are otherwise
+  /// indistinguishable from completed ones. guard == nullptr behaves
+  /// exactly like the plain overload.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                   const QueryGuard* guard);
 
  private:
   void WorkerLoop();

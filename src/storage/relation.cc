@@ -1,11 +1,10 @@
 #include "storage/relation.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
 #include <sstream>
 
 #include "common/str_util.h"
+#include "runtime/failpoint.h"
 
 namespace raqlet {
 
@@ -104,14 +103,8 @@ bool Relation::Contains(const Tuple& t) const {
          kEmptySlot;
 }
 
-bool Relation::Insert(Tuple t) {
-  Status room = CheckRoom(1);
-  if (!room.ok()) {
-    // Legacy per-row path: fail loudly rather than silently re-admitting
-    // duplicates once row indices collide with the empty-slot sentinel.
-    std::fprintf(stderr, "raqlet: %s\n", room.message().c_str());
-    std::abort();
-  }
+Result<bool> Relation::Insert(Tuple t) {
+  RAQLET_RETURN_IF_ERROR(CheckRoom(1));
   PrepareColumns(t.size(), row_count_ + 1);
   DedupReserve(row_count_ + 1);
   uint32_t h32 = MixHash(TupleHash{}(t));
@@ -130,6 +123,7 @@ Result<size_t> Relation::InsertBatch(std::vector<Tuple> batch) {
 
 Result<size_t> Relation::InsertBatchInPlace(std::vector<Tuple>* batch) {
   if (batch->empty()) return static_cast<size_t>(0);
+  RAQLET_FAILPOINT("storage.insert_batch");
   RAQLET_RETURN_IF_ERROR(CheckRoom(batch->size()));
   size_t want = row_count_ + batch->size();
   PrepareColumns((*batch)[0].size(), want);
@@ -154,6 +148,7 @@ Result<size_t> Relation::InsertColumns(std::vector<std::vector<Value>>* cols) {
   const size_t batch_arity = cols->size();
   const size_t n = batch_arity == 0 ? 0 : (*cols)[0].size();
   if (n == 0) return static_cast<size_t>(0);
+  RAQLET_FAILPOINT("storage.insert_columns");
   RAQLET_RETURN_IF_ERROR(CheckRoom(n));
   size_t want = row_count_ + n;
   PrepareColumns(batch_arity, want);
@@ -285,15 +280,12 @@ Relation::ColumnView Relation::ColumnSlice(size_t col, size_t begin,
   return v;
 }
 
-void Relation::ReplaceRows(std::vector<Tuple> rows) {
+Status Relation::ReplaceRows(std::vector<Tuple> rows) {
   Clear();
-  Result<size_t> r = InsertBatch(std::move(rows));
-  if (!r.ok()) {
-    // Unreachable in practice: the batch is bounded by a previous row
-    // count that already fit.
-    std::fprintf(stderr, "raqlet: %s\n", r.status().message().c_str());
-    std::abort();
-  }
+  // Unreachable in practice — the batch is bounded by a previous row count
+  // that already fit — but reported as a Status all the same (PR 6's
+  // Status-over-abort discipline).
+  return InsertBatch(std::move(rows)).status();
 }
 
 void Relation::Clear() {
@@ -333,6 +325,7 @@ const Relation::KeyIndex& Relation::FoldIndex(
 }
 
 void Relation::FoldSuffix(CachedIndex* cached) const {
+  RAQLET_FAILPOINT_DELAY("storage.index_build");
   for (uint32_t i = static_cast<uint32_t>(cached->rows_indexed);
        i < row_count_; ++i) {
     Tuple key;

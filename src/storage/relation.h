@@ -148,10 +148,12 @@ class Relation {
   size_t size() const { return row_count_; }
   bool empty() const { return row_count_ == 0; }
 
-  /// Inserts `t` if not already present. Returns true if the tuple is new.
-  /// Aborts loudly at the 2^32-1 row-index ceiling (legacy per-row path;
-  /// the batch paths report the condition as a Status instead).
-  bool Insert(Tuple t);
+  /// Inserts `t` if not already present. Returns true if the tuple is new,
+  /// or an error Status (relation unmodified) at the 2^32-1 row-index
+  /// ceiling — the same contract as the batch paths. Callers that ignore
+  /// the result (test fixtures, tiny loaders) lose only the overflow
+  /// signal, never correctness of the rows that did fit.
+  Result<bool> Insert(Tuple t);
 
   /// Bulk insert: appends every tuple of `batch` not already present (in
   /// the relation or earlier in the batch), preserving batch order — the
@@ -243,7 +245,9 @@ class Relation {
 
   /// Replaces the contents of this relation with `rows` (deduplicated).
   /// Used by the engine to compact lattice relations at stratum boundaries.
-  void ReplaceRows(std::vector<Tuple> rows);
+  /// On error (row-index overflow — unreachable when `rows` came from this
+  /// relation) the relation is left cleared.
+  Status ReplaceRows(std::vector<Tuple> rows);
 
   /// Bytes of heap held by the column arrays, kind sidecars, dedup table,
   /// and (estimated) the row-compatibility cache if it has been

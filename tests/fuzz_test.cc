@@ -1,6 +1,8 @@
 // Parser robustness: every frontend must return a Status (never crash,
 // hang, or throw) on arbitrary garbage — random token soups and random
-// mutations of valid inputs.
+// mutations of valid inputs. The execution soak at the bottom extends the
+// same never-crash bar through the engines with randomized QueryGuard
+// budgets armed.
 
 #include <gtest/gtest.h>
 
@@ -8,6 +10,8 @@
 
 #include "cypher/parser.h"
 #include "dlir/parser.h"
+#include "raqlet/compiler.h"
+#include "runtime/query_guard.h"
 #include "schema/pg_schema.h"
 #include "sqlpgq/parser.h"
 
@@ -95,6 +99,113 @@ TEST_P(ParserFuzzTest, MutatedValidInputsNeverCrash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Range(0, 8));
+
+// Guard-armed execution soak: random tiny budgets and deadlines against
+// real queries on every engine. Whatever the guard does, the engine must
+// return a Status from the guard's terminal set or succeed — and stay
+// reusable: a clean re-run must match the unguarded reference exactly.
+class GuardSoakTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GuardSoakTest, RandomBudgetsNeverCrashOrCorrupt) {
+  constexpr char kSoakSchema[] = R"(
+CREATE GRAPH {
+  (personType: Person {id INT, age INT}),
+  (:personType)-[knowsType: knows {id INT}]->(:personType)
+}
+)";
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 193 + 29);
+  Compiler compiler;
+  ASSERT_TRUE(compiler.LoadPgSchema(kSoakSchema).ok());
+  Database db;
+  ASSERT_TRUE(compiler.CreateEdbs(&db).ok());
+  std::uniform_int_distribution<int> person(1, 25);
+  Relation* person_rel = *db.GetRelation("Person");
+  for (int i = 1; i <= 25; ++i) {
+    person_rel->Insert({Value::Number(i), Value::Number(18 + i % 50)});
+  }
+  Relation* knows = *db.GetRelation("Person_KNOWS_Person");
+  for (int i = 0; i < 50; ++i) {
+    knows->Insert({Value::Number(person(rng)), Value::Number(person(rng)),
+                   Value::Number(i + 1)});
+  }
+
+  const char* const kQueries[] = {
+      "MATCH (a:Person)-[:KNOWS*]->(b:Person) "
+      "RETURN DISTINCT a.id AS src, b.id AS dst",
+      "MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person) "
+      "RETURN DISTINCT a.id AS a, c.id AS c",
+      "MATCH (a:Person)-[:KNOWS*1..3]->(b:Person) WHERE a.id < 10 "
+      "RETURN DISTINCT a.id AS a, b.id AS b",
+  };
+  auto store = compiler.BuildGraphStore(db);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  std::uniform_int_distribution<int> pick_query(0, std::size(kQueries) - 1);
+  std::uniform_int_distribution<int> pick_engine(0, 2);
+  std::uniform_int_distribution<int> pick_knob(0, 2);
+  std::uniform_int_distribution<size_t> rows_budget(1, 300);
+  std::uniform_int_distribution<size_t> bytes_budget(64, 1 << 14);
+
+  for (int iter = 0; iter < 12; ++iter) {
+    auto unit = compiler.CompileCypher(kQueries[pick_query(rng)]);
+    ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+
+    runtime::QueryGuard guard;
+    switch (pick_knob(rng)) {
+      case 0:
+        guard.set_max_rows(rows_budget(rng));
+        break;
+      case 1:
+        guard.set_max_bytes(bytes_budget(rng));
+        break;
+      default:
+        guard.set_max_rows(rows_budget(rng));
+        guard.set_max_bytes(bytes_budget(rng));
+        break;
+    }
+
+    int which = pick_engine(rng);
+    auto run = [&](const runtime::QueryGuard* g)
+        -> Result<engine::ResultTable> {
+      switch (which) {
+        case 0: {
+          engine::EvalOptions options;
+          options.num_threads = 1 + (iter % 2) * 3;
+          options.guard = g;
+          return compiler.RunOnDatalog(unit->dlir, &db, nullptr, options);
+        }
+        case 1:
+          return compiler.RunOnSql(unit->dlir, &db,
+                                   engine::SqlMode::kVectorized, nullptr,
+                                   1 + (iter % 2) * 3, nullptr, g);
+        default: {
+          engine::GraphOptions options;
+          options.guard = g;
+          return compiler.RunOnGraph(unit->pgir, *store, &db, nullptr,
+                                     options);
+        }
+      }
+    };
+
+    auto guarded = run(&guard);
+    if (!guarded.ok()) {
+      StatusCode code = guarded.status().code();
+      EXPECT_TRUE(code == StatusCode::kResourceExhausted ||
+                  code == StatusCode::kDeadlineExceeded ||
+                  code == StatusCode::kCancelled)
+          << guarded.status().ToString();
+    }
+    // Reusability after whatever the guard did: unguarded re-run matches
+    // an unguarded reference run on the same engine.
+    auto reference = run(nullptr);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    auto rerun = run(nullptr);
+    ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+    EXPECT_EQ(rerun->rows, reference->rows);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GuardSoakTest, ::testing::Range(0, 4));
 
 }  // namespace
 }  // namespace raqlet

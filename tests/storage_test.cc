@@ -23,9 +23,9 @@ RelationSchema EdgeSchema(const std::string& name = "edge") {
 
 TEST(RelationTest, InsertDeduplicates) {
   Relation r(EdgeSchema());
-  EXPECT_TRUE(r.Insert({Value::Number(1), Value::Number(2)}));
-  EXPECT_FALSE(r.Insert({Value::Number(1), Value::Number(2)}));
-  EXPECT_TRUE(r.Insert({Value::Number(2), Value::Number(1)}));
+  EXPECT_TRUE(r.Insert({Value::Number(1), Value::Number(2)}).value());
+  EXPECT_FALSE(r.Insert({Value::Number(1), Value::Number(2)}).value());
+  EXPECT_TRUE(r.Insert({Value::Number(2), Value::Number(1)}).value());
   EXPECT_EQ(r.size(), 2u);
   EXPECT_TRUE(r.Contains({Value::Number(1), Value::Number(2)}));
   EXPECT_FALSE(r.Contains({Value::Number(9), Value::Number(9)}));
@@ -139,7 +139,7 @@ TEST(RelationTest, ReleaseRowsHandsOverStorageAndResets) {
   // The relation is empty and fully reusable afterwards.
   EXPECT_EQ(r.size(), 0u);
   EXPECT_FALSE(r.Contains({Value::Number(1), Value::Number(2)}));
-  EXPECT_TRUE(r.Insert({Value::Number(1), Value::Number(2)}));
+  EXPECT_TRUE(r.Insert({Value::Number(1), Value::Number(2)}).value());
   EXPECT_EQ(r.size(), 1u);
 }
 
@@ -292,7 +292,7 @@ TEST(RelationColumnTest, ReleaseColumnsHandsBackColumnsAndResets) {
   EXPECT_EQ(cols[0][1], Value::Number(3));
   EXPECT_EQ(cols[1][0], Value::Number(2));
   EXPECT_EQ(r.size(), 0u);
-  EXPECT_TRUE(r.Insert({Value::Number(1), Value::Number(2)}));
+  EXPECT_TRUE(r.Insert({Value::Number(1), Value::Number(2)}).value());
 }
 
 TEST(RelationColumnTest, InsertColumnsRecyclesStagingBuffers) {
@@ -338,7 +338,7 @@ class StorageDifferentialTest : public ::testing::Test {
     Relation columnar(s);
     std::vector<bool> serial_decisions;
     for (const Tuple& t : stream) {
-      serial_decisions.push_back(serial.Insert(t));
+      serial_decisions.push_back(serial.Insert(t).value());
     }
     size_t batched_inserted = 0;
     size_t columnar_inserted = 0;
@@ -483,7 +483,7 @@ TEST(RelationOverflowTest, CheckIsConservativeBeforeDedup) {
 TEST(RelationOverflowTest, InsertColumnsReportsAndPreservesStaging) {
   Relation r(EdgeSchema());
   r.SetRowLimitForTesting(1);
-  ASSERT_TRUE(r.Insert({Value::Number(1), Value::Number(2)}));
+  ASSERT_TRUE(r.Insert({Value::Number(1), Value::Number(2)}).value());
   std::vector<std::vector<Value>> staged(2);
   staged[0] = {Value::Number(5)};
   staged[1] = {Value::Number(6)};

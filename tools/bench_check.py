@@ -15,11 +15,20 @@ unbatched BM_TcGraphRows reference is not gated).
 Usage:
   bench_check.py CURRENT.json BASELINE.json [--suite bench_tc]
                  [--filter 'BM_TcDatalog|BM_TcSql|BM_TcGraph/']
-                 [--max-regress 0.25]
+                 [--max-regress 0.25] [--reruns N]
 
 CURRENT.json is a raw `--benchmark_format=json` dump. BASELINE.json is
 either a raw dump or the committed multi-suite file {"bench_tc": {...},
 "bench_parallel": {...}} — pick the suite with --suite.
+
+With --reruns N (N > 1), CURRENT must be a template containing '{i}'
+(e.g. 'bench_tc_current.{i}.json'); the script loads the N dumps and
+takes, per case, the best (lowest) of the per-rerun medians. A genuine
+regression is slow in every rerun, so best-median keeps the gate tight
+while ignoring a single rerun that lost the machine to a noisy
+neighbour. Every comparison line also prints its margin — how much
+headroom remains before the case would trip the gate — so near-misses
+are visible before they become failures.
 
 The tolerance can be overridden with RAQLET_BENCH_TOLERANCE (a float,
 e.g. 0.4) to loosen the gate on noisy shared runners without editing CI.
@@ -49,6 +58,22 @@ def load_benchmarks(path, suite):
     return {name: statistics.median(ts) for name, ts in times.items()}
 
 
+def load_current(path, suite, reruns):
+    """Loads the current run; with reruns > 1 `path` is a '{i}' template
+    and each case gets the best (minimum) median across the reruns."""
+    if reruns <= 1:
+        return load_benchmarks(path, suite)
+    if "{i}" not in path:
+        raise SystemExit(
+            f"error: --reruns {reruns} needs a CURRENT template "
+            f"containing '{{i}}', got '{path}'")
+    merged = {}
+    for i in range(1, reruns + 1):
+        for name, t in load_benchmarks(path.format(i=i), suite).items():
+            merged[name] = min(merged.get(name, t), t)
+    return merged
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current")
@@ -57,6 +82,9 @@ def main():
     parser.add_argument("--filter",
                         default="BM_TcDatalog|BM_TcSql|BM_TcGraph/")
     parser.add_argument("--max-regress", type=float, default=0.25)
+    parser.add_argument("--reruns", type=int, default=1,
+                        help="number of current-run dumps; CURRENT must "
+                             "contain '{i}' (1-based) when > 1")
     args = parser.parse_args()
 
     tolerance = args.max_regress
@@ -64,7 +92,7 @@ def main():
     if env_tolerance:
         tolerance = float(env_tolerance)
 
-    current = load_benchmarks(args.current, args.suite)
+    current = load_current(args.current, args.suite, args.reruns)
     baseline = load_benchmarks(args.baseline, args.suite)
     pattern = re.compile(args.filter)
 
@@ -78,12 +106,15 @@ def main():
             continue
         compared += 1
         ratio = current[name] / base_time
+        # Headroom before this case would trip the gate (negative = over).
+        margin = (1.0 + tolerance) - ratio
         status = "ok"
         if ratio > 1.0 + tolerance:
             status = "REGRESSED"
             failures.append(name)
         print(f"{name}: baseline {base_time:.3f} -> current "
-              f"{current[name]:.3f} ({ratio:.2f}x) {status}")
+              f"{current[name]:.3f} ({ratio:.2f}x, margin {margin:+.0%}) "
+              f"{status}")
 
     if compared == 0:
         print(f"error: no benchmarks matched filter '{args.filter}'")
