@@ -24,6 +24,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.h"
+#include "analysis/lints.h"
+#include "analysis/typecheck.h"
 #include "dlir/explain.h"
 #include "ldbc/ldbc.h"
 #include "obs/metrics.h"
@@ -49,21 +52,31 @@ struct CliOptions {
   long long max_bytes = 0;    // 0 = no byte budget
   bool demo = false;
   bool explain_analyze = false;
+  bool check = false;   // static analyzer, errors only
+  bool lint = false;    // analyzer + semantic lints (warnings)
+  bool werror = false;  // with --check/--lint: warnings fail the run
   std::map<std::string, raqlet::dlir::Constant> parameters;
 };
 
 int Usage() {
   std::cerr <<
       "usage: raqlet_cli --schema FILE --query FILE\n"
-      "                  [--frontend cypher|gql|datalog] [--opt 0|1|2]\n"
+      "                  [--frontend cypher|gql|sqlpgq|datalog] [--opt 0|1|2]\n"
       "                  [--emit pgir|dlir|optimized|datalog|sql|report|plan]\n"
       "                  [--run datalog|sql|sql-tuple|graph|graph-rows]\n"
+      "                  [--check|--lint] [--werror]\n"
       "                  [--facts DIR]\n"
       "                  [--threads N] [--param name=value]...\n"
       "                  [--timeout-ms N] [--max-rows N] [--max-bytes N]\n"
       "                  [--explain-analyze] [--trace=FILE]\n"
       "       raqlet_cli --demo [--trace=FILE]\n"
       "\n"
+      "  --check            run the static analyzer (types, safety,\n"
+      "                     stratification) and print every diagnostic with\n"
+      "                     its stable RQ0xx code; exit 3 on errors\n"
+      "  --lint             --check plus semantic lints (unused relations,\n"
+      "                     cartesian joins, constant constraints, ...)\n"
+      "  --werror           with --check/--lint: warnings also exit 3\n"
       "  --explain-analyze  run the query (default engine: datalog) and\n"
       "                     print the plan annotated with runtime counters\n"
       "  --timeout-ms N     abort execution after N ms wall clock\n"
@@ -192,6 +205,12 @@ int main(int argc, char** argv) {
           ParseConstant(pair.substr(eq + 1));
     } else if (arg == "--demo") {
       options.demo = true;
+    } else if (arg == "--check") {
+      options.check = true;
+    } else if (arg == "--lint") {
+      options.lint = true;
+    } else if (arg == "--werror") {
+      options.werror = true;
     } else if (arg == "--explain-analyze") {
       options.explain_analyze = true;
     } else if (arg.rfind("--trace=", 0) == 0) {
@@ -235,13 +254,17 @@ int main(int argc, char** argv) {
       options.run = "datalog";
     }
   } else {
-    if (options.schema_path.empty() || options.query_path.empty()) {
+    // The datalog frontend needs no PG-Schema; every other frontend does.
+    if (options.query_path.empty()) return Usage();
+    if (options.schema_path.empty() && options.frontend != "datalog") {
       return Usage();
     }
-    auto schema_text = ReadFile(options.schema_path);
-    if (!schema_text.ok()) return Fail(schema_text.status());
-    if (auto st = compiler.LoadPgSchema(*schema_text); !st.ok()) {
-      return Fail(st);
+    if (!options.schema_path.empty()) {
+      auto schema_text = ReadFile(options.schema_path);
+      if (!schema_text.ok()) return Fail(schema_text.status());
+      if (auto st = compiler.LoadPgSchema(*schema_text); !st.ok()) {
+        return Fail(st);
+      }
     }
     auto q = ReadFile(options.query_path);
     if (!q.ok()) return Fail(q.status());
@@ -254,26 +277,52 @@ int main(int argc, char** argv) {
   copts.parameters = options.parameters;
   copts.metrics = qm;
 
+  const bool analyze_only = options.check || options.lint;
   raqlet::dlir::Program program;
   raqlet::CompiledQuery unit;
   bool have_pgir = false;
   if (options.frontend == "datalog") {
-    auto parsed = compiler.CompileDatalog(query_text);
+    // In --check/--lint mode, parse without the built-in verification so
+    // the analyzer below reports *every* diagnostic (CompileDatalog would
+    // turn them into one InvalidArgument).
+    auto parsed = analyze_only ? compiler.ParseDatalog(query_text)
+                               : compiler.CompileDatalog(query_text);
     if (!parsed.ok()) return Fail(parsed.status());
-    auto optimized = compiler.Optimize(*parsed, options.opt_level);
-    if (!optimized.ok()) return Fail(optimized.status());
-    program = std::move(optimized).value();
+    if (analyze_only) {
+      program = std::move(parsed).value();
+    } else {
+      auto optimized = compiler.Optimize(*parsed, options.opt_level);
+      if (!optimized.ok()) return Fail(optimized.status());
+      program = std::move(optimized).value();
+    }
   } else {
-    auto compiled = options.frontend == "gql"
-                        ? compiler.CompileGql(query_text, copts)
+    auto compiled = options.frontend == "gql"    ? compiler.CompileGql(query_text, copts)
+                    : options.frontend == "sqlpgq"
+                        ? compiler.CompileSqlPgq(query_text, copts)
                         : compiler.CompileCypher(query_text, copts);
     if (!compiled.ok()) return Fail(compiled.status());
     unit = std::move(compiled).value();
-    program = unit.optimized;
+    // Analyze the direct translation (closest to the user's query);
+    // everything else uses the optimized form.
+    program = analyze_only ? unit.dlir : unit.optimized;
     have_pgir = true;
     for (const std::string& warning : unit.warnings) {
       std::cerr << "warning: " << warning << "\n";
     }
+  }
+
+  if (analyze_only) {
+    raqlet::analysis::DiagnosticEngine diags;
+    raqlet::analysis::CheckProgram(program, &diags);
+    if (options.lint) raqlet::analysis::LintProgram(program, &diags);
+    if (diags.empty()) {
+      std::cout << "no issues found\n";
+      return 0;
+    }
+    std::cout << diags.Render();
+    if (diags.has_errors()) return 3;
+    if (options.werror && diags.warning_count() > 0) return 3;
+    return 0;
   }
 
   if (!options.emit.empty()) {

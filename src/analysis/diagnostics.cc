@@ -1,0 +1,73 @@
+#include "analysis/diagnostics.h"
+
+#include <sstream>
+
+namespace raqlet::analysis {
+
+const char* SeverityToString(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream os;
+  os << SeverityToString(severity) << "[" << code << "]: " << message;
+  if (rule_index >= 0) {
+    os << "\n  --> rule " << rule_index << ": " << rule;
+  } else if (!rule.empty()) {
+    os << "\n  --> rule: " << rule;
+  }
+  for (const std::string& note : notes) {
+    os << "\n  note: " << note;
+  }
+  return os.str();
+}
+
+Diagnostic& DiagnosticEngine::Report(Severity severity, std::string code,
+                                     std::string message) {
+  if (severity == Severity::kError) {
+    ++error_count_;
+  } else if (severity == Severity::kWarning) {
+    ++warning_count_;
+  }
+  Diagnostic d;
+  d.severity = severity;
+  d.code = std::move(code);
+  d.message = std::move(message);
+  diagnostics_.push_back(std::move(d));
+  return diagnostics_.back();
+}
+
+bool DiagnosticEngine::HasCode(const std::string& code) const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+std::string DiagnosticEngine::Render() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics_) {
+    os << d.ToString() << "\n";
+  }
+  if (!diagnostics_.empty()) {
+    os << error_count_ << " error(s), " << warning_count_ << " warning(s)\n";
+  }
+  return os.str();
+}
+
+Status DiagnosticEngine::ToStatus(const std::string& context) const {
+  if (!has_errors()) return Status::OK();
+  std::string message = Render();
+  if (!context.empty()) message = context + ":\n" + message;
+  return Status::InvalidArgument(message);
+}
+
+}  // namespace raqlet::analysis

@@ -1,0 +1,33 @@
+#ifndef RAQLET_ANALYSIS_LINTS_H_
+#define RAQLET_ANALYSIS_LINTS_H_
+
+// Semantic lints over DLIR: findings that do not make a program invalid
+// (CheckProgram in typecheck.h owns those) but indicate dead weight, perf
+// footguns, or likely non-termination. All lints are warnings; callers
+// that want warnings-as-errors escalate via DiagnosticEngine counts
+// (raqlet_cli --lint --werror).
+//
+// Lint codes (catalogue: docs/diagnostics.md):
+//   RQ101 relation declared but never used
+//   RQ102 rule unreachable from any output
+//   RQ103 relation is always empty
+//   RQ104 cartesian-product join (no shared variables between body atoms)
+//   RQ105 possibly non-terminating recursion (value invention without a
+//         lattice or bound)
+//   RQ106 duplicate rule
+//   RQ107 constant-foldable constraint (always true / always false)
+
+#include "analysis/diagnostics.h"
+#include "dlir/program.h"
+
+namespace raqlet::analysis {
+
+/// Runs every lint over `program`, accumulating warnings into `diags`.
+/// Robust against structurally invalid programs (undeclared predicates
+/// etc. are simply skipped here — CheckProgram reports them as errors);
+/// run CheckProgram alongside for the full picture.
+void LintProgram(const dlir::Program& program, DiagnosticEngine* diags);
+
+}  // namespace raqlet::analysis
+
+#endif  // RAQLET_ANALYSIS_LINTS_H_

@@ -1,0 +1,471 @@
+#include "analysis/typecheck.h"
+
+#include <cstdlib>
+#include <map>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/dependency_graph.h"
+
+namespace raqlet::analysis {
+
+const char* TypeClassName(TypeClass c) {
+  switch (c) {
+    case TypeClass::kUnknown:
+      return "unknown";
+    case TypeClass::kNumeric:
+      return "numeric";
+    case TypeClass::kSymbol:
+      return "symbol";
+    case TypeClass::kBool:
+      return "bool";
+  }
+  return "?";
+}
+
+TypeClass TypeClassOf(ValueType type) {
+  switch (type) {
+    case ValueType::kNumber:
+    case ValueType::kFloat:
+      return TypeClass::kNumeric;
+    case ValueType::kSymbol:
+      return TypeClass::kSymbol;
+    case ValueType::kBool:
+      return TypeClass::kBool;
+    case ValueType::kNull:
+      return TypeClass::kUnknown;
+  }
+  return TypeClass::kUnknown;
+}
+
+namespace {
+
+using dlir::Atom;
+using dlir::Constraint;
+using dlir::Program;
+using dlir::RelationDecl;
+using dlir::Rule;
+using dlir::Term;
+using dlir::TermKind;
+
+/// Inferred class of one rule variable plus where the class came from, so
+/// a conflict can name both binding sites.
+struct VarInfo {
+  TypeClass cls = TypeClass::kUnknown;
+  std::string origin;
+};
+
+/// Checks one rule: structural atom checks, variable class inference and
+/// unification, constraint/arithmetic classes, safety, aggregates.
+class RuleChecker {
+ public:
+  RuleChecker(const Program& program,
+              const std::unordered_map<std::string, const RelationDecl*>& decls,
+              int rule_index, const Rule& rule, DiagnosticEngine* diags)
+      : program_(program),
+        decls_(decls),
+        rule_index_(rule_index),
+        rule_(rule),
+        diags_(diags) {}
+
+  void Check() {
+    // Body atoms first (they define variable classes), positives before
+    // negations, the head last — mirrors how bindings flow at runtime.
+    for (const Atom& atom : rule_.body) {
+      if (!atom.negated) CheckAtom(atom);
+    }
+    for (const Atom& atom : rule_.body) {
+      if (atom.negated) CheckAtom(atom);
+    }
+    BindConstraintClasses();
+    for (const Constraint& c : rule_.constraints) CheckConstraint(c);
+    CheckAtom(rule_.head);
+    CheckAggregate();
+    CheckSafety();
+  }
+
+ private:
+  Diagnostic& Error(std::string code, std::string message) {
+    return diags_->Error(std::move(code), std::move(message))
+        .AtRule(rule_index_, rule_);
+  }
+
+  std::string ColumnOrigin(const RelationDecl& decl, size_t i) const {
+    return "column '" + decl.columns[i].name + "' of '" + decl.name + "' (" +
+           ValueTypeToString(decl.columns[i].type) + ")";
+  }
+
+  /// Structural checks for one atom; returns its decl when arity-correct.
+  const RelationDecl* ResolveAtom(const Atom& atom) {
+    auto it = decls_.find(atom.predicate);
+    if (it == decls_.end()) {
+      Error("RQ002", "undeclared predicate '" + atom.predicate + "'")
+          .AtPredicate(atom.predicate);
+      return nullptr;
+    }
+    if (it->second->arity() != atom.args.size()) {
+      Error("RQ003", "arity mismatch for '" + atom.predicate + "': declared " +
+                         std::to_string(it->second->arity()) +
+                         ", used with " + std::to_string(atom.args.size()))
+          .AtPredicate(atom.predicate);
+      return nullptr;
+    }
+    return it->second;
+  }
+
+  void CheckAtom(const Atom& atom) {
+    const RelationDecl* decl = ResolveAtom(atom);
+    if (decl == nullptr) return;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const Term& term = atom.args[i];
+      TypeClass want = TypeClassOf(decl->columns[i].type);
+      switch (term.kind) {
+        case TermKind::kWildcard:
+          break;
+        case TermKind::kConstant: {
+          TypeClass got = TypeClassOf(term.constant.type);
+          if (got != TypeClass::kUnknown && want != TypeClass::kUnknown &&
+              got != want) {
+            Error("RQ011", "constant " + term.constant.ToString() + " (" +
+                               TypeClassName(got) + ") used at " +
+                               ColumnOrigin(*decl, i))
+                .AtPredicate(atom.predicate);
+          }
+          break;
+        }
+        case TermKind::kVariable:
+          UnifyVar(term.var, want, ColumnOrigin(*decl, i));
+          break;
+        case TermKind::kBinary: {
+          TypeClass got = TermClass(term);
+          if (want == TypeClass::kSymbol || want == TypeClass::kBool) {
+            Error("RQ013", "arithmetic expression " + term.ToString() +
+                               " used at non-numeric " + ColumnOrigin(*decl, i))
+                .AtPredicate(atom.predicate);
+          }
+          (void)got;
+          break;
+        }
+      }
+    }
+  }
+
+  void UnifyVar(const std::string& var, TypeClass cls, std::string origin) {
+    VarInfo& info = vars_[var];
+    if (cls == TypeClass::kUnknown) return;
+    if (info.cls == TypeClass::kUnknown) {
+      info.cls = cls;
+      info.origin = std::move(origin);
+      return;
+    }
+    if (info.cls != cls) {
+      std::string key = var + "#" + TypeClassName(cls);
+      if (!reported_conflicts_.insert(key).second) return;
+      Error("RQ010", "variable '" + var + "' is used as both " +
+                         TypeClassName(info.cls) + " (" + info.origin +
+                         ") and " + TypeClassName(cls) + " (" + origin + ")");
+    }
+  }
+
+  /// Class of a term in constraint position; reports RQ013 for symbol or
+  /// bool operands inside arithmetic.
+  TypeClass TermClass(const Term& term) {
+    switch (term.kind) {
+      case TermKind::kWildcard:
+        return TypeClass::kUnknown;
+      case TermKind::kConstant:
+        return TypeClassOf(term.constant.type);
+      case TermKind::kVariable: {
+        auto it = vars_.find(term.var);
+        return it == vars_.end() ? TypeClass::kUnknown : it->second.cls;
+      }
+      case TermKind::kBinary: {
+        for (const Term& child : term.children) {
+          TypeClass c = TermClass(child);
+          if (c == TypeClass::kSymbol || c == TypeClass::kBool) {
+            std::string key = child.ToString() + "#arith";
+            if (reported_conflicts_.insert(key).second) {
+              Error("RQ013", "arithmetic over non-numeric operand " +
+                                 child.ToString() + " (" + TypeClassName(c) +
+                                 ") in " + term.ToString());
+            }
+          }
+        }
+        return TypeClass::kNumeric;
+      }
+    }
+    return TypeClass::kUnknown;
+  }
+
+  /// Propagates classes through `v = <expr>` constraints so variables
+  /// defined only by binding equalities still participate in checks.
+  void BindConstraintClasses() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Constraint& c : rule_.constraints) {
+        if (c.op != dlir::CmpOp::kEq) continue;
+        auto try_assign = [&](const Term& target, const Term& source) {
+          if (!target.is_var()) return;
+          auto it = vars_.find(target.var);
+          if (it != vars_.end() && it->second.cls != TypeClass::kUnknown) {
+            return;
+          }
+          // Peek the source class without emitting RQ013 yet (CheckConstraint
+          // will): constants and already-classed vars only.
+          TypeClass src = TypeClass::kUnknown;
+          if (source.is_const()) {
+            src = TypeClassOf(source.constant.type);
+          } else if (source.is_var()) {
+            auto sit = vars_.find(source.var);
+            if (sit != vars_.end()) src = sit->second.cls;
+          } else if (source.kind == TermKind::kBinary) {
+            src = TypeClass::kNumeric;
+          }
+          if (src == TypeClass::kUnknown) return;
+          VarInfo& info = vars_[target.var];
+          if (info.cls == TypeClass::kUnknown) {
+            info.cls = src;
+            info.origin = "constraint " + c.ToString();
+            changed = true;
+          }
+        };
+        try_assign(c.lhs, c.rhs);
+        try_assign(c.rhs, c.lhs);
+      }
+    }
+  }
+
+  void CheckConstraint(const Constraint& c) {
+    TypeClass lhs = TermClass(c.lhs);
+    TypeClass rhs = TermClass(c.rhs);
+    if (lhs != TypeClass::kUnknown && rhs != TypeClass::kUnknown &&
+        lhs != rhs) {
+      Error("RQ012", "comparison " + c.ToString() + " between " +
+                         TypeClassName(lhs) + " and " + TypeClassName(rhs) +
+                         " can never hold");
+    }
+  }
+
+  void CheckAggregate() {
+    if (!rule_.agg.has_value()) return;
+    if (rule_.agg_result_pos < 0 ||
+        rule_.agg_result_pos >= static_cast<int>(rule_.head.args.size())) {
+      Error("RQ005", "aggregate result position " +
+                         std::to_string(rule_.agg_result_pos) +
+                         " out of range for head of arity " +
+                         std::to_string(rule_.head.args.size()));
+      return;
+    }
+    if (rule_.agg->func != dlir::AggFunc::kCount) {
+      TypeClass arg = TermClass(rule_.agg->arg);
+      if (arg == TypeClass::kSymbol || arg == TypeClass::kBool) {
+        Error("RQ014",
+              std::string(dlir::AggFuncToString(rule_.agg->func)) + "(" +
+                  rule_.agg->arg.ToString() + ") aggregates a " +
+                  TypeClassName(arg) +
+                  " value; aggregation is defined over numbers");
+      }
+    }
+    auto it = decls_.find(rule_.head.predicate);
+    if (it != decls_.end() &&
+        it->second->arity() == rule_.head.args.size()) {
+      size_t pos = static_cast<size_t>(rule_.agg_result_pos);
+      TypeClass result = TypeClassOf(it->second->columns[pos].type);
+      if (result == TypeClass::kSymbol || result == TypeClass::kBool) {
+        Error("RQ015",
+              std::string(dlir::AggFuncToString(rule_.agg->func)) +
+                  " result flows into non-numeric " +
+                  ColumnOrigin(*it->second, pos))
+            .AtPredicate(rule_.head.predicate);
+      }
+    }
+  }
+
+  /// Range restriction, faithful to Program::Validate() but reporting every
+  /// unbound variable — and additionally covering aggregate input terms,
+  /// which Validate() never looked at (the engines surface those as a
+  /// runtime Status today).
+  void CheckSafety() {
+    std::set<std::string> bound = rule_.PositiveBodyVars();
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Constraint& c : rule_.constraints) {
+        if (c.op != dlir::CmpOp::kEq) continue;
+        auto try_bind = [&](const Term& target, const Term& source) {
+          if (!target.is_var() || bound.count(target.var) > 0) return;
+          std::set<std::string> src_vars;
+          source.CollectVars(&src_vars);
+          for (const std::string& v : src_vars) {
+            if (bound.count(v) == 0) return;
+          }
+          bound.insert(target.var);
+          changed = true;
+        };
+        try_bind(c.lhs, c.rhs);
+        try_bind(c.rhs, c.lhs);
+      }
+    }
+    if (rule_.agg.has_value() && rule_.agg_result_pos >= 0 &&
+        rule_.agg_result_pos < static_cast<int>(rule_.head.args.size()) &&
+        rule_.head.args[static_cast<size_t>(rule_.agg_result_pos)].is_var()) {
+      bound.insert(
+          rule_.head.args[static_cast<size_t>(rule_.agg_result_pos)].var);
+    }
+    std::set<std::string> required;
+    rule_.head.CollectVars(&required);
+    for (const Atom& atom : rule_.body) {
+      if (atom.negated) atom.CollectVars(&required);
+    }
+    for (const Constraint& c : rule_.constraints) c.CollectVars(&required);
+    if (rule_.agg.has_value()) rule_.agg->arg.CollectVars(&required);
+    for (const std::string& v : required) {
+      if (bound.count(v) == 0) {
+        Error("RQ004", "unsafe rule: variable '" + v +
+                           "' is not bound by any positive body atom");
+      }
+    }
+  }
+
+  const Program& program_;
+  const std::unordered_map<std::string, const RelationDecl*>& decls_;
+  int rule_index_;
+  const Rule& rule_;
+  DiagnosticEngine* diags_;
+  std::map<std::string, VarInfo> vars_;
+  std::set<std::string> reported_conflicts_;
+};
+
+/// Renders the dependency chain head ->* tail (derivation direction) inside
+/// one SCC, for stratification-violation notes. Both predicates share an
+/// SCC, so a path always exists (possibly the trivial one).
+std::vector<std::string> SccPath(const DependencyGraph& graph,
+                                 const std::string& from,
+                                 const std::string& to, int scc) {
+  std::map<std::string, std::string> parent;
+  std::queue<std::string> frontier;
+  frontier.push(from);
+  parent[from] = "";
+  while (!frontier.empty()) {
+    std::string current = frontier.front();
+    frontier.pop();
+    if (current == to && current != from) break;
+    for (const DependencyEdge& e : graph.edges()) {
+      // Derivation direction: `e.from` feeds `e.to`.
+      if (e.from != current) continue;
+      if (graph.SccOf(e.to) != scc) continue;
+      if (parent.count(e.to) > 0) continue;
+      parent[e.to] = current;
+      frontier.push(e.to);
+    }
+  }
+  std::vector<std::string> path;
+  if (from == to) return {from};
+  auto it = parent.find(to);
+  if (it == parent.end()) return {from, to};  // defensive; should not happen
+  for (std::string node = to; !node.empty(); node = parent[node]) {
+    path.insert(path.begin(), node);
+    if (node == from) break;
+  }
+  return path;
+}
+
+void CheckStratification(const Program& program, DiagnosticEngine* diags) {
+  DependencyGraph graph = DependencyGraph::Build(program);
+  for (size_t i = 0; i < program.rules.size(); ++i) {
+    const Rule& rule = program.rules[i];
+    int head_scc = graph.SccOf(rule.head.predicate);
+    bool head_recursive = graph.IsRecursiveScc(head_scc);
+    for (const Atom& atom : rule.body) {
+      if (graph.SccOf(atom.predicate) != head_scc) continue;
+      const bool negation = atom.negated;
+      const bool aggregation = !negation && rule.agg.has_value() &&
+                               head_recursive;
+      if (!negation && !aggregation) continue;
+      Diagnostic& d =
+          diags
+              ->Error("RQ020",
+                      std::string(negation ? "negation of '" : "aggregation over '") +
+                          atom.predicate +
+                          "' inside its own recursive component (the program "
+                          "is not stratifiable)")
+              .AtRule(static_cast<int>(i), rule)
+              .AtPredicate(atom.predicate);
+      // The full cycle: head derives ... derives the offending predicate,
+      // which feeds back into head through the negation/aggregation.
+      std::vector<std::string> path =
+          SccPath(graph, rule.head.predicate, atom.predicate, head_scc);
+      std::string cycle;
+      for (const std::string& node : path) {
+        if (!cycle.empty()) cycle += " -> ";
+        cycle += node;
+      }
+      cycle += negation ? " --(negated)--> " : " --(aggregated)--> ";
+      cycle += rule.head.predicate;
+      d.Note((negation ? "negation cycle: " : "aggregation cycle: ") + cycle);
+    }
+  }
+}
+
+}  // namespace
+
+void CheckProgram(const Program& program, DiagnosticEngine* diags) {
+  std::unordered_map<std::string, const RelationDecl*> by_name;
+  for (const RelationDecl& decl : program.decls) {
+    if (!by_name.emplace(decl.name, &decl).second) {
+      diags->Error("RQ001", "duplicate declaration of relation '" + decl.name +
+                                "'")
+          .AtPredicate(decl.name);
+    }
+  }
+  for (const RelationDecl& decl : program.decls) {
+    if (decl.lattice == dlir::LatticeKind::kNone) continue;
+    const char* kind = decl.lattice == dlir::LatticeKind::kMin ? "@min" : "@max";
+    if (decl.columns.empty()) {
+      diags->Error("RQ006", std::string("lattice relation '") + decl.name +
+                                "' has no columns to merge " + kind + " over")
+          .AtPredicate(decl.name);
+      continue;
+    }
+    TypeClass last = TypeClassOf(decl.columns.back().type);
+    if (last != TypeClass::kNumeric && last != TypeClass::kUnknown) {
+      diags->Error("RQ006",
+                   std::string("lattice relation '") + decl.name + "' merges " +
+                       kind + " over its last column '" +
+                       decl.columns.back().name + "', which is " +
+                       TypeClassName(last) + " (must be numeric)")
+          .AtPredicate(decl.name);
+    }
+  }
+  for (size_t i = 0; i < program.rules.size(); ++i) {
+    RuleChecker(program, by_name, static_cast<int>(i), program.rules[i], diags)
+        .Check();
+  }
+  CheckStratification(program, diags);
+}
+
+Status VerifyProgram(const Program& program, const std::string& context) {
+  DiagnosticEngine diags;
+  CheckProgram(program, &diags);
+  return diags.ToStatus(context);
+}
+
+bool VerifyByDefault() {
+  static const bool value = [] {
+    if (const char* env = std::getenv("RAQLET_VERIFY_PASSES");
+        env != nullptr && env[0] != '\0') {
+      return env[0] != '0';
+    }
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
+  }();
+  return value;
+}
+
+}  // namespace raqlet::analysis

@@ -1,0 +1,69 @@
+#ifndef RAQLET_ANALYSIS_TYPECHECK_H_
+#define RAQLET_ANALYSIS_TYPECHECK_H_
+
+// DLIR static checking: the MLIR-style verifier every optimizer pass
+// boundary and every frontend lowering is held to.
+//
+// CheckProgram accumulates *errors* — structural violations (the checks
+// Program::Validate() performs, re-reported with stable codes and without
+// first-error-wins), type errors (a type checker that infers each
+// variable's type class from the columns, literals, constraints and
+// arithmetic it flows through), and stratification violations reported
+// with the full negation cycle. Programs that pass CheckProgram execute on
+// the engines without tripping the runtime Status paths that used to be
+// the only line of defence (or worse, producing NaN-boxed garbage from a
+// symbol fed into arithmetic).
+//
+// Error codes reported here (catalogue: docs/diagnostics.md):
+//   RQ001 duplicate relation declaration
+//   RQ002 undeclared predicate
+//   RQ003 arity mismatch
+//   RQ004 unsafe rule (unbound variable, incl. aggregate inputs)
+//   RQ005 invalid aggregate result position
+//   RQ006 lattice declaration with non-numeric @min/@max column
+//   RQ010 variable used at conflicting column types (kind-mismatch join)
+//   RQ011 constant/column type mismatch
+//   RQ012 comparison between incompatible types
+//   RQ013 arithmetic over a non-numeric operand or column
+//   RQ014 non-numeric aggregate input
+//   RQ015 non-numeric aggregate result column
+//   RQ020 stratification violation (with the negation/aggregation cycle)
+
+#include <string>
+
+#include "analysis/diagnostics.h"
+#include "common/status.h"
+#include "dlir/program.h"
+
+namespace raqlet::analysis {
+
+/// Type classes the checker reasons in. Numbers and floats share one class
+/// (the engines promote between them in arithmetic and comparisons);
+/// symbols and booleans are each their own class; kNull columns and
+/// never-constrained variables stay unknown and unify with anything.
+enum class TypeClass { kUnknown, kNumeric, kSymbol, kBool };
+
+const char* TypeClassName(TypeClass c);
+TypeClass TypeClassOf(ValueType type);
+
+/// Runs every structural, type, and stratification check over `program`,
+/// accumulating all findings (never stopping at the first) into `diags`.
+void CheckProgram(const dlir::Program& program, DiagnosticEngine* diags);
+
+/// CheckProgram folded to a Status: OK when error-free, otherwise an
+/// InvalidArgument carrying the full rendered diagnostic list (prefixed
+/// with `context` when non-empty). This is the pass-boundary verifier.
+Status VerifyProgram(const dlir::Program& program,
+                     const std::string& context = "");
+
+/// Whether implicit verification (after every optimizer pass, and before
+/// engine execution through the Compiler facade) is on by default: true in
+/// debug/sanitizer builds (NDEBUG unset), false in release, overridable
+/// either way with the environment variable RAQLET_VERIFY_PASSES=1|0.
+/// Explicit verification (raqlet_cli --check, opt::OptOptions) ignores
+/// this default.
+bool VerifyByDefault();
+
+}  // namespace raqlet::analysis
+
+#endif  // RAQLET_ANALYSIS_TYPECHECK_H_

@@ -182,7 +182,10 @@ struct Program {
   /// Structural well-formedness: every used predicate is declared with
   /// matching arity, rules are range-restricted (safe), aggregate specs
   /// are consistent, and negation/aggregation do not target undeclared
-  /// relations. Returns the first violation found.
+  /// relations. Returns the first violation found. The engines call this
+  /// per run; for all findings at once (plus type and stratification
+  /// checks, with stable diagnostic codes) use analysis::CheckProgram /
+  /// analysis::VerifyProgram in analysis/typecheck.h.
   Status Validate() const;
 
   /// Whole program in Datalog-like text (see also SoufflePrinter for the

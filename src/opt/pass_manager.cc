@@ -1,9 +1,12 @@
 #include "opt/pass_manager.h"
 
+#include "analysis/typecheck.h"
 #include "opt/magic_sets.h"
 #include "opt/passes.h"
 
 namespace raqlet::opt {
+
+OptOptions::OptOptions() : verify_each_pass(analysis::VerifyByDefault()) {}
 
 const std::vector<PassInfo>& AllPasses() {
   static const std::vector<PassInfo>& passes = *new std::vector<PassInfo>{
@@ -39,10 +42,20 @@ void PassManager::AddFn(std::string name, PassFn fn) {
   pipeline_.push_back(PassInfo{std::move(name), "", std::move(fn)});
 }
 
-Result<dlir::Program> PassManager::Run(const dlir::Program& program) const {
+Result<dlir::Program> PassManager::Run(const dlir::Program& program,
+                                       const OptOptions& options) const {
   dlir::Program current = program;
   for (const PassInfo& pass : pipeline_) {
     RAQLET_ASSIGN_OR_RETURN(current, pass.fn(current));
+    if (options.verify_each_pass) {
+      Status verified = analysis::VerifyProgram(
+          current, "pass '" + pass.name + "' produced invalid DLIR");
+      if (!verified.ok()) {
+        // Internal, not InvalidArgument: the input was fine — the pass is
+        // the component at fault.
+        return Status::Internal(verified.message());
+      }
+    }
   }
   return current;
 }

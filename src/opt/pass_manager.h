@@ -22,6 +22,21 @@ struct PassInfo {
   PassFn fn;
 };
 
+/// Pipeline-level options. The MLIR-style discipline: verify the program
+/// after every pass so a malformed rewrite is caught at the boundary of
+/// the pass that produced it, not rounds later inside an engine (PR 1's
+/// magic-sets use-after-free shipped malformed output straight into the
+/// engines). Verification runs the full static analyzer
+/// (analysis::VerifyProgram): structure, types, stratification.
+struct OptOptions {
+  /// Defaults on in debug/sanitizer builds, off in release; either way is
+  /// overridable with RAQLET_VERIFY_PASSES=1|0 (see
+  /// analysis::VerifyByDefault). Set explicitly to force one behavior.
+  bool verify_each_pass;
+
+  OptOptions();
+};
+
 /// All registered passes, in a sensible default order.
 const std::vector<PassInfo>& AllPasses();
 
@@ -37,8 +52,12 @@ class PassManager {
   Status Add(const std::string& name);
   void AddFn(std::string name, PassFn fn);
 
-  /// Runs the pipeline left to right.
-  Result<dlir::Program> Run(const dlir::Program& program) const;
+  /// Runs the pipeline left to right. With options.verify_each_pass, the
+  /// output of every pass is verified (analysis::VerifyProgram); a pass
+  /// producing invalid DLIR fails the pipeline with an Internal status
+  /// naming the pass and carrying the full diagnostic rendering.
+  Result<dlir::Program> Run(const dlir::Program& program,
+                            const OptOptions& options = {}) const;
 
   std::vector<std::string> PassNames() const;
 

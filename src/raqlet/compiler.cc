@@ -1,5 +1,6 @@
 #include "raqlet/compiler.h"
 
+#include "analysis/typecheck.h"
 #include "obs/trace.h"
 
 #include "cypher/parser.h"
@@ -138,8 +139,18 @@ Result<CompiledQuery> Compiler::CompileCypher(
 
 Result<dlir::Program> Compiler::CompileDatalog(const std::string& text) const {
   RAQLET_ASSIGN_OR_RETURN(dlir::Program program, dlir::ParseProgram(text));
-  RAQLET_RETURN_IF_ERROR(program.Validate());
+  // Full static analysis instead of the first-violation Validate(): one
+  // compile reports every structural/type/stratification error.
+  RAQLET_RETURN_IF_ERROR(analysis::VerifyProgram(program));
   return program;
+}
+
+Result<dlir::Program> Compiler::ParseDatalog(const std::string& text) const {
+  return dlir::ParseProgram(text);
+}
+
+Status Compiler::Check(const dlir::Program& program) const {
+  return analysis::VerifyProgram(program);
 }
 
 Result<dlir::Program> Compiler::Optimize(const dlir::Program& program,
@@ -230,6 +241,10 @@ bool RecordGuardTrip(const Status& status, const runtime::QueryGuard* guard,
 Result<engine::ResultTable> Compiler::RunOnDatalog(
     const dlir::Program& program, Database* db, engine::EvalStats* stats,
     const engine::EvalOptions& options, obs::QueryMetrics* metrics) const {
+  // Check-before-execute: in debug/sanitizer builds (or with
+  // RAQLET_VERIFY_PASSES=1) every program entering an engine has passed
+  // the static analyzer. Release keeps the hot path free of it.
+  if (analysis::VerifyByDefault()) RAQLET_RETURN_IF_ERROR(Check(program));
   const engine::DatalogEngine& eng = DatalogEngineFor(options);
   {
     obs::PhaseTimer timer(metrics, "execute-datalog");
@@ -275,6 +290,9 @@ Result<engine::ResultTable> Compiler::RunOnSql(
     const dlir::Program& program, Database* db, engine::SqlMode mode,
     engine::SqlStats* stats, int num_threads, obs::QueryMetrics* metrics,
     const runtime::QueryGuard* guard) const {
+  // Same check-before-execute contract as RunOnDatalog (RunOnGraph takes
+  // PGIR, which never passes through DLIR verification).
+  if (analysis::VerifyByDefault()) RAQLET_RETURN_IF_ERROR(Check(program));
   RAQLET_ASSIGN_OR_RETURN(sqir::SqirProgram sqir_program,
                           sqir::TranslateToSqir(program));
   engine::SqlOptions options;

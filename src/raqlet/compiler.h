@@ -93,8 +93,21 @@ class Compiler {
   Result<CompiledQuery> CompileSqlPgq(const std::string& query,
                                       const CompileOptions& options = {}) const;
 
-  /// Datalog frontend: parse Soufflé-dialect text into DLIR.
+  /// Datalog frontend: parse Soufflé-dialect text into DLIR and verify it
+  /// (static analyzer; all errors reported, not just the first).
   Result<dlir::Program> CompileDatalog(const std::string& text) const;
+
+  /// Parse only, no verification — for tools that want to run the
+  /// analyzer themselves and render the diagnostics (raqlet_cli --check).
+  Result<dlir::Program> ParseDatalog(const std::string& text) const;
+
+  /// The static analyzer as a Status: OK when the program has no
+  /// structural/type/stratification errors, otherwise InvalidArgument
+  /// carrying every diagnostic (see src/analysis/typecheck.h). Run* entry
+  /// points call this before executing when analysis::VerifyByDefault()
+  /// is on (debug/sanitizer builds or RAQLET_VERIFY_PASSES=1), keeping
+  /// release hot paths unchanged.
+  Status Check(const dlir::Program& program) const;
 
   /// Applies the optimization pipeline for `opt_level` to a program.
   Result<dlir::Program> Optimize(const dlir::Program& program,

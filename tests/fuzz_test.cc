@@ -8,8 +8,12 @@
 
 #include <random>
 
+#include "analysis/diagnostics.h"
+#include "analysis/lints.h"
+#include "analysis/typecheck.h"
 #include "cypher/parser.h"
 #include "dlir/parser.h"
+#include "opt/pass_manager.h"
 #include "raqlet/compiler.h"
 #include "runtime/query_guard.h"
 #include "schema/pg_schema.h"
@@ -99,6 +103,149 @@ TEST_P(ParserFuzzTest, MutatedValidInputsNeverCrash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Static analyzer as a fuzz oracle
+// ---------------------------------------------------------------------------
+
+/// Random syntactically-well-formed DLIR, built directly on the AST so the
+/// fuzzer reaches shapes the parser would reject or never emit (negative
+/// agg positions, empty-column decls, lattice on anything, duplicate
+/// names, unbound everything). The analyzer must return diagnostics on all
+/// of them — never crash.
+dlir::Program RandomProgram(std::mt19937* rng) {
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_int_distribution<int> small(0, 3);
+  std::uniform_int_distribution<int> type_pick(0, 2);
+  const ValueType kTypes[] = {ValueType::kNumber, ValueType::kSymbol,
+                              ValueType::kBool};
+  const char* const kNames[] = {"p", "q", "r", "s"};
+
+  dlir::Program program;
+  int num_decls = 1 + small(*rng);
+  for (int i = 0; i < num_decls; ++i) {
+    dlir::RelationDecl decl;
+    decl.name = kNames[i % 4];  // collisions on purpose (RQ001 territory)
+    int arity = small(*rng);    // zero-arity decls included
+    for (int c = 0; c < arity; ++c) {
+      decl.columns.push_back(
+          {"c" + std::to_string(c), kTypes[type_pick(*rng)]});
+    }
+    decl.is_input = coin(*rng) == 1;
+    decl.is_output = coin(*rng) == 1;
+    if (small(*rng) == 0) {
+      decl.lattice = coin(*rng) == 1 ? dlir::LatticeKind::kMin
+                                     : dlir::LatticeKind::kMax;
+    }
+    program.decls.push_back(std::move(decl));
+  }
+
+  auto random_term = [&]() -> dlir::Term {
+    switch (small(*rng)) {
+      case 0:
+        return dlir::Term::Var(std::string(1, static_cast<char>(
+                                                  'x' + small(*rng))));
+      case 1:
+        return dlir::Term::Num(small(*rng));
+      case 2:
+        return dlir::Term::Str("s");
+      default:
+        return dlir::Term::Wildcard();
+    }
+  };
+  auto random_atom = [&]() {
+    dlir::Atom atom;
+    atom.predicate = kNames[small(*rng) % 4];
+    int arity = small(*rng);
+    for (int a = 0; a < arity; ++a) atom.args.push_back(random_term());
+    atom.negated = small(*rng) == 0;
+    return atom;
+  };
+
+  int num_rules = small(*rng);
+  for (int i = 0; i < num_rules; ++i) {
+    dlir::Rule rule;
+    rule.head = random_atom();
+    rule.head.negated = false;
+    int body = small(*rng);
+    for (int b = 0; b < body; ++b) rule.body.push_back(random_atom());
+    if (small(*rng) == 0) {
+      dlir::Constraint c;
+      c.op = static_cast<dlir::CmpOp>(small(*rng) % 6);
+      c.lhs = random_term();
+      c.rhs = small(*rng) == 0
+                  ? dlir::Term::Binary(dlir::ArithOp::kAdd, random_term(),
+                                       random_term())
+                  : random_term();
+      rule.constraints.push_back(std::move(c));
+    }
+    if (small(*rng) == 0) {
+      dlir::Aggregate agg;
+      agg.func = static_cast<dlir::AggFunc>(small(*rng) % 5);
+      agg.arg = random_term();
+      rule.agg = agg;
+      rule.agg_result_pos = small(*rng) - 1;  // -1..2, often out of range
+    }
+    program.rules.push_back(std::move(rule));
+  }
+  return program;
+}
+
+class AnalyzerFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnalyzerFuzzTest, AnalyzerNeverCrashesOnParsedGarbage) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 211 + 3);
+  for (int i = 0; i < 50; ++i) {
+    auto program = dlir::ParseProgram(RandomTokenSoup(&rng, 2 + i % 40));
+    if (!program.ok()) continue;
+    analysis::DiagnosticEngine diags;
+    analysis::CheckProgram(*program, &diags);
+    analysis::LintProgram(*program, &diags);
+    (void)diags.Render();
+  }
+  SUCCEED();
+}
+
+TEST_P(AnalyzerFuzzTest, AnalyzerSubsumesValidateOnRandomPrograms) {
+  // The analyzer is the verifier the optimizer trusts, so it must be at
+  // least as strict as Program::Validate(): anything it calls clean has to
+  // execute past the engines' own validation. And on the wild shapes the
+  // generator emits, analysis + lints must never crash.
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 157 + 11);
+  for (int i = 0; i < 200; ++i) {
+    dlir::Program program = RandomProgram(&rng);
+    analysis::DiagnosticEngine diags;
+    analysis::CheckProgram(program, &diags);
+    analysis::LintProgram(program, &diags);
+    if (!diags.has_errors()) {
+      EXPECT_TRUE(program.Validate().ok())
+          << "analyzer passed a program Validate() rejects:\n"
+          << program.ToString() << "\n"
+          << program.Validate().ToString();
+    }
+  }
+}
+
+TEST_P(AnalyzerFuzzTest, VerifiedProgramsSurvivePipelinesWithVerifyOn) {
+  // Programs the verifier accepts must stay verified through every real
+  // pass pipeline — an Internal status here means a pass (or the verifier)
+  // is wrong, and is exactly what the pass-boundary check exists to catch.
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 89 + 41);
+  opt::OptOptions verify_on;
+  verify_on.verify_each_pass = true;
+  for (int i = 0; i < 100; ++i) {
+    dlir::Program program = RandomProgram(&rng);
+    if (!analysis::VerifyProgram(program).ok()) continue;
+    auto out = opt::PassManager::Aggressive().Run(program, verify_on);
+    if (!out.ok()) {
+      EXPECT_NE(out.status().code(), StatusCode::kInternal)
+          << out.status().ToString() << "\nseed program:\n"
+          << program.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalyzerFuzzTest, ::testing::Range(0, 8));
 
 // Guard-armed execution soak: random tiny budgets and deadlines against
 // real queries on every engine. Whatever the guard does, the engine must

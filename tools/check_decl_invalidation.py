@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""Flags Program::FindDecl() pointers held across container mutation.
+
+Program::FindDecl() returns a pointer into Program::decls; push_back on
+decls (or rules, whose rewrites often reallocate decls alongside) can
+reallocate the vector and leave the pointer dangling. PR 1's magic-sets
+pass shipped exactly this bug: it captured a decl pointer, appended magic
+decls, then read the stale pointer. ASan catches it only when the vector
+actually reallocates, which small test programs rarely force — so this
+checker flags the *pattern*, not the crash.
+
+The heuristic, per function body (brace-matched, namespaces/classes are
+transparent):
+
+  1. a pointer capture of a FindDecl result:  `x = <obj>.FindDecl(...)`
+     (value copies `x = *<obj>.FindDecl(...)` are fine and ignored);
+  2. followed by a mutation of `<obj>.decls` or `<obj>.rules`
+     (push_back/emplace_back/insert/erase/clear/resize/pop_back/assign
+     or whole-container assignment);
+  3. followed by any later use of `x`.
+
+All three in order within one function is a finding. Re-looking up after
+the mutation, or copying the decl by value, silences it.
+
+Usage:
+  tools/check_decl_invalidation.py [path ...]   # default: src
+  tools/check_decl_invalidation.py --self-test
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CAPTURE_RE = re.compile(
+    r"""(?:^|[\s(])                 # start of statement-ish context
+        (?:const\s+)?(?:\w+::)*\w+\s*\*\s*(?P<var>\w+)\s*=\s*  # T* var =
+        (?P<obj>\w+)(?:\.|->)FindDecl\s*\(
+      | (?:^|[\s(])auto\s*\*?\s*(?P<avar>\w+)\s*=\s*
+        (?P<aobj>\w+)(?:\.|->)FindDecl\s*\(
+    """,
+    re.VERBOSE,
+)
+# `x = *p.FindDecl(...)` dereferences immediately into a value copy.
+VALUE_COPY_RE = re.compile(r"=\s*\*\s*\w+(?:\.|->)FindDecl\s*\(")
+
+MUTATORS = (
+    "push_back|emplace_back|insert|erase|clear|resize|pop_back|assign"
+)
+MUTATION_RE = re.compile(
+    r"(?P<obj>\w+)(?:\.|->)(?:decls|rules)\s*"
+    rf"(?:(?:\.|->)(?:{MUTATORS})\s*\(|=[^=])"
+)
+
+SCOPE_OPENER_RE = re.compile(r"^\s*(namespace|class|struct|enum|union)\b")
+
+
+def strip_noise(line):
+    """Removes line comments and string literals (crudely, good enough)."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"//.*", "", line)
+    return line
+
+
+def check_lines(lines, filename):
+    """Returns findings as (line_number, message) tuples."""
+    findings = []
+    # Stack entry per open brace: True when the brace belongs to a
+    # transparent scope (namespace/class/...) rather than a function body.
+    brace_stack = []
+    # Live captures: var -> (obj, capture_line, depth, mutated_at).
+    captures = {}
+    in_block_comment = False
+
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block_comment = True
+                break
+            line = line[:start] + line[end + 2:]
+        line = strip_noise(line)
+
+        transparent = bool(SCOPE_OPENER_RE.match(line))
+
+        for match in CAPTURE_RE.finditer(line):
+            if VALUE_COPY_RE.search(line):
+                continue
+            var = match.group("var") or match.group("avar")
+            obj = match.group("obj") or match.group("aobj")
+            captures[var] = {
+                "obj": obj,
+                "line": lineno,
+                "depth": len(brace_stack),
+                "mutated_at": None,
+            }
+
+        for match in MUTATION_RE.finditer(line):
+            obj = match.group("obj")
+            for var, info in captures.items():
+                if info["obj"] == obj and info["mutated_at"] is None:
+                    # The capturing statement itself (e.g. decls.push_back
+                    # on another object) cannot invalidate retroactively.
+                    if info["line"] != lineno:
+                        info["mutated_at"] = lineno
+
+        for var, info in list(captures.items()):
+            if info["mutated_at"] is None or info["mutated_at"] == lineno:
+                continue
+            if re.search(rf"\b{re.escape(var)}\b", line):
+                findings.append((
+                    lineno,
+                    f"'{var}' holds a FindDecl() pointer into "
+                    f"'{info['obj']}' (line {info['line']}) that line "
+                    f"{info['mutated_at']} may have invalidated "
+                    f"(decls/rules mutation); copy the decl by value or "
+                    f"re-look it up after mutating",
+                ))
+                del captures[var]
+
+        # Brace tracking last: captures die with their function scope.
+        for ch in line:
+            if ch == "{":
+                brace_stack.append(transparent)
+                transparent = False
+            elif ch == "}":
+                if brace_stack:
+                    brace_stack.pop()
+                depth = len(brace_stack)
+                captures = {
+                    v: i for v, i in captures.items() if i["depth"] <= depth
+                }
+
+    return [(filename, n, msg) for n, msg in findings]
+
+
+def check_file(path):
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        print(f"warning: cannot read {path}: {err}", file=sys.stderr)
+        return []
+    return check_lines(text.splitlines(), str(path))
+
+
+BAD_FIXTURE = """\
+void Bad(Program& program) {
+  const RelationDecl* decl = program.FindDecl("edge");
+  program.decls.push_back(MagicDecl());
+  Use(decl->name);
+}
+"""
+
+GOOD_FIXTURES = """\
+void GoodValueCopy(Program& program) {
+  RelationDecl decl = *program.FindDecl("edge");
+  program.decls.push_back(MagicDecl());
+  Use(decl.name);
+}
+
+void GoodRelookup(Program& program) {
+  program.decls.push_back(MagicDecl());
+  const RelationDecl* decl = program.FindDecl("edge");
+  Use(decl->name);
+}
+
+void GoodUseBeforeMutation(Program& program) {
+  const RelationDecl* decl = program.FindDecl("edge");
+  Use(decl->name);
+  program.decls.push_back(MagicDecl());
+}
+
+void GoodOtherObject(Program& program, Program& other) {
+  const RelationDecl* decl = program.FindDecl("edge");
+  other.decls.push_back(MagicDecl());
+  Use(decl->name);
+}
+
+void GoodScopeReset(Program& program) {
+  {
+    const RelationDecl* decl = program.FindDecl("edge");
+    Use(decl->name);
+  }
+  program.decls.push_back(MagicDecl());
+}
+
+void UnrelatedDecl(Program& program) {
+  const RelationDecl* decl = program.FindDecl("edge");
+  // A comment mentioning program.decls.push_back( must not count.
+  Use(decl->name);
+}
+"""
+
+
+def self_test():
+    bad = check_lines(BAD_FIXTURE.splitlines(), "<bad-fixture>")
+    good = check_lines(GOOD_FIXTURES.splitlines(), "<good-fixtures>")
+    ok = True
+    if len(bad) != 1:
+        print(f"self-test FAILED: bad fixture produced {len(bad)} "
+              f"finding(s), expected 1: {bad}", file=sys.stderr)
+        ok = False
+    if good:
+        print(f"self-test FAILED: good fixtures produced findings: {good}",
+              file=sys.stderr)
+        ok = False
+    if ok:
+        print("self-test passed: 1 finding on the bad fixture, "
+              "0 on the good fixtures")
+    return 0 if ok else 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to scan (default: src)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in fixtures and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    files = []
+    for p in args.paths or ["src"]:
+        path = Path(p)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.cc")))
+            files.extend(sorted(path.rglob("*.h")))
+            files.extend(sorted(path.rglob("*.cpp")))
+        else:
+            files.append(path)
+
+    findings = []
+    for f in files:
+        findings.extend(check_file(f))
+
+    for filename, lineno, msg in findings:
+        print(f"{filename}:{lineno}: {msg}")
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} file(s): no FindDecl pointers held "
+          f"across decls/rules mutation")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
