@@ -6,6 +6,8 @@
 //   raqlet_cli --schema schema.pgs --query q.cypher --emit pgir|dlir|report
 //   raqlet_cli --schema schema.pgs --query q.cypher --run datalog \
 //              --facts data_dir            # <relation>.facts files (TSV)
+//   raqlet_cli --query q.dl --frontend datalog --run datalog \
+//              --apply-delta deltas.txt    # incremental view maintenance
 //   raqlet_cli --demo                      # built-in schema + query
 //
 // Options: --frontend cypher|gql|datalog, --opt 0|1|2,
@@ -18,6 +20,7 @@
 // Exit codes: 0 success, 2 usage, and one distinct code per failure kind
 // (see ExitCodeFor) so scripts can tell a parse error from a budget trip.
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -44,6 +47,7 @@ struct CliOptions {
   std::string emit;  // pgir | dlir | optimized | datalog | sql | report
   std::string run;   // datalog | sql | sql-tuple | graph
   std::string facts_dir;
+  std::string delta_path;  // --apply-delta FILE: +/− base facts
   std::string trace_path;  // --trace=FILE: Chrome trace-event JSON
   int opt_level = 1;
   int threads = 1;
@@ -65,7 +69,7 @@ int Usage() {
       "                  [--emit pgir|dlir|optimized|datalog|sql|report|plan]\n"
       "                  [--run datalog|sql|sql-tuple|graph|graph-rows]\n"
       "                  [--check|--lint] [--werror]\n"
-      "                  [--facts DIR]\n"
+      "                  [--facts DIR] [--apply-delta FILE]\n"
       "                  [--threads N] [--param name=value]...\n"
       "                  [--timeout-ms N] [--max-rows N] [--max-bytes N]\n"
       "                  [--explain-analyze] [--trace=FILE]\n"
@@ -77,6 +81,11 @@ int Usage() {
       "  --lint             --check plus semantic lints (unused relations,\n"
       "                     cartesian joins, constant constraints, ...)\n"
       "  --werror           with --check/--lint: warnings also exit 3\n"
+      "  --apply-delta FILE with --run datalog: evaluate once, then stream\n"
+      "                     the +/− base-fact lines of FILE through the\n"
+      "                     incremental maintainer instead of re-running.\n"
+      "                     Lines: +edge(1, 2) adds, -edge(1, 2) removes,\n"
+      "                     # comments; a line of --- starts a new batch\n"
       "  --explain-analyze  run the query (default engine: datalog) and\n"
       "                     print the plan annotated with runtime counters\n"
       "  --timeout-ms N     abort execution after N ms wall clock\n"
@@ -138,6 +147,115 @@ int Fail(const raqlet::Status& status) {
   return ExitCodeFor(status.code());
 }
 
+// Parses the --apply-delta text format: one fact per line, "+pred(1, 2)"
+// adds and "-pred(1, 2)" removes; '#' starts a comment; a line of "---"
+// closes the current batch and starts the next. Values are integers,
+// floats, "quoted" symbols, or true/false.
+raqlet::Result<std::vector<raqlet::DeltaBatch>> ParseDeltaFile(
+    const std::string& text, raqlet::Database* db) {
+  using raqlet::Status;
+  using raqlet::Value;
+  std::vector<raqlet::DeltaBatch> batches(1);
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    size_t finish = line.find_last_not_of(" \t\r");
+    line = line.substr(begin, finish - begin + 1);
+    if (line == "---") {
+      if (!batches.back().relations.empty()) batches.emplace_back();
+      continue;
+    }
+    auto fail = [&](const std::string& what) {
+      return Status::ParseError("delta line " + std::to_string(line_no) +
+                                ": " + what);
+    };
+    if (line[0] != '+' && line[0] != '-') {
+      return fail("expected '+' or '-', got '" + line + "'");
+    }
+    const bool is_add = line[0] == '+';
+    size_t paren = line.find('(');
+    if (paren == std::string::npos || line.back() != ')') {
+      return fail("expected pred(value, ...)");
+    }
+    std::string pred = line.substr(1, paren - 1);
+    size_t pend = pred.find_last_not_of(" \t");
+    if (pend == std::string::npos) return fail("missing predicate name");
+    pred.erase(pend + 1);
+
+    raqlet::Tuple tuple;
+    std::string args = line.substr(paren + 1, line.size() - paren - 2);
+    size_t pos = 0;
+    while (true) {
+      while (pos < args.size() && (args[pos] == ' ' || args[pos] == '\t')) {
+        ++pos;
+      }
+      if (pos >= args.size()) break;
+      if (args[pos] == '"') {
+        size_t close = args.find('"', pos + 1);
+        if (close == std::string::npos) return fail("unterminated string");
+        tuple.push_back(Value::Symbol(
+            db->symbols().Intern(args.substr(pos + 1, close - pos - 1))));
+        pos = close + 1;
+      } else {
+        size_t comma = args.find(',', pos);
+        std::string token = args.substr(
+            pos, (comma == std::string::npos ? args.size() : comma) - pos);
+        size_t tend = token.find_last_not_of(" \t");
+        if (tend == std::string::npos) return fail("empty value");
+        token.erase(tend + 1);
+        pos += token.size();
+        if (token == "true" || token == "false") {
+          tuple.push_back(Value::Bool(token == "true"));
+        } else if (token.find('.') != std::string::npos) {
+          char* end = nullptr;
+          double d = std::strtod(token.c_str(), &end);
+          if (end != token.c_str() + token.size()) {
+            return fail("bad float '" + token + "'");
+          }
+          tuple.push_back(Value::Float(d));
+        } else {
+          char* end = nullptr;
+          long long n = std::strtoll(token.c_str(), &end, 10);
+          if (end != token.c_str() + token.size()) {
+            return fail("bad value '" + token + "'");
+          }
+          tuple.push_back(Value::Number(n));
+        }
+      }
+      while (pos < args.size() && (args[pos] == ' ' || args[pos] == '\t')) {
+        ++pos;
+      }
+      if (pos < args.size()) {
+        if (args[pos] != ',') return fail("expected ','");
+        ++pos;
+      }
+    }
+
+    raqlet::RelationDelta* rd = nullptr;
+    for (raqlet::RelationDelta& existing : batches.back().relations) {
+      if (existing.relation == pred) {
+        rd = &existing;
+        break;
+      }
+    }
+    if (rd == nullptr) {
+      batches.back().relations.push_back({pred, {}, {}});
+      rd = &batches.back().relations.back();
+    }
+    (is_add ? rd->adds : rd->removes).push_back(std::move(tuple));
+  }
+  if (batches.back().relations.empty() && batches.size() > 1) {
+    batches.pop_back();
+  }
+  return batches;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -171,6 +289,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       options.facts_dir = v;
+    } else if (arg == "--apply-delta") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.delta_path = v;
     } else if (arg == "--opt") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -351,7 +473,27 @@ int main(int argc, char** argv) {
 
   if (!options.run.empty()) {
     raqlet::Database db;
-    if (auto st = compiler.CreateEdbs(&db); !st.ok()) return Fail(st);
+    std::vector<std::string> edb_names;
+    if (options.frontend == "datalog") {
+      // Pure-Datalog runs carry no property-graph schema; the program's
+      // own .input declarations define the base relations.
+      for (const auto& decl : program.decls) {
+        if (!decl.is_input) continue;
+        raqlet::RelationSchema schema;
+        schema.name = decl.name;
+        schema.columns = decl.columns;
+        schema.primary_key = decl.primary_key;
+        if (auto rel = db.CreateRelation(std::move(schema)); !rel.ok()) {
+          return Fail(rel.status());
+        }
+        edb_names.push_back(decl.name);
+      }
+    } else {
+      if (auto st = compiler.CreateEdbs(&db); !st.ok()) return Fail(st);
+      for (const auto& decl : compiler.dl_schema().edbs) {
+        edb_names.push_back(decl.name);
+      }
+    }
     if (options.demo) {
       raqlet::ldbc::GeneratorOptions gen;
       gen.scale_factor = 0.1;
@@ -359,10 +501,10 @@ int main(int argc, char** argv) {
         return Fail(st);
       }
     } else if (!options.facts_dir.empty()) {
-      for (const auto& decl : compiler.dl_schema().edbs) {
-        auto rel = db.GetRelation(decl.name);
+      for (const std::string& name : edb_names) {
+        auto rel = db.GetRelation(name);
         if (!rel.ok()) continue;
-        std::string path = options.facts_dir + "/" + decl.name + ".facts";
+        std::string path = options.facts_dir + "/" + name + ".facts";
         std::ifstream probe(path);
         if (!probe) continue;  // facts files are optional per relation
         if (auto st = raqlet::LoadDelimitedFile(&db, *rel, path); !st.ok()) {
@@ -384,7 +526,43 @@ int main(int argc, char** argv) {
 
     raqlet::Result<raqlet::engine::ResultTable> result =
         raqlet::Status::Internal("unset");
-    if (options.run == "datalog") {
+    if (options.run == "datalog" && !options.delta_path.empty()) {
+      // Incremental view maintenance: full evaluation once, then each
+      // batch from the delta file flows through counting/DRed instead of
+      // a from-scratch re-run.
+      auto text = ReadFile(options.delta_path);
+      if (!text.ok()) return Fail(text.status());
+      auto batches = ParseDeltaFile(*text, &db);
+      if (!batches.ok()) return Fail(batches.status());
+      raqlet::engine::IncrementalOptions inc_options;
+      inc_options.num_threads = options.threads;
+      auto view =
+          compiler.BeginIncremental(program, &db, inc_options, qm, &guard);
+      if (!view.ok()) return Fail(view.status());
+      for (size_t i = 0; i < batches->size(); ++i) {
+        auto applied =
+            compiler.ApplyDelta(view->get(), (*batches)[i], qm, &guard);
+        if (!applied.ok()) return Fail(applied.status());
+        std::cout << "-- delta batch " << (i + 1) << " --\n";
+        for (const auto& rel : applied->relations) {
+          std::cout << rel.relation << ": +" << rel.added.size() << " -"
+                    << rel.removed.size() << "\n";
+        }
+      }
+      std::vector<std::string> outputs = program.OutputRelations();
+      if (outputs.size() != 1) {
+        return Fail(raqlet::Status::InvalidArgument(
+            "expected exactly one output relation"));
+      }
+      auto rel = db.GetRelation(outputs[0]);
+      if (!rel.ok()) return Fail(rel.status());
+      raqlet::engine::ResultTable table;
+      for (const raqlet::Column& col : (*rel)->schema().columns) {
+        table.columns.push_back(col.name);
+      }
+      table.rows = (*rel)->MaterializeRows();
+      result = std::move(table);
+    } else if (options.run == "datalog") {
       raqlet::engine::EvalOptions eval_options;
       eval_options.num_threads = options.threads;
       eval_options.guard = &guard;

@@ -87,6 +87,21 @@ std::string QueryMetrics::ToString() const {
        << " misses=" << graph.closure_cache_misses
        << " frontier_peak=" << graph.frontier_peak << "\n";
   }
+  if (!incremental.empty()) {
+    os << "incremental:\n";
+    os << "  base: added=" << incremental.base_added
+       << " removed=" << incremental.base_removed << "\n";
+    os << "  sccs: touched=" << incremental.sccs_touched
+       << " skipped=" << incremental.sccs_skipped
+       << " recomputed=" << incremental.recomputed_sccs
+       << " dred_bailouts=" << incremental.dred_bailouts
+       << " rounds=" << incremental.rounds << "\n";
+    os << "  derived: inserted=" << incremental.tuples_inserted
+       << " deleted=" << incremental.tuples_deleted
+       << " overdeleted=" << incremental.overdeleted
+       << " rederived=" << incremental.rederived
+       << " support_updates=" << incremental.support_updates << "\n";
+  }
   if (!guard.empty()) {
     os << "guard trips:";
     if (guard.cancelled > 0) os << " cancelled=" << guard.cancelled;

@@ -142,6 +142,32 @@ struct GuardMetrics {
   }
 };
 
+/// Detail from one incremental maintenance pass (engine::IncrementalView
+/// ::ApplyDelta): how much of the dependency graph was re-fired and what
+/// each deletion strategy did. Every field is a deterministic count —
+/// bit-identical across thread counts, like the engine stats.
+struct IncrementalMetrics {
+  size_t base_added = 0;       // net EDB tuples inserted by the delta
+  size_t base_removed = 0;     // net EDB tuples erased by the delta
+  size_t sccs_touched = 0;     // SCCs re-fired (reachable from changes)
+  size_t sccs_skipped = 0;     // rule-bearing SCCs left untouched
+  size_t rounds = 0;           // incremental fixpoint rounds, all phases
+  size_t tuples_inserted = 0;  // net derived tuples inserted
+  size_t tuples_deleted = 0;   // net derived tuples erased
+  size_t overdeleted = 0;      // DRed: tuples tentatively deleted
+  size_t rederived = 0;        // DRed: overdeletions proven still derivable
+  size_t support_updates = 0;  // counting: per-tuple support adjustments
+  size_t recomputed_sccs = 0;  // recompute-and-diff runs (agg/lattice/bail)
+  size_t dred_bailouts = 0;    // DRed cascades handed to recompute-and-diff
+
+  bool empty() const {
+    return base_added == 0 && base_removed == 0 && sccs_touched == 0 &&
+           sccs_skipped == 0 && rounds == 0 && tuples_inserted == 0 &&
+           tuples_deleted == 0 && overdeleted == 0 && rederived == 0 &&
+           support_updates == 0 && recomputed_sccs == 0 && dred_bailouts == 0;
+  }
+};
+
 /// Heap bytes held by one stored relation.
 struct RelationMemory {
   std::string name;
@@ -155,6 +181,7 @@ struct QueryMetrics {
   DatalogMetrics datalog;
   SqlMetrics sql;
   GraphMetrics graph;
+  IncrementalMetrics incremental;      // view-maintenance detail
   GuardMetrics guard;                  // cancellation/budget trips
   std::vector<RelationMemory> memory;  // per-relation database breakdown
 

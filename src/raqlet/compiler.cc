@@ -332,4 +332,45 @@ Result<engine::GraphStore> Compiler::BuildGraphStore(
   return engine::GraphStore::Build(dl_schema_, db);
 }
 
+Result<std::unique_ptr<engine::IncrementalView>> Compiler::BeginIncremental(
+    const dlir::Program& program, Database* db,
+    const engine::IncrementalOptions& options, obs::QueryMetrics* metrics,
+    const runtime::QueryGuard* guard) const {
+  if (analysis::VerifyByDefault()) RAQLET_RETURN_IF_ERROR(Check(program));
+  auto view = std::make_unique<engine::IncrementalView>(options);
+  {
+    obs::PhaseTimer timer(metrics, "initialize-incremental");
+    Status s = view->Initialize(program, db, nullptr, guard);
+    if (!s.ok()) {
+      RecordGuardTrip(s, guard, metrics);
+      return s;
+    }
+  }
+  if (metrics != nullptr) obs::CollectMemoryBreakdown(*db, metrics);
+  return view;
+}
+
+Result<AppliedDelta> Compiler::ApplyDelta(engine::IncrementalView* view,
+                                          const DeltaBatch& delta,
+                                          obs::QueryMetrics* metrics,
+                                          const runtime::QueryGuard* guard)
+    const {
+  if (view == nullptr || !view->initialized()) {
+    return Status::InvalidArgument("ApplyDelta on an uninitialized view");
+  }
+  Result<AppliedDelta> result = [&] {
+    obs::PhaseTimer timer(metrics, "apply-delta");
+    return view->ApplyDelta(
+        delta, metrics != nullptr ? &metrics->incremental : nullptr, guard);
+  }();
+  if (!result.ok()) {
+    RecordGuardTrip(result.status(), guard, metrics);
+    return result;
+  }
+  if (metrics != nullptr) {
+    obs::CollectMemoryBreakdown(*view->database(), metrics);
+  }
+  return result;
+}
+
 }  // namespace raqlet

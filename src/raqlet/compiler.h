@@ -30,6 +30,7 @@
 #include "cypher/ast.h"
 #include "dlir/program.h"
 #include "engine/datalog/engine.h"
+#include "engine/datalog/incremental.h"
 #include "engine/graph/executor.h"
 #include "engine/graph/graph_store.h"
 #include "engine/sql/executor.h"
@@ -175,6 +176,29 @@ class Compiler {
 
   /// Builds the adjacency-list property graph from the EDBs in `db`.
   Result<engine::GraphStore> BuildGraphStore(const Database& db) const;
+
+  // ---- incremental maintenance ----
+
+  /// Evaluates `program` on `db` from scratch and returns a maintainable
+  /// view: feed it +/− base-fact deltas via ApplyDelta and the derived
+  /// relations track what a full re-evaluation would produce (see
+  /// engine/datalog/incremental.h for strategy and determinism contract).
+  /// Runs the same check-before-execute verification as RunOnDatalog;
+  /// records an "initialize-incremental" phase when `metrics` is set.
+  Result<std::unique_ptr<engine::IncrementalView>> BeginIncremental(
+      const dlir::Program& program, Database* db,
+      const engine::IncrementalOptions& options = {},
+      obs::QueryMetrics* metrics = nullptr,
+      const runtime::QueryGuard* guard = nullptr) const;
+
+  /// Applies one DeltaBatch through `view`, recording the "apply-delta"
+  /// phase, the incremental counters (metrics->incremental), guard trips
+  /// and the post-delta memory breakdown into `metrics` when set.
+  Result<AppliedDelta> ApplyDelta(engine::IncrementalView* view,
+                                  const DeltaBatch& delta,
+                                  obs::QueryMetrics* metrics = nullptr,
+                                  const runtime::QueryGuard* guard = nullptr)
+      const;
 
  private:
   // One DatalogEngine per distinct EvalOptions ever requested, so repeated

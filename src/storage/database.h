@@ -16,6 +16,48 @@
 
 namespace raqlet {
 
+/// One relation's requested +/− base-fact changes within a DeltaBatch.
+/// Semantics are "final = (R ∖ removes) ∪ adds": a tuple listed in both
+/// removes and adds that is already present stays present and is NOT
+/// counted as a change; duplicates within either list apply once.
+struct RelationDelta {
+  std::string relation;
+  std::vector<Tuple> adds;
+  std::vector<Tuple> removes;
+};
+
+/// A batch of base-fact changes across relations. Entries are applied in
+/// batch order; a relation may appear more than once (later entries see
+/// the effects of earlier ones).
+struct DeltaBatch {
+  std::vector<RelationDelta> relations;
+
+  bool empty() const {
+    for (const RelationDelta& rd : relations) {
+      if (!rd.adds.empty() || !rd.removes.empty()) return false;
+    }
+    return true;
+  }
+};
+
+/// The effective (net) change ApplyDelta made to one relation: `added`
+/// tuples are now present and were absent before, `removed` tuples were
+/// present and are now absent. Requested no-ops (inserting a present
+/// tuple, removing an absent one) do not appear.
+struct AppliedRelationDelta {
+  std::string relation;
+  std::vector<Tuple> added;
+  std::vector<Tuple> removed;
+};
+
+struct AppliedDelta {
+  /// Per-relation net changes in batch order; relations whose net change
+  /// is empty are omitted.
+  std::vector<AppliedRelationDelta> relations;
+  size_t total_added = 0;
+  size_t total_removed = 0;
+};
+
 class Database {
  public:
   Database() = default;
@@ -48,6 +90,15 @@ class Database {
 
   /// Total number of stored tuples across all relations.
   size_t TotalTuples() const;
+
+  /// Applies a batch of +/− base-fact changes: per relation, removals
+  /// first (tombstone-aware EraseBatch), then insertions, with the
+  /// removes∩adds overlap of already-present tuples left physically
+  /// untouched. Returns the net per-relation change actually made (the
+  /// delta an incremental evaluator must propagate). Fails with NotFound
+  /// for an unknown relation and InvalidArgument on an arity mismatch;
+  /// on failure, entries earlier in the batch remain applied.
+  Result<AppliedDelta> ApplyDelta(const DeltaBatch& batch);
 
  private:
   SymbolTable symbols_;

@@ -220,6 +220,62 @@ size_t Relation::InsertPairNumeric(const std::vector<Value>& c0,
   return inserted;
 }
 
+Result<size_t> Relation::EraseBatch(const std::vector<Tuple>& batch) {
+  if (batch.empty() || row_count_ == 0) return static_cast<size_t>(0);
+  RAQLET_FAILPOINT("storage.erase_batch");
+  // Phase 1: probe and tombstone. A tombstoned slot keeps its position in
+  // the table so linear-probe chains running through it stay intact —
+  // later candidates of the same batch whose chains pass the erased slot
+  // still find their rows. The shared DedupProbe stops at the first empty
+  // slot and compares against live rows only, so this phase runs its own
+  // probe loop that skips (rather than stops at) tombstones.
+  static constexpr uint32_t kTombstone = kEmptySlot - 1;
+  const size_t mask = dedup_slots_.size() - 1;
+  std::vector<uint32_t> dead_rows;
+  for (const Tuple& t : batch) {
+    if (t.size() != columns_.size()) continue;  // wrong arity: never present
+    const uint32_t h32 = MixHash(TupleHash{}(t));
+    auto cand = [&t](size_t c) -> const Value& { return t[c]; };
+    size_t pos = h32 & mask;
+    while (true) {
+      DedupSlot& slot = dedup_slots_[pos];
+      if (slot.row == kEmptySlot) break;  // absent (or erased earlier)
+      if (slot.row != kTombstone && slot.hash == h32 &&
+          RowEquals(slot.row, t.size(), cand)) {
+        dead_rows.push_back(slot.row);
+        slot.row = kTombstone;
+        break;
+      }
+      pos = (pos + 1) & mask;
+    }
+  }
+  if (dead_rows.empty()) return static_cast<size_t>(0);
+  // Phase 2: compact the columns (survivors keep relative order) and
+  // rebuild the dedup table from the survivors. Indexes and the boxed row
+  // cache are watermark-folded structures keyed by now-shifted row
+  // indices, so they are dropped wholesale (see the deletion contract in
+  // the header).
+  std::vector<uint8_t> dead(row_count_, 0);
+  for (uint32_t r : dead_rows) dead[r] = 1;
+  for (ValueColumn& c : columns_) c.EraseRows(dead);
+  row_count_ -= dead_rows.size();
+  index_cache_.clear();
+  row_cache_.clear();
+  rows_cached_ = 0;
+  std::fill(dedup_slots_.begin(), dedup_slots_.end(), DedupSlot{});
+  for (uint32_t i = 0; i < row_count_; ++i) {
+    size_t h = columns_.size();
+    for (const ValueColumn& c : columns_) {
+      h ^= c.Get(i).Hash() + kGolden + (h << 6) + (h >> 2);
+    }
+    const uint32_t h32 = MixHash(h);
+    size_t pos = h32 & mask;
+    while (dedup_slots_[pos].row != kEmptySlot) pos = (pos + 1) & mask;
+    dedup_slots_[pos] = DedupSlot{h32, i};
+  }
+  return dead_rows.size();
+}
+
 std::vector<Tuple> Relation::ReleaseRows() {
   rows();  // fold the compatibility cache to completion
   std::vector<Tuple> out = std::move(row_cache_);

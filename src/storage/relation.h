@@ -65,7 +65,8 @@ struct RelationSchema {
 /// Column(c) / ColumnSlice(c, begin, end) return zero-copy ColumnView
 /// handles into the live column arrays. A borrowed view is valid only
 /// until the next mutation of the relation (Insert / InsertBatch /
-/// InsertColumns / Clear / ReplaceRows / ReleaseRows), exactly like the
+/// InsertColumns / EraseBatch / Clear / ReplaceRows / ReleaseRows),
+/// exactly like the
 /// KeyIndex pointer returned by EnsureIndex: mutations may reallocate the
 /// underlying arrays or materialize a kind sidecar. Executors therefore
 /// re-borrow at plan/batch-build time each round, never across rounds.
@@ -185,6 +186,28 @@ class Relation {
   /// staged columns are unmodified.
   Result<size_t> InsertColumns(std::vector<std::vector<Value>>* cols);
 
+  /// Deletes every tuple of `batch` that is currently present and returns
+  /// the number of rows actually erased (absent tuples and wrong-arity
+  /// tuples are ignored; duplicates in the batch erase once).
+  ///
+  /// ## Deletion contract
+  ///
+  /// Deletion is a full mutation: surviving rows are compacted in place
+  /// and KEEP their relative insertion order, but their row indices
+  /// shift, so every cached KeyIndex, the rows() compatibility cache, and
+  /// all borrowed ColumnViews are invalidated — exactly as if the
+  /// relation had been rebuilt by re-inserting the survivors. Callers
+  /// holding a KeyIndex pointer from EnsureIndex/GetIndex or a ColumnView
+  /// across an EraseBatch must re-acquire them. The dedup table is
+  /// maintained tombstone-aware during the batch (an erased slot keeps
+  /// its probe chain intact so later candidates in the same batch still
+  /// find their rows) and rebuilt from the survivors afterwards, so a
+  /// delete-then-re-insert of the same tuple behaves exactly like a
+  /// first-time insert. Single-writer rules apply (threading contract
+  /// above). Never fails today; returns Result for symmetry with the
+  /// insert paths and for fault injection ("storage.erase_batch").
+  Result<size_t> EraseBatch(const std::vector<Tuple>& batch);
+
   /// Materializes all rows, moves them out, and leaves the relation empty
   /// (schema kept; columns, dedup table and cached indexes dropped). For
   /// callers that use a scratch Relation purely as a batch deduplicator —
@@ -303,6 +326,22 @@ class Relation {
       words_.clear();
       kinds_.clear();
       kind_ = ValueType::kNull;
+    }
+
+    // Compacts away every row r with dead[r] != 0, preserving survivor
+    // order. The kind sidecar (if materialized) is compacted in lockstep;
+    // it is not de-materialized even if the survivors happen to be
+    // uniform again.
+    void EraseRows(const std::vector<uint8_t>& dead) {
+      size_t w = 0;
+      for (size_t r = 0; r < words_.size(); ++r) {
+        if (dead[r] != 0) continue;
+        words_[w] = words_[r];
+        if (!kinds_.empty()) kinds_[w] = kinds_[r];
+        ++w;
+      }
+      words_.resize(w);
+      if (!kinds_.empty()) kinds_.resize(w);
     }
 
     bool uniform() const { return kinds_.empty(); }

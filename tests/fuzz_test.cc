@@ -6,13 +6,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
+#include <set>
+#include <utility>
+#include <vector>
 
 #include "analysis/diagnostics.h"
 #include "analysis/lints.h"
 #include "analysis/typecheck.h"
 #include "cypher/parser.h"
 #include "dlir/parser.h"
+#include "engine/datalog/incremental.h"
 #include "opt/pass_manager.h"
 #include "raqlet/compiler.h"
 #include "runtime/query_guard.h"
@@ -353,6 +358,141 @@ CREATE GRAPH {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GuardSoakTest, ::testing::Range(0, 4));
+
+// ---------------------------------------------------------------------------
+// Incremental-maintenance soak: random programs × random +/− delta
+// streams, with occasional tiny guard budgets armed. Every ApplyDelta
+// must return a Status (never crash or hang); a guard trip must poison
+// the view, and re-initializing must bring it back in sync with a
+// from-scratch oracle — which the stream re-checks periodically.
+// ---------------------------------------------------------------------------
+
+class IncrementalSoakTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalSoakTest, RandomDeltaStreamsNeverCrashOrDiverge) {
+  const char* const kPrograms[] = {
+      // Linear recursion (DRed).
+      ".decl edge(x: number, y: number)\n.input edge\n"
+      ".decl tc(x: number, y: number)\n.output tc\n"
+      "tc(x, y) :- edge(x, y).\ntc(x, y) :- tc(x, z), edge(z, y).\n",
+      // Non-linear recursion (DRed).
+      ".decl edge(x: number, y: number)\n.input edge\n"
+      ".decl tc(x: number, y: number)\n.output tc\n"
+      "tc(x, y) :- edge(x, y).\ntc(x, y) :- tc(x, z), tc(z, y).\n",
+      // Stratified negation (counting with ¬∃ flips).
+      ".decl edge(x: number, y: number)\n.input edge\n"
+      ".decl oneway(x: number, y: number)\n.output oneway\n"
+      "oneway(x, y) :- edge(x, y), !edge(y, x).\n",
+      // Aggregation (recompute-and-diff).
+      ".decl edge(x: number, y: number)\n.input edge\n"
+      ".decl outdeg(x: number, d: number)\n.output outdeg\n"
+      "outdeg(x, count(y)) :- edge(x, y).\n",
+      // @min lattice (recompute-and-diff).
+      ".decl edge(x: number, y: number)\n.input edge\n"
+      ".decl dist(x: number, y: number, d: number) @min\n.output dist\n"
+      "dist(x, y, 1) :- edge(x, y).\n"
+      "dist(x, y, d + 1) :- dist(x, z, d), edge(z, y).\n",
+  };
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 173 + 19);
+  std::uniform_int_distribution<int> pick_program(0, std::size(kPrograms) - 1);
+  std::uniform_int_distribution<int64_t> node(0, 7);
+  std::uniform_int_distribution<int> ops(0, 3);
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  for (int round = 0; round < 3; ++round) {
+    auto program = dlir::ParseProgram(kPrograms[pick_program(rng)]);
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+    Database db;
+    RelationSchema schema;
+    schema.name = "edge";
+    schema.columns = {{"x", ValueType::kNumber}, {"y", ValueType::kNumber}};
+    Relation* edge = *db.CreateRelation(schema);
+    std::set<std::pair<int64_t, int64_t>> model;
+    for (int i = 0; i < 10; ++i) {
+      auto [a, b] = std::pair{node(rng), node(rng)};
+      model.emplace(a, b);
+      edge->Insert({Value::Number(a), Value::Number(b)}).value();
+    }
+
+    engine::IncrementalOptions options;
+    options.num_threads = 1 + (GetParam() % 2) * 3;
+    engine::IncrementalView view(options);
+    ASSERT_TRUE(view.Initialize(*program, &db).ok());
+
+    for (int step = 0; step < 16; ++step) {
+      RelationDelta rd;
+      rd.relation = "edge";
+      std::vector<std::pair<int64_t, int64_t>> adds, removes;
+      for (int i = ops(rng); i > 0; --i) adds.emplace_back(node(rng), node(rng));
+      for (int i = ops(rng); i > 0; --i) {
+        removes.emplace_back(node(rng), node(rng));
+      }
+      std::set<std::pair<int64_t, int64_t>> add_set(adds.begin(), adds.end());
+      for (auto& p : removes) {
+        rd.removes.push_back({Value::Number(p.first), Value::Number(p.second)});
+        if (add_set.count(p) == 0) model.erase(p);
+      }
+      for (auto& p : adds) {
+        rd.adds.push_back({Value::Number(p.first), Value::Number(p.second)});
+        model.insert(p);
+      }
+      DeltaBatch batch;
+      batch.relations.push_back(std::move(rd));
+
+      // Occasionally arm a starvation-level guard: the delta either
+      // completes or trips with a terminal status and poisons the view.
+      runtime::QueryGuard guard;
+      bool armed = coin(rng) == 1 && step % 5 == 4;
+      if (armed) guard.set_max_rows(1);
+      auto applied = view.ApplyDelta(batch, nullptr, armed ? &guard : nullptr);
+      if (!applied.ok()) {
+        StatusCode code = applied.status().code();
+        EXPECT_TRUE(code == StatusCode::kResourceExhausted ||
+                    code == StatusCode::kDeadlineExceeded ||
+                    code == StatusCode::kCancelled)
+            << applied.status().ToString();
+        // Poisoned until re-initialized; Initialize re-syncs from the
+        // (fully applied) base facts.
+        EXPECT_EQ(view.ApplyDelta(batch).status().code(),
+                  StatusCode::kInvalidArgument);
+        ASSERT_TRUE(view.Initialize(*program, &db).ok());
+      }
+
+      if (step % 4 == 3) {
+        // Differential oracle: from-scratch evaluation on the modeled
+        // base facts matches the maintained database for every relation.
+        Database oracle;
+        Relation* oedge = *oracle.CreateRelation(schema);
+        for (auto& [a, b] : model) {
+          oedge->Insert({Value::Number(a), Value::Number(b)}).value();
+        }
+        engine::DatalogEngine eng;
+        ASSERT_TRUE(eng.Run(*program, &oracle).ok());
+        for (const dlir::RelationDecl& decl : program->decls) {
+          auto sorted_rows = [](const Relation& rel) {
+            std::vector<Tuple> rows = rel.MaterializeRows();
+            std::sort(rows.begin(), rows.end(),
+                      [](const Tuple& a, const Tuple& b) {
+                        for (size_t i = 0; i < a.size(); ++i) {
+                          if (a[i].AsNumber() != b[i].AsNumber()) {
+                            return a[i].AsNumber() < b[i].AsNumber();
+                          }
+                        }
+                        return false;
+                      });
+            return rows;
+          };
+          EXPECT_EQ(sorted_rows(**db.GetRelation(decl.name)),
+                    sorted_rows(**oracle.GetRelation(decl.name)))
+              << "relation " << decl.name << " diverged at step " << step;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalSoakTest, ::testing::Range(0, 6));
 
 }  // namespace
 }  // namespace raqlet

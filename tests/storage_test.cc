@@ -217,6 +217,112 @@ TEST(RelationTest, ReplaceRowsResets) {
   EXPECT_EQ(r.GetIndex({0}).size(), 1u);
 }
 
+TEST(RelationTest, EraseBatchCompactsKeepingRelativeOrder) {
+  Relation r(EdgeSchema());
+  for (int i = 0; i < 6; ++i) {
+    r.Insert({Value::Number(i), Value::Number(i * 10)}).value();
+  }
+  auto erased = r.EraseBatch({{Value::Number(1), Value::Number(10)},
+                              {Value::Number(4), Value::Number(40)}});
+  ASSERT_TRUE(erased.ok());
+  EXPECT_EQ(*erased, 2u);
+  ASSERT_EQ(r.size(), 4u);
+  // Survivors compacted in place, original relative order intact.
+  std::vector<int64_t> srcs;
+  for (const Tuple& t : r.MaterializeRows()) srcs.push_back(t[0].AsNumber());
+  EXPECT_EQ(srcs, (std::vector<int64_t>{0, 2, 3, 5}));
+  EXPECT_FALSE(r.Contains({Value::Number(1), Value::Number(10)}));
+  EXPECT_TRUE(r.Contains({Value::Number(5), Value::Number(50)}));
+}
+
+TEST(RelationTest, EraseBatchIgnoresAbsentWrongArityAndDuplicates) {
+  Relation r(EdgeSchema());
+  r.Insert({Value::Number(1), Value::Number(2)}).value();
+  r.Insert({Value::Number(3), Value::Number(4)}).value();
+  auto erased = r.EraseBatch({
+      {Value::Number(9), Value::Number(9)},                   // absent
+      {Value::Number(1)},                                     // wrong arity
+      {Value::Number(3), Value::Number(4)},                   // present
+      {Value::Number(3), Value::Number(4)},                   // duplicate
+  });
+  ASSERT_TRUE(erased.ok());
+  EXPECT_EQ(*erased, 1u);
+  EXPECT_EQ(r.size(), 1u);
+  // Erasing from an empty relation (or with an empty batch) is a no-op.
+  EXPECT_EQ(r.EraseBatch({}).value(), 0u);
+  r.EraseBatch({{Value::Number(1), Value::Number(2)}}).value();
+  EXPECT_EQ(r.EraseBatch({{Value::Number(1), Value::Number(2)}}).value(), 0u);
+}
+
+TEST(RelationTest, DeleteThenReinsertBehavesLikeFirstInsert) {
+  Relation r(EdgeSchema());
+  r.Insert({Value::Number(1), Value::Number(2)}).value();
+  r.Insert({Value::Number(3), Value::Number(4)}).value();
+  ASSERT_EQ(r.EraseBatch({{Value::Number(1), Value::Number(2)}}).value(), 1u);
+  // The dedup table was rebuilt without a stale entry: re-inserting the
+  // erased tuple is fresh and appends at the end.
+  EXPECT_TRUE(r.Insert({Value::Number(1), Value::Number(2)}).value());
+  EXPECT_FALSE(r.Insert({Value::Number(1), Value::Number(2)}).value());
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.MaterializeRows()[1][0].AsNumber(), 1);
+}
+
+TEST(RelationTest, EraseBatchDuringCachedIndexLifetimeRebuildsIndex) {
+  Relation r(EdgeSchema());
+  r.Insert({Value::Number(1), Value::Number(2)}).value();
+  r.Insert({Value::Number(1), Value::Number(3)}).value();
+  r.Insert({Value::Number(2), Value::Number(3)}).value();
+  // Build and hold an index across the erase; the old pointer is
+  // invalidated by contract, so we must re-request it afterwards.
+  const auto* before = r.EnsureIndex({0});
+  ASSERT_EQ(before->at(Tuple{Value::Number(1)}).size(), 2u);
+  ASSERT_EQ(r.EraseBatch({{Value::Number(1), Value::Number(2)}}).value(), 1u);
+  const auto* after = r.EnsureIndex({0});
+  // Row indices shifted: the index reflects the compacted rows.
+  ASSERT_EQ(after->at(Tuple{Value::Number(1)}).size(), 1u);
+  EXPECT_EQ(r.ValueAt(after->at(Tuple{Value::Number(1)})[0], 1).AsNumber(), 3);
+  EXPECT_EQ(after->count(Tuple{Value::Number(2)}), 1u);
+}
+
+TEST(RelationTest, EraseBatchInvalidatesColumnViews) {
+  Relation r(EdgeSchema());
+  for (int i = 0; i < 4; ++i) {
+    r.Insert({Value::Number(i), Value::Number(i + 100)}).value();
+  }
+  Relation::ColumnView before = r.Column(1);
+  ASSERT_EQ(before.size(), 4u);
+  ASSERT_EQ(r.EraseBatch({{Value::Number(0), Value::Number(100)},
+                          {Value::Number(2), Value::Number(102)}})
+                .value(),
+            2u);
+  // `before` is invalid now (rows shifted); a fresh view sees the
+  // compacted column with survivors in order.
+  Relation::ColumnView after = r.Column(1);
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(after.at(0).AsNumber(), 101);
+  EXPECT_EQ(after.at(1).AsNumber(), 103);
+  EXPECT_TRUE(after.uniform_number());
+}
+
+TEST(RelationTest, EraseBatchMixedKindColumn) {
+  RelationSchema s;
+  s.name = "props";
+  s.columns = {{"k", ValueType::kNumber}, {"v", ValueType::kNumber}};
+  Relation r(s);
+  // Mix kinds in column 1 so the kind sidecar exists and must be
+  // compacted alongside the words.
+  r.Insert({Value::Number(1), Value::Number(7)}).value();
+  r.Insert({Value::Number(2), Value::Bool(true)}).value();
+  r.Insert({Value::Number(3), Value::Null()}).value();
+  ASSERT_EQ(r.EraseBatch({{Value::Number(2), Value::Bool(true)}}).value(),
+            1u);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains({Value::Number(1), Value::Number(7)}));
+  EXPECT_TRUE(r.Contains({Value::Number(3), Value::Null()}));
+  EXPECT_FALSE(r.Contains({Value::Number(2), Value::Bool(true)}));
+  EXPECT_EQ(r.MaterializeRows()[1][1].kind(), ValueType::kNull);
+}
+
 TEST(RelationColumnTest, ColumnViewReadsStoredValuesZeroCopy) {
   Relation r(EdgeSchema());
   ASSERT_TRUE(r.InsertBatch({{Value::Number(10), Value::Number(20)},

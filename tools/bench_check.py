@@ -2,7 +2,7 @@
 """Guard against perf regressions on the semi-naive hot path.
 
 Compares a fresh Google-Benchmark JSON run against the committed baseline
-(BENCH_pr6.json) and fails if any benchmark matching the filter regressed
+(BENCH_pr10.json) and fails if any benchmark matching the filter regressed
 by more than the tolerance. Benchmarks present in only one file are
 reported but never fail the check (sizes and cases may evolve).
 
@@ -10,7 +10,9 @@ The default filter gates every engine hot path: the semi-naive Datalog
 closure (BM_TcDatalog), the SQL engine's column-batched recursive CTE
 (BM_TcSql, which also matches the BM_TcSqlTuple pipeline mode), and the
 graph engine's column-batch executor (BM_TcGraph; the deliberately
-unbatched BM_TcGraphRows reference is not gated).
+unbatched BM_TcGraphRows reference is not gated). The incremental suite
+gates delta maintenance (BM_IncrementalDelta, BM_IncrementalMixedChurn,
+BM_IncrementalKnowsDelta) with the looser multi-thread tolerance.
 
 Usage:
   bench_check.py CURRENT.json BASELINE.json [--suite bench_tc]

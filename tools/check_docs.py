@@ -11,7 +11,7 @@ command line):
 2. Every `backtick` span that looks like a repo path — starts with a
    known top-level directory (src/, tests/, bench/, tools/, examples/,
    docs/, .github/) or names a root file like CMakeLists.txt /
-   BENCH_pr6.json — must exist from the repo root. This is what catches
+   BENCH_pr10.json — must exist from the repo root. This is what catches
    prose like "see src/engine/graph/executor.cc" going stale after a
    rename.
 
